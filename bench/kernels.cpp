@@ -1,0 +1,121 @@
+/// Microbenchmarks (google-benchmark) for the hot kernels of the
+/// functional engines: the distance scan, dimension-sliced partials,
+/// accumulator updates, the thread-backed collectives, and dataset
+/// generation throughput. These measure *host* wall-clock (the engines'
+/// real cost when used as a library), not simulated Sunway time.
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine_util.hpp"
+#include "core/lloyd.hpp"
+#include "data/synthetic.hpp"
+#include "swmpi/collectives.hpp"
+#include "swmpi/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace swhkm;
+
+void BM_DistanceScan(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  const data::Dataset ds = data::make_uniform(64, d, 1);
+  util::Matrix centroids(k, d, 0.5f);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto result =
+        core::detail::nearest_in_slice(ds.sample(i % 64), centroids, 0, k);
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * d));
+}
+BENCHMARK(BM_DistanceScan)
+    ->Args({8, 64})
+    ->Args({64, 64})
+    ->Args({8, 4096})
+    ->Args({256, 256});
+
+void BM_PartialDistance(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const data::Dataset ds = data::make_uniform(4, d, 2);
+  util::Matrix centroid(1, d, 0.25f);
+  for (auto _ : state) {
+    const double partial = core::detail::partial_squared_distance(
+        ds.sample(0), centroid.row(0), d / 4, d / 2);
+    benchmark::DoNotOptimize(partial);
+  }
+}
+BENCHMARK(BM_PartialDistance)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_AccumulatorAdd(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const data::Dataset ds = data::make_uniform(16, d, 3);
+  core::detail::UpdateAccumulator acc(8, d);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    acc.add_sample(static_cast<std::uint32_t>(i % 8), ds.sample(i % 16));
+    ++i;
+  }
+}
+BENCHMARK(BM_AccumulatorAdd)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SerialLloydIteration(benchmark::State& state) {
+  const data::Dataset ds = data::make_uniform(
+      static_cast<std::size_t>(state.range(0)), 16, 4);
+  core::KmeansConfig config;
+  config.k = 8;
+  config.max_iterations = 1;
+  config.tolerance = -1;
+  for (auto _ : state) {
+    const auto result = core::lloyd_serial(ds, config);
+    benchmark::DoNotOptimize(result.inertia);
+  }
+}
+BENCHMARK(BM_SerialLloydIteration)->Arg(1000)->Arg(10000);
+
+void BM_SwmpiAllreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t elems = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    swmpi::run_spmd(ranks, [&](swmpi::Comm& comm) {
+      std::vector<double> buf(elems, comm.rank() * 1.0);
+      swmpi::allreduce_sum(comm, std::span<double>(buf));
+      benchmark::DoNotOptimize(buf[0]);
+    });
+  }
+}
+BENCHMARK(BM_SwmpiAllreduce)->Args({2, 1024})->Args({4, 1024})->Args({8, 64});
+
+void BM_SwmpiBarrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    swmpi::run_spmd(ranks, [](swmpi::Comm& comm) {
+      for (int round = 0; round < 16; ++round) {
+        swmpi::barrier(comm);
+      }
+    });
+  }
+}
+BENCHMARK(BM_SwmpiBarrier)->Arg(2)->Arg(8);
+
+void BM_BlobGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    const data::Dataset ds =
+        data::make_blobs(static_cast<std::size_t>(state.range(0)), 32, 8, 9);
+    benchmark::DoNotOptimize(ds.samples().data());
+  }
+}
+BENCHMARK(BM_BlobGeneration)->Arg(1000)->Arg(10000);
+
+void BM_Xoshiro(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+}  // namespace

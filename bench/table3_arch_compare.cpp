@@ -1,0 +1,69 @@
+/// Table III — execution-time comparison with other architectures at the
+/// five published workloads. The "paper" columns are the published
+/// numbers (theirs and their Sunway measurements); the "model" column is
+/// our simulated Sunway at the same node counts — the calibration anchor
+/// for the whole performance model.
+
+#include "bench_common.hpp"
+
+using namespace swhkm;
+
+int main() {
+  bench::banner("Table III — execution time comparison with other "
+                "architectures",
+                "five published workloads; per-iteration seconds");
+
+  struct Row {
+    const char* approach;
+    const char* hardware;
+    std::uint64_t n, k, d;
+    std::size_t nodes;
+    double other_arch_s;
+    double paper_sunway_s;
+  };
+  const Row rows[] = {
+      {"Rossbach et al", "10x K20M + 20x Xeon E5-2620", 1000000000, 120, 40,
+       128, 49.4, 0.468635},
+      {"Bhimani et al", "NVIDIA Tesla K20M", 1400000, 240, 5, 4, 1.77,
+       0.025336},
+      {"Jin et al", "NVIDIA Tesla K20c", 140000, 500, 90, 1, 5.407, 0.110191},
+      {"Li et al", "Xilinx ZC706 FPGA", 2100000, 4, 4, 1, 0.0085, 0.002839},
+      {"Ding et al", "Intel i7-3770K", 2458285, 10000, 68, 16, 75.976,
+       2.424517},
+  };
+
+  util::Table table({"workload", "other arch s/iter", "paper Sunway s/iter",
+                     "model Sunway s/iter", "model/paper", "paper speedup",
+                     "model speedup", "level picked"});
+  for (const Row& row : rows) {
+    const simarch::MachineConfig machine =
+        simarch::MachineConfig::sw26010(row.nodes);
+    const auto choice = core::auto_plan({row.n, row.k, row.d}, machine);
+    const double model_s = choice ? choice->predicted_s() : -1;
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.2f", model_s / row.paper_sunway_s);
+    char paper_speedup[32];
+    std::snprintf(paper_speedup, sizeof(paper_speedup), "%.0fx",
+                  row.other_arch_s / row.paper_sunway_s);
+    char model_speedup[32];
+    std::snprintf(model_speedup, sizeof(model_speedup), "%.0fx",
+                  model_s > 0 ? row.other_arch_s / model_s : 0.0);
+    table.new_row()
+        .add(row.approach)
+        .add(row.other_arch_s, 6)
+        .add(row.paper_sunway_s, 6)
+        .add(model_s, 6)
+        .add(ratio)
+        .add(paper_speedup)
+        .add(model_speedup)
+        .add(choice ? core::level_name(choice->plan.level) : "-");
+  }
+  bench::emit(table, "table3_arch_compare");
+
+  std::cout
+      << "Expected: model/paper within ~2x on every row (the model was\n"
+         "calibrated against this table's aggregate, not per-row), and the\n"
+         "speedup ordering over other architectures preserved:\n"
+         "heterogeneous cluster ~100x, GPUs 50-70x, FPGA ~3x, CPU ~30x.\n";
+  return 0;
+}

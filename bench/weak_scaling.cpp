@@ -1,0 +1,54 @@
+/// Weak scaling (extension experiment, not in the paper): samples per
+/// node held constant while the machine grows — the complement of
+/// Fig. 9's strong scaling. Flat curves mean the design absorbs growth;
+/// rising tails expose the collective costs.
+
+#include "bench_common.hpp"
+
+using namespace swhkm;
+using core::Level;
+using core::ProblemShape;
+
+int main() {
+  bench::banner("Weak scaling (extension)",
+                "n = 10,000 samples/node, d=4096, k=2000; nodes swept; "
+                "metric: one-iteration time (flat = perfect)");
+
+  util::Table table({"nodes", "n", "Level2 s/iter", "Level3 s/iter",
+                     "L2 vs 2-node", "L3 vs 2-node"});
+  double l2_base = 0;
+  double l3_base = 0;
+  for (std::size_t nodes : {2, 4, 8, 16, 32, 64, 128, 256}) {
+    const simarch::MachineConfig machine =
+        simarch::MachineConfig::sw26010(nodes);
+    const ProblemShape shape{10000ull * nodes, 2000, 4096};
+    const auto l2 = bench::model_best(Level::kLevel2, shape, machine);
+    const auto l3 = bench::model_best(Level::kLevel3, shape, machine);
+    if (nodes == 2) {
+      l2_base = l2.value_or(0);
+      l3_base = l3.value_or(0);
+    }
+    auto ratio = [](double base, const std::optional<double>& now) {
+      if (!now || base <= 0) {
+        return std::string("-");
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3fx", *now / base);
+      return std::string(buf);
+    };
+    table.new_row()
+        .add(std::uint64_t{nodes})
+        .add(std::uint64_t{10000ull * nodes})
+        .add(bench::cell_or_na(l2))
+        .add(bench::cell_or_na(l3))
+        .add(ratio(l2_base, l2))
+        .add(ratio(l3_base, l3));
+  }
+  bench::emit(table, "weak_scaling");
+
+  std::cout << "Expected: near-flat ratios (per-node work is constant);\n"
+               "the slow upward drift is the growing update AllReduce and\n"
+               "supernode crossings — the costs Fig. 7's boundary effects\n"
+               "come from.\n";
+  return 0;
+}

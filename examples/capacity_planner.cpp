@@ -1,0 +1,54 @@
+/// Capacity planner: given a problem shape (n, k, d) and a node count,
+/// print which partition levels can run it, the constraint that blocks
+/// the ones that cannot, and the predicted iteration time of the best
+/// plan — the tool a user reaches for before queueing a job.
+///
+///   ./capacity_planner [n] [k] [d] [nodes]
+///
+/// With no arguments, walks a tour of instructive shapes, including every
+/// Table II workload and the shapes at the paper's feasibility walls.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/hkmeans.hpp"
+#include "util/units.hpp"
+
+using namespace swhkm;
+
+namespace {
+
+void report(const core::ProblemShape& shape, std::size_t nodes) {
+  const simarch::MachineConfig machine = simarch::MachineConfig::sw26010(nodes);
+  std::cout << core::feasibility_report(shape, machine) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 5) {
+    const core::ProblemShape shape{std::strtoull(argv[1], nullptr, 10),
+                                   std::strtoull(argv[2], nullptr, 10),
+                                   std::strtoull(argv[3], nullptr, 10)};
+    report(shape, std::strtoull(argv[4], nullptr, 10));
+    return 0;
+  }
+
+  std::cout << "--- Table II workloads on the paper's machines ---\n\n";
+  report({65554, 256, 28}, 1);        // Kegg on one processor
+  report({434874, 10000, 4}, 256);    // Road at Level 2 scale
+  report({2458285, 10000, 68}, 256);  // Census at Level 2 scale
+  report({1265723, 160000, 196608}, 4096);  // ILSVRC headline
+
+  std::cout << "--- The feasibility walls ---\n\n";
+  // Level 1's C1 wall: k*d just over one LDM.
+  report({1000000, 120, 68}, 1);
+  // Level 2's d wall at 4096 (Fig. 7).
+  report({1265723, 2000, 4096}, 128);
+  report({1265723, 2000, 4608}, 128);
+  // Bender et al's published operating point (d=140,256, k=18).
+  report({370, 18, 140256}, 128);
+
+  std::cout << "usage: capacity_planner <n> <k> <d> <nodes>\n";
+  return 0;
+}

@@ -1,0 +1,245 @@
+/// cluster_tool — a real command-line front end for the library: load a
+/// dataset (CSV or SWKM binary), optionally normalise, cluster with any
+/// algorithm in the package, and write assignments, centroids, a
+/// checkpoint, and a simulated-time trace.
+///
+/// Usage:
+///   cluster_tool <input.{csv,bin}> --k <K> [options]
+///
+/// Options:
+///   --algo lloyd|yinyang|elkan|hamerly|minibatch|level1|level2|level3|auto
+///                        (default: auto — the planner picks the level)
+///   --scale none|minmax|zscore      (default: none)
+///   --init firstk|random|kmeans++   (default: kmeans++)
+///   --iters N                       (default: 50)
+///   --seed S                        (default: 1)
+///   --nodes N        simulated Sunway nodes for engine runs (default: 2
+///                    tiny nodes; engines only)
+///   --out PREFIX     write PREFIX.assign.csv, PREFIX.centroids.csv,
+///                    PREFIX.ckpt, and (engines) PREFIX.trace.csv
+///
+/// Demo mode: run with no arguments to cluster a generated dataset.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/hkmeans.hpp"
+#include "simarch/trace.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+#include "util/units.hpp"
+
+using namespace swhkm;
+
+namespace {
+
+struct Options {
+  std::string input;
+  std::string algo = "auto";
+  std::string scale = "none";
+  std::string init = "kmeans++";
+  std::size_t k = 8;
+  std::size_t iters = 50;
+  std::uint64_t seed = 1;
+  std::size_t nodes = 2;
+  std::string out_prefix;
+};
+
+[[noreturn]] void usage_and_exit() {
+  std::cerr << "usage: cluster_tool <input.{csv,bin}> --k K [--algo A] "
+               "[--scale S] [--init I] [--iters N] [--seed S] [--nodes N] "
+               "[--out PREFIX]\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  int position = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage_and_exit();
+      }
+      return argv[++i];
+    };
+    if (arg == "--k") {
+      opt.k = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--algo") {
+      opt.algo = next();
+    } else if (arg == "--scale") {
+      opt.scale = next();
+    } else if (arg == "--init") {
+      opt.init = next();
+    } else if (arg == "--iters") {
+      opt.iters = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--nodes") {
+      opt.nodes = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--out") {
+      opt.out_prefix = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage_and_exit();
+    } else if (position++ == 0) {
+      opt.input = arg;
+    } else {
+      usage_and_exit();
+    }
+  }
+  return opt;
+}
+
+core::InitMethod parse_init(const std::string& name) {
+  if (name == "firstk") {
+    return core::InitMethod::kFirstK;
+  }
+  if (name == "random") {
+    return core::InitMethod::kRandom;
+  }
+  if (name == "kmeans++") {
+    return core::InitMethod::kPlusPlus;
+  }
+  usage_and_exit();
+}
+
+void write_centroids_csv(const util::Matrix& centroids,
+                         const std::string& path) {
+  std::ofstream out(path);
+  for (std::size_t j = 0; j < centroids.rows(); ++j) {
+    for (std::size_t u = 0; u < centroids.cols(); ++u) {
+      out << (u ? "," : "") << centroids.at(j, u);
+    }
+    out << "\n";
+  }
+}
+
+void write_assignments_csv(const std::vector<std::uint32_t>& labels,
+                           const std::string& path) {
+  std::ofstream out(path);
+  out << "sample,cluster\n";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    out << i << "," << labels[i] << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::set_log_level(util::LogLevel::kInfo);
+  Options opt = parse(argc, argv);
+
+  data::Dataset dataset;
+  if (opt.input.empty()) {
+    std::cout << "(demo mode: clustering generated blobs; pass a .csv or "
+                 ".bin file to use your own data)\n";
+    dataset = data::make_blobs(4000, 24, opt.k, opt.seed);
+  } else if (opt.input.size() > 4 &&
+             opt.input.substr(opt.input.size() - 4) == ".csv") {
+    dataset = data::load_csv(opt.input, opt.input);
+  } else {
+    dataset = data::load_binary(opt.input);
+  }
+  std::cout << "dataset: n=" << dataset.n() << ", d=" << dataset.d() << "\n";
+
+  data::ScalingParams scaling;
+  if (opt.scale == "minmax") {
+    scaling = data::minmax_scale(dataset);
+  } else if (opt.scale == "zscore") {
+    scaling = data::zscore_scale(dataset);
+  } else if (opt.scale != "none") {
+    usage_and_exit();
+  }
+
+  core::KmeansConfig config;
+  config.k = opt.k;
+  config.max_iterations = opt.iters;
+  config.init = parse_init(opt.init);
+  config.seed = opt.seed;
+  simarch::Trace trace;
+
+  core::KmeansResult result;
+  bool engine_run = false;
+  util::Stopwatch watch;
+  if (opt.algo == "lloyd") {
+    result = core::lloyd_serial(dataset, config);
+  } else if (opt.algo == "yinyang") {
+    core::AccelStats stats;
+    result = core::yinyang_serial(dataset, config, &stats);
+    std::cout << "yinyang saved " << stats.savings() * 100
+              << "% of distance computations\n";
+  } else if (opt.algo == "elkan") {
+    core::AccelStats stats;
+    result = core::elkan_serial(dataset, config, &stats);
+    std::cout << "elkan saved " << stats.savings() * 100
+              << "% of distance computations\n";
+  } else if (opt.algo == "hamerly") {
+    core::AccelStats stats;
+    result = core::hamerly_serial(dataset, config, &stats);
+    std::cout << "hamerly saved " << stats.savings() * 100
+              << "% of distance computations\n";
+  } else if (opt.algo == "minibatch") {
+    core::MiniBatchConfig mb;
+    mb.k = opt.k;
+    mb.iterations = opt.iters * 4;
+    mb.init = config.init;
+    mb.seed = opt.seed;
+    result = core::minibatch_kmeans(dataset, mb);
+  } else {
+    engine_run = true;
+    config.trace = &trace;
+    const auto machine =
+        simarch::MachineConfig::tiny(opt.nodes, 8, 64 * util::kKiB);
+    const core::HierarchicalKmeans km(machine);
+    if (opt.algo == "auto") {
+      result = km.fit(dataset, config);
+    } else if (opt.algo == "level1") {
+      result = km.fit_level(core::Level::kLevel1, dataset, config);
+    } else if (opt.algo == "level2") {
+      result = km.fit_level(core::Level::kLevel2, dataset, config);
+    } else if (opt.algo == "level3") {
+      result = km.fit_level(core::Level::kLevel3, dataset, config);
+    } else {
+      usage_and_exit();
+    }
+  }
+  const double wall_s = watch.seconds();
+
+  std::cout << (result.converged ? "converged" : "stopped") << " after "
+            << result.iterations << " iterations in "
+            << util::format_seconds(wall_s) << " wall time\n"
+            << "objective O(C): " << result.inertia << "\n";
+  if (opt.k >= 2 && dataset.n() >= 10) {
+    std::cout << "silhouette (sampled): "
+              << core::silhouette_sampled(dataset, result.assignments, opt.k)
+              << "\n";
+  }
+  if (engine_run) {
+    std::cout << "simulated machine time: "
+              << util::format_seconds(result.cost.total_s()) << " ("
+              << result.last_iteration_cost.summary() << ")\n";
+  }
+
+  if (!opt.out_prefix.empty()) {
+    // Centroids are reported in the caller's raw feature space.
+    util::Matrix raw_centroids = result.centroids;
+    if (!scaling.empty()) {
+      data::invert_scaling(scaling, raw_centroids);
+    }
+    write_assignments_csv(result.assignments, opt.out_prefix + ".assign.csv");
+    write_centroids_csv(raw_centroids, opt.out_prefix + ".centroids.csv");
+    core::save_checkpoint(result, opt.out_prefix + ".ckpt");
+    std::cout << "wrote " << opt.out_prefix << ".assign.csv, .centroids.csv, "
+              << ".ckpt";
+    if (engine_run && trace.event_count() > 0) {
+      std::ofstream(opt.out_prefix + ".trace.csv") << trace.to_csv();
+      std::cout << ", .trace.csv (makespan "
+                << util::format_seconds(trace.makespan()) << ", imbalance "
+                << trace.imbalance(0) << ")";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// Quickstart: cluster a synthetic dataset with the hierarchical k-means
+/// library and inspect what the planner did.
+///
+///   ./quickstart [n] [k] [d]
+///
+/// The library runs the real clustering (validated against serial Lloyd)
+/// while accounting the time a Sunway TaihuLight would have spent.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/hkmeans.hpp"
+#include "util/log.hpp"
+#include "util/units.hpp"
+
+using namespace swhkm;
+
+int main(int argc, char** argv) {
+  util::set_log_level(util::LogLevel::kInfo);
+
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5000;
+  const std::size_t k = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 8;
+  const std::size_t d = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 32;
+
+  std::cout << "Generating " << n << " samples, " << d << " dims, " << k
+            << " true clusters...\n";
+  const data::Dataset dataset = data::make_blobs(n, d, k, /*seed=*/2024);
+
+  // A small simulated machine: 2 SW26010-style nodes shrunk to 8 CPEs/CG
+  // so every partition level exercises its machinery at laptop scale.
+  const simarch::MachineConfig machine = simarch::MachineConfig::tiny(
+      /*nodes=*/2, /*cpes_per_cg=*/8, /*ldm_bytes=*/64 * util::kKiB);
+  std::cout << "Simulated machine: " << machine.summary() << "\n\n";
+
+  const core::HierarchicalKmeans km(machine);
+  core::KmeansConfig config;
+  config.k = k;
+  config.max_iterations = 50;
+  config.init = core::InitMethod::kPlusPlus;
+  config.seed = 7;
+
+  // What would each level do?
+  std::cout << core::feasibility_report({n, k, d}, machine) << "\n";
+
+  const core::KmeansResult result = km.fit(dataset, config);
+
+  std::cout << "converged: " << (result.converged ? "yes" : "no") << " after "
+            << result.iterations << " iterations\n"
+            << "objective O(C): " << result.inertia << "\n"
+            << "cluster sizes:";
+  for (std::size_t size : core::cluster_sizes(result.assignments, k)) {
+    std::cout << " " << size;
+  }
+  std::cout << "\nsimulated machine time: "
+            << util::format_seconds(result.cost.total_s()) << " total, "
+            << util::format_seconds(result.last_iteration_cost.total_s())
+            << " last iteration\n"
+            << "  breakdown: " << result.last_iteration_cost.summary()
+            << "\n";
+
+  // Cross-check against the serial baseline.
+  const core::KmeansResult serial = core::lloyd_serial(dataset, config);
+  std::cout << "agreement with serial Lloyd: "
+            << core::assignment_agreement(serial.assignments,
+                                          result.assignments) *
+                   100.0
+            << "%\n";
+  return 0;
+}

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+namespace swhkm::core {
+
+/// Work counters shared by the accelerated exact k-means baselines
+/// (Yinyang, Elkan, Hamerly). All three produce Lloyd-identical
+/// trajectories; what differs is how many distances they avoid.
+struct AccelStats {
+  /// Exact point-centroid distance evaluations performed.
+  std::uint64_t distance_computations = 0;
+  /// Point-centroid evaluations plain Lloyd would have performed
+  /// (n * k per iteration).
+  std::uint64_t lloyd_equivalent = 0;
+  /// Centroid-centroid evaluations spent maintaining bounds (Elkan and
+  /// Hamerly recompute inter-centroid separations every iteration; Yinyang
+  /// pays a one-off grouping instead). Not part of savings(): the point-
+  /// centroid count is the standard figure of merit.
+  std::uint64_t centroid_distance_computations = 0;
+
+  double savings() const {
+    return lloyd_equivalent == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(distance_computations) /
+                           static_cast<double>(lloyd_equivalent);
+  }
+};
+
+}  // namespace swhkm::core

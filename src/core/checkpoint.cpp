@@ -1,0 +1,105 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "core/lloyd.hpp"
+#include "util/error.hpp"
+
+namespace swhkm::core {
+
+namespace {
+constexpr char kMagic[4] = {'S', 'W', 'K', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  char magic[4];
+  std::uint32_t version;
+  std::uint64_t k;
+  std::uint64_t d;
+  std::uint64_t n;
+  std::uint64_t iterations;
+  std::uint8_t converged;
+  std::uint8_t pad[7];
+  double inertia;
+};
+static_assert(sizeof(Header) == 56);
+}  // namespace
+
+void save_checkpoint(const KmeansResult& result, const std::string& path) {
+  SWHKM_REQUIRE(!result.centroids.empty(), "cannot checkpoint empty result");
+  std::ofstream file(path, std::ios::binary);
+  SWHKM_REQUIRE(static_cast<bool>(file), "cannot open " + path + " to write");
+  Header header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.k = result.centroids.rows();
+  header.d = result.centroids.cols();
+  header.n = result.assignments.size();
+  header.iterations = result.iterations;
+  header.converged = result.converged ? 1 : 0;
+  header.inertia = result.inertia;
+  file.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  const auto flat = result.centroids.flat();
+  file.write(reinterpret_cast<const char*>(flat.data()),
+             static_cast<std::streamsize>(flat.size_bytes()));
+  file.write(reinterpret_cast<const char*>(result.assignments.data()),
+             static_cast<std::streamsize>(result.assignments.size() *
+                                          sizeof(std::uint32_t)));
+  if (!file) {
+    throw Error("short write to " + path);
+  }
+}
+
+KmeansResult load_checkpoint(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  SWHKM_REQUIRE(static_cast<bool>(file), "cannot open " + path + " to read");
+  Header header{};
+  file.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!file || std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    throw InvalidArgument(path + " is not a SWKC checkpoint");
+  }
+  if (header.version != kVersion) {
+    throw InvalidArgument(path + " has unsupported checkpoint version " +
+                          std::to_string(header.version));
+  }
+  // Shape sanity against the real file size before any allocation.
+  file.seekg(0, std::ios::end);
+  const std::uint64_t payload =
+      static_cast<std::uint64_t>(file.tellg()) - sizeof(Header);
+  file.seekg(sizeof(Header), std::ios::beg);
+  if (header.d == 0 || header.k > payload / sizeof(float) / header.d ||
+      header.n > payload / sizeof(std::uint32_t)) {
+    throw InvalidArgument(path + " declares shapes larger than the file");
+  }
+  KmeansResult result;
+  result.centroids = util::Matrix(header.k, header.d);
+  const auto flat = result.centroids.flat();
+  file.read(reinterpret_cast<char*>(flat.data()),
+            static_cast<std::streamsize>(flat.size_bytes()));
+  result.assignments.resize(header.n);
+  file.read(reinterpret_cast<char*>(result.assignments.data()),
+            static_cast<std::streamsize>(header.n * sizeof(std::uint32_t)));
+  if (!file) {
+    throw InvalidArgument(path + " is truncated");
+  }
+  result.iterations = header.iterations;
+  result.converged = header.converged != 0;
+  result.inertia = header.inertia;
+  return result;
+}
+
+KmeansResult resume_lloyd(const data::Dataset& dataset,
+                          const KmeansConfig& config,
+                          const KmeansResult& checkpoint) {
+  SWHKM_REQUIRE(checkpoint.centroids.rows() == config.k,
+                "checkpoint k does not match config");
+  SWHKM_REQUIRE(checkpoint.centroids.cols() == dataset.d(),
+                "checkpoint dimensionality does not match dataset");
+  KmeansResult result =
+      lloyd_serial_from(dataset, config, checkpoint.centroids);
+  result.iterations += checkpoint.iterations;
+  return result;
+}
+
+}  // namespace swhkm::core

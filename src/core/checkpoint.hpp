@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "core/kmeans.hpp"
+
+namespace swhkm::core {
+
+/// Checkpoint a clustering run to disk and resume it later — long
+/// large-scale jobs on a shared machine get preempted, and re-running 50
+/// iterations at 18 s each is real money. Format "SWKC": versioned binary
+/// header, centroid matrix, assignments, iteration counter.
+void save_checkpoint(const KmeansResult& result, const std::string& path);
+
+/// Load a checkpoint; throws InvalidArgument on malformed files.
+KmeansResult load_checkpoint(const std::string& path);
+
+/// Continue Lloyd iterations from a checkpoint's centroids for up to
+/// `config.max_iterations` more rounds (the checkpoint's own iteration
+/// count is added to the result's).
+KmeansResult resume_lloyd(const data::Dataset& dataset,
+                          const KmeansConfig& config,
+                          const KmeansResult& checkpoint);
+
+}  // namespace swhkm::core

@@ -1,0 +1,153 @@
+#include "core/elkan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/engine_util.hpp"
+#include "core/init.hpp"
+#include "core/metrics.hpp"
+#include "util/error.hpp"
+
+namespace swhkm::core {
+
+namespace {
+
+double euclidean(std::span<const float> a, std::span<const float> b) {
+  return std::sqrt(detail::squared_distance(a, b));
+}
+
+}  // namespace
+
+KmeansResult elkan_serial_from(const data::Dataset& dataset,
+                               const KmeansConfig& config,
+                               util::Matrix centroids, AccelStats* stats) {
+  SWHKM_REQUIRE(centroids.rows() == config.k, "centroid count must equal k");
+  SWHKM_REQUIRE(centroids.cols() == dataset.d(),
+                "centroid dimensionality must match the data");
+  const std::size_t n = dataset.n();
+  const std::size_t k = config.k;
+
+  AccelStats local_stats;
+  AccelStats& st = stats ? *stats : local_stats;
+
+  KmeansResult result;
+  result.assignments.assign(n, 0);
+  std::vector<double> upper(n, 0.0);
+  std::vector<double> lower(n * k, 0.0);
+  std::vector<double> drift(k, 0.0);
+  // Half inter-centroid separations and per-centroid "safe radius" s(c).
+  std::vector<double> half_cc(k * k, 0.0);
+  std::vector<double> safe(k, 0.0);
+  detail::UpdateAccumulator acc(k, dataset.d());
+  util::Matrix previous = centroids;
+
+  auto refresh_centroid_geometry = [&] {
+    for (std::size_t a = 0; a < k; ++a) {
+      safe[a] = std::numeric_limits<double>::max();
+      for (std::size_t b = 0; b < k; ++b) {
+        if (a == b) {
+          continue;
+        }
+        if (b > a) {
+          const double d = euclidean(centroids.row(a), centroids.row(b));
+          ++st.centroid_distance_computations;
+          half_cc[a * k + b] = d / 2.0;
+          half_cc[b * k + a] = d / 2.0;
+        }
+        safe[a] = std::min(safe[a], half_cc[a * k + b]);
+      }
+    }
+    if (k == 1) {
+      safe[0] = std::numeric_limits<double>::max();
+    }
+  };
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    acc.reset();
+    st.lloyd_equivalent += static_cast<std::uint64_t>(n) * k;
+    refresh_centroid_geometry();
+
+    if (iter == 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto x = dataset.sample(i);
+        double best = std::numeric_limits<double>::max();
+        std::uint32_t best_j = 0;
+        for (std::uint32_t j = 0; j < k; ++j) {
+          const double dist = euclidean(x, centroids.row(j));
+          ++st.distance_computations;
+          lower[i * k + j] = dist;
+          if (dist < best) {
+            best = dist;
+            best_j = j;
+          }
+        }
+        result.assignments[i] = best_j;
+        upper[i] = best;
+        acc.add_sample(best_j, x);
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t a = result.assignments[i];
+        double* lb = lower.data() + i * k;
+        double ub = upper[i] + drift[a];
+        for (std::uint32_t j = 0; j < k; ++j) {
+          lb[j] = std::max(0.0, lb[j] - drift[j]);
+        }
+        bool tight = false;
+        if (ub > safe[a]) {
+          const auto x = dataset.sample(i);
+          for (std::uint32_t j = 0; j < k; ++j) {
+            if (j == a || ub <= lb[j] || ub <= half_cc[a * k + j]) {
+              continue;
+            }
+            if (!tight) {
+              ub = euclidean(x, centroids.row(a));
+              ++st.distance_computations;
+              lb[a] = ub;
+              tight = true;
+              if (ub <= lb[j] || ub <= half_cc[a * k + j]) {
+                continue;
+              }
+            }
+            const double dist = euclidean(x, centroids.row(j));
+            ++st.distance_computations;
+            lb[j] = dist;
+            if (dist < ub) {
+              a = j;
+              ub = dist;
+            }
+          }
+        }
+        result.assignments[i] = a;
+        upper[i] = ub;
+        acc.add_sample(a, dataset.sample(i));
+      }
+    }
+
+    previous = centroids;
+    const double shift = detail::apply_update(centroids, acc.sums, acc.counts);
+    for (std::uint32_t j = 0; j < k; ++j) {
+      drift[j] = euclidean(previous.row(j), centroids.row(j));
+    }
+    result.iterations = iter + 1;
+    result.history.push_back({shift, 0.0});
+    if (shift <= config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.inertia = inertia(dataset, centroids, result.assignments);
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+KmeansResult elkan_serial(const data::Dataset& dataset,
+                          const KmeansConfig& config, AccelStats* stats) {
+  return elkan_serial_from(dataset, config, init_centroids(dataset, config),
+                           stats);
+}
+
+}  // namespace swhkm::core

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "core/accel_stats.hpp"
+#include "core/kmeans.hpp"
+#include "data/dataset.hpp"
+
+namespace swhkm::core {
+
+/// Elkan's exact accelerated k-means (ICML'03): one upper bound plus a
+/// full n x k matrix of lower bounds, pruned with triangle inequalities
+/// against inter-centroid separations. The strongest pruner of the exact
+/// family at moderate k, at the price of O(n·k) bound memory — which is
+/// precisely the memory/k trade the paper's Level 2/3 partitions are
+/// about, making it the natural single-node foil.
+///
+/// Trajectory-identical to lloyd_serial on continuous data (exact ties
+/// may resolve differently; they have probability zero for float data).
+KmeansResult elkan_serial(const data::Dataset& dataset,
+                          const KmeansConfig& config,
+                          AccelStats* stats = nullptr);
+
+KmeansResult elkan_serial_from(const data::Dataset& dataset,
+                               const KmeansConfig& config,
+                               util::Matrix centroids,
+                               AccelStats* stats = nullptr);
+
+}  // namespace swhkm::core

@@ -1,0 +1,86 @@
+#include "core/engine_common.hpp"
+
+#include <algorithm>
+
+#include "swmpi/collectives.hpp"
+#include "util/error.hpp"
+
+namespace swhkm::core::detail {
+
+simarch::CostTally combine_tallies(swmpi::Comm& comm,
+                                   const simarch::CostTally& mine) {
+  static_assert(std::is_trivially_copyable_v<simarch::CostTally>);
+  const std::vector<simarch::CostTally> all = swmpi::allgather(comm, mine);
+  simarch::CostTally combined = all.front();
+  for (std::size_t r = 1; r < all.size(); ++r) {
+    combined.max_in_place(all[r]);
+  }
+  return combined;
+}
+
+double reduce_and_update(swmpi::Comm& comm, util::Matrix& centroids,
+                         UpdateAccumulator& acc) {
+  swmpi::allreduce_sum(comm,
+                       std::span<double>(acc.sums.data(), acc.sums.size()));
+  swmpi::allreduce_sum(
+      comm, std::span<double>(acc.counts.data(), acc.counts.size()));
+  return apply_update(centroids, acc.sums, acc.counts);
+}
+
+void charge_sample_stream(simarch::CostTally& tally,
+                          const simarch::MachineConfig& machine,
+                          std::uint64_t bytes,
+                          std::uint64_t critical_transfers) {
+  tally.sample_read_s += static_cast<double>(bytes) / machine.dma_bandwidth +
+                         static_cast<double>(critical_transfers) *
+                             machine.dma_latency;
+  tally.dma_bytes += bytes;
+}
+
+void charge_centroid_traffic(simarch::CostTally& tally,
+                             const simarch::MachineConfig& machine,
+                             const PartitionPlan& plan,
+                             std::uint64_t samples_through_cg) {
+  const std::size_t eb = machine.elem_bytes;
+  // Level 2: every CPE of the CG keeps its own slice copy (k_local rows of
+  // d). Level 3: the CG's CPEs jointly hold k_local rows of d (d_local
+  // columns each), so traffic per CG is one slice.
+  const std::uint64_t holders_per_cg =
+      plan.level == Level::kLevel2 ? machine.cpes_per_cg : 1;
+  const std::uint64_t row_elems = plan.shape.d;
+  const std::uint64_t slice_bytes = static_cast<std::uint64_t>(plan.k_local) *
+                                    row_elems * eb * holders_per_cg;
+  std::uint64_t bytes = 0;
+  if (plan.ldm.resident) {
+    bytes = slice_bytes;  // one (re)load per iteration
+  } else {
+    const std::uint64_t per_sample =
+        samples_through_cg * plan.k_local * row_elems * eb * holders_per_cg;
+    const std::uint64_t passes =
+        (plan.k_local + plan.ldm.tile_rows - 1) / plan.ldm.tile_rows;
+    const std::uint64_t tiled =
+        passes * samples_through_cg * plan.shape.d * eb *
+            (plan.level == Level::kLevel2 ? machine.cpes_per_cg : 1) +
+        slice_bytes;
+    bytes = std::min(per_sample, tiled);
+  }
+  tally.centroid_stream_s +=
+      static_cast<double>(bytes) / machine.dma_bandwidth;
+  tally.dma_bytes += bytes;
+}
+
+void validate_ldm_layout(const PartitionPlan& plan,
+                         const simarch::MachineConfig& machine) {
+  simarch::LdmAllocator ldm(machine.ldm_bytes);
+  const std::size_t eb = machine.elem_bytes;
+  ldm.alloc("sample", plan.ldm.sample_elems * eb);
+  if (plan.ldm.slice_elems > 0) {
+    ldm.alloc(plan.ldm.resident ? "centroid slice + accumulators"
+                                : "centroid stream buffers",
+              plan.ldm.slice_elems * eb);
+  }
+  ldm.alloc("scratch", plan.ldm.scratch_elems * eb);
+  // Destructor discards; reaching here means the layout fits.
+}
+
+}  // namespace swhkm::core::detail

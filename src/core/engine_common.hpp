@@ -1,0 +1,50 @@
+#pragma once
+
+#include "core/engine_util.hpp"
+#include "core/kmeans.hpp"
+#include "core/partition.hpp"
+#include "data/dataset.hpp"
+#include "simarch/cost.hpp"
+#include "simarch/ldm.hpp"
+#include "swmpi/comm.hpp"
+#include "util/matrix.hpp"
+
+namespace swhkm::core::detail {
+
+/// Combine per-rank (per-CG) iteration tallies into the machine-level
+/// iteration cost: time components take the slowest rank (critical path),
+/// volume counters sum. Collective; every rank receives the result.
+simarch::CostTally combine_tallies(swmpi::Comm& comm,
+                                   const simarch::CostTally& mine);
+
+/// Sum accumulators and counts across all ranks and move the (per-rank,
+/// identical) centroid copies to the new means. Returns the largest
+/// centroid shift. Bit-deterministic: the reduction tree is fixed, so all
+/// ranks apply identical updates.
+double reduce_and_update(swmpi::Comm& comm, util::Matrix& centroids,
+                         UpdateAccumulator& acc);
+
+/// Charge a per-CG sample stream: `bytes` through the CG's DMA at
+/// bandwidth B, plus `critical_transfers` issue overheads (transfers on
+/// the longest per-CPE chain; issue overlaps across CPEs).
+void charge_sample_stream(simarch::CostTally& tally,
+                          const simarch::MachineConfig& machine,
+                          std::uint64_t bytes,
+                          std::uint64_t critical_transfers);
+
+/// Charge centroid traffic for one iteration on one CG under `plan`:
+/// a single slice (re)load when resident, otherwise the cheaper of
+/// per-sample re-streaming and tiled sample passes (mirrors the perf
+/// model's streamed_centroid_bytes policy).
+void charge_centroid_traffic(simarch::CostTally& tally,
+                             const simarch::MachineConfig& machine,
+                             const PartitionPlan& plan,
+                             std::uint64_t samples_through_cg);
+
+/// Validate that the plan's LDM layout actually fits by allocating it
+/// through the scratchpad allocator — throws CapacityError on a planner
+/// bug rather than silently pretending.
+void validate_ldm_layout(const PartitionPlan& plan,
+                         const simarch::MachineConfig& machine);
+
+}  // namespace swhkm::core::detail

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace swhkm::core::detail {
+
+/// Squared Euclidean distance in double precision — the one distance kernel
+/// shared by the serial baseline and every engine level, so trajectories
+/// can only diverge through summation *order*, never through arithmetic.
+inline double squared_distance(std::span<const float> x,
+                               std::span<const float> c) {
+  double sum = 0;
+  for (std::size_t u = 0; u < x.size(); ++u) {
+    const double diff = static_cast<double>(x[u]) - static_cast<double>(c[u]);
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+/// Partial distance over a dimension slice [u_begin, u_end): the Level 3
+/// per-CPE kernel.
+inline double partial_squared_distance(std::span<const float> x,
+                                       std::span<const float> c,
+                                       std::size_t u_begin,
+                                       std::size_t u_end) {
+  double sum = 0;
+  for (std::size_t u = u_begin; u < u_end; ++u) {
+    const double diff = static_cast<double>(x[u]) - static_cast<double>(c[u]);
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+/// Scan centroids [j_begin, j_end) for the nearest one; ties break toward
+/// the smaller index, matching a serial left-to-right scan.
+inline std::pair<double, std::uint32_t> nearest_in_slice(
+    std::span<const float> x, const util::Matrix& centroids,
+    std::size_t j_begin, std::size_t j_end) {
+  double best = std::numeric_limits<double>::max();
+  std::uint32_t best_j = 0;
+  for (std::size_t j = j_begin; j < j_end; ++j) {
+    const double dist = squared_distance(x, centroids.row(j));
+    if (dist < best) {
+      best = dist;
+      best_j = static_cast<std::uint32_t>(j);
+    }
+  }
+  return {best, best_j};
+}
+
+/// Flat k x d accumulator plus per-centroid counts, in double.
+struct UpdateAccumulator {
+  explicit UpdateAccumulator(std::size_t k, std::size_t d)
+      : k_(k), d_(d), sums(k * d, 0.0), counts(k, 0.0) {}
+
+  void add_sample(std::uint32_t j, std::span<const float> x) {
+    double* row = sums.data() + static_cast<std::size_t>(j) * d_;
+    for (std::size_t u = 0; u < d_; ++u) {
+      row[u] += static_cast<double>(x[u]);
+    }
+    counts[j] += 1.0;
+  }
+
+  /// Add only the [u_begin, u_end) dimension slice (Level 3 owner CPEs).
+  void add_sample_slice(std::uint32_t j, std::span<const float> x,
+                        std::size_t u_begin, std::size_t u_end) {
+    double* row = sums.data() + static_cast<std::size_t>(j) * d_;
+    for (std::size_t u = u_begin; u < u_end; ++u) {
+      row[u] += static_cast<double>(x[u]);
+    }
+  }
+
+  void reset() {
+    sums.assign(sums.size(), 0.0);
+    counts.assign(counts.size(), 0.0);
+  }
+
+  std::size_t k() const { return k_; }
+  std::size_t d() const { return d_; }
+
+  std::size_t k_;
+  std::size_t d_;
+  std::vector<double> sums;
+  std::vector<double> counts;
+};
+
+/// Move centroids to the mean of their assigned samples; a centroid with no
+/// samples keeps its position (the empty-cluster rule every level shares).
+/// Returns the largest Euclidean shift of any centroid.
+inline double apply_update(util::Matrix& centroids,
+                           std::span<const double> sums,
+                           std::span<const double> counts) {
+  const std::size_t k = centroids.rows();
+  const std::size_t d = centroids.cols();
+  double worst_shift_sq = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (counts[j] <= 0) {
+      continue;
+    }
+    double shift_sq = 0;
+    const double inv = 1.0 / counts[j];
+    std::span<float> row = centroids.row(j);
+    const double* sum_row = sums.data() + j * d;
+    for (std::size_t u = 0; u < d; ++u) {
+      const float previous = row[u];
+      row[u] = static_cast<float>(sum_row[u] * inv);
+      // Shift is measured between *stored* (float) positions: a stable
+      // centroid must report exactly zero movement, or float rounding
+      // residue would keep the run from ever converging.
+      const double diff =
+          static_cast<double>(row[u]) - static_cast<double>(previous);
+      shift_sq += diff * diff;
+    }
+    worst_shift_sq = worst_shift_sq > shift_sq ? worst_shift_sq : shift_sq;
+  }
+  return worst_shift_sq > 0 ? std::sqrt(worst_shift_sq) : 0.0;
+}
+
+/// Contiguous block [begin, end) of `total` items for worker `index` of
+/// `workers` — the dataflow partition rule all levels share. Remainder
+/// items go to the lowest-index workers.
+inline std::pair<std::size_t, std::size_t> block_range(std::size_t total,
+                                                       std::size_t workers,
+                                                       std::size_t index) {
+  const std::size_t base = total / workers;
+  const std::size_t extra = total % workers;
+  const std::size_t begin =
+      index * base + (index < extra ? index : extra);
+  const std::size_t length = base + (index < extra ? 1 : 0);
+  return {begin, begin + length};
+}
+
+}  // namespace swhkm::core::detail

@@ -1,0 +1,139 @@
+#include "core/hamerly.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/engine_util.hpp"
+#include "core/init.hpp"
+#include "core/metrics.hpp"
+#include "util/error.hpp"
+
+namespace swhkm::core {
+
+namespace {
+
+double euclidean(std::span<const float> a, std::span<const float> b) {
+  return std::sqrt(detail::squared_distance(a, b));
+}
+
+}  // namespace
+
+KmeansResult hamerly_serial_from(const data::Dataset& dataset,
+                                 const KmeansConfig& config,
+                                 util::Matrix centroids, AccelStats* stats) {
+  SWHKM_REQUIRE(centroids.rows() == config.k, "centroid count must equal k");
+  SWHKM_REQUIRE(centroids.cols() == dataset.d(),
+                "centroid dimensionality must match the data");
+  const std::size_t n = dataset.n();
+  const std::size_t k = config.k;
+
+  AccelStats local_stats;
+  AccelStats& st = stats ? *stats : local_stats;
+
+  KmeansResult result;
+  result.assignments.assign(n, 0);
+  std::vector<double> upper(n, 0.0);
+  std::vector<double> lower(n, 0.0);  // bound on the second-closest centroid
+  std::vector<double> drift(k, 0.0);
+  std::vector<double> safe(k, 0.0);  // half distance to nearest other centre
+  detail::UpdateAccumulator acc(k, dataset.d());
+  util::Matrix previous = centroids;
+
+  auto scan_all = [&](std::size_t i) {
+    const auto x = dataset.sample(i);
+    double best = std::numeric_limits<double>::max();
+    double second = std::numeric_limits<double>::max();
+    std::uint32_t best_j = 0;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      const double dist = euclidean(x, centroids.row(j));
+      ++st.distance_computations;
+      if (dist < best) {
+        second = best;
+        best = dist;
+        best_j = j;
+      } else if (dist < second) {
+        second = dist;
+      }
+    }
+    result.assignments[i] = best_j;
+    upper[i] = best;
+    lower[i] = second;
+  };
+
+  auto refresh_safe_radii = [&] {
+    for (std::size_t a = 0; a < k; ++a) {
+      safe[a] = std::numeric_limits<double>::max();
+      for (std::size_t b = 0; b < k; ++b) {
+        if (a == b) {
+          continue;
+        }
+        if (b > a) {
+          ++st.centroid_distance_computations;
+        }
+        safe[a] = std::min(safe[a],
+                           euclidean(centroids.row(a), centroids.row(b)) / 2);
+      }
+    }
+  };
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    acc.reset();
+    st.lloyd_equivalent += static_cast<std::uint64_t>(n) * k;
+    if (k > 1) {
+      refresh_safe_radii();
+    } else {
+      safe[0] = std::numeric_limits<double>::max();
+    }
+
+    double max_drift = 0;
+    for (double d : drift) {
+      max_drift = std::max(max_drift, d);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (iter == 0) {
+        scan_all(i);
+      } else {
+        const std::uint32_t a = result.assignments[i];
+        upper[i] += drift[a];
+        lower[i] -= max_drift;
+        const double threshold = std::max(safe[a], lower[i]);
+        if (upper[i] > threshold) {
+          // Tighten the upper bound; rescan only if still unsafe.
+          upper[i] = euclidean(dataset.sample(i), centroids.row(a));
+          ++st.distance_computations;
+          if (upper[i] > threshold) {
+            scan_all(i);
+          }
+        }
+      }
+      acc.add_sample(result.assignments[i], dataset.sample(i));
+    }
+
+    previous = centroids;
+    const double shift = detail::apply_update(centroids, acc.sums, acc.counts);
+    for (std::uint32_t j = 0; j < k; ++j) {
+      drift[j] = euclidean(previous.row(j), centroids.row(j));
+    }
+    result.iterations = iter + 1;
+    result.history.push_back({shift, 0.0});
+    if (shift <= config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.inertia = inertia(dataset, centroids, result.assignments);
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+KmeansResult hamerly_serial(const data::Dataset& dataset,
+                            const KmeansConfig& config, AccelStats* stats) {
+  return hamerly_serial_from(dataset, config, init_centroids(dataset, config),
+                             stats);
+}
+
+}  // namespace swhkm::core

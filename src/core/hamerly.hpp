@@ -1,0 +1,23 @@
+#pragma once
+
+#include "core/accel_stats.hpp"
+#include "core/kmeans.hpp"
+#include "data/dataset.hpp"
+
+namespace swhkm::core {
+
+/// Hamerly's exact accelerated k-means (SDM'10, the paper's ref [18]):
+/// one upper bound plus a single second-closest lower bound per sample —
+/// O(n) bound memory instead of Elkan's O(n·k), trading pruning power for
+/// cache friendliness. Trajectory-identical to lloyd_serial on continuous
+/// data.
+KmeansResult hamerly_serial(const data::Dataset& dataset,
+                            const KmeansConfig& config,
+                            AccelStats* stats = nullptr);
+
+KmeansResult hamerly_serial_from(const data::Dataset& dataset,
+                                 const KmeansConfig& config,
+                                 util::Matrix centroids,
+                                 AccelStats* stats = nullptr);
+
+}  // namespace swhkm::core

@@ -1,0 +1,111 @@
+#include "core/init.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace swhkm::core {
+
+namespace {
+
+util::Matrix take_rows(const data::Dataset& dataset,
+                       const std::vector<std::size_t>& rows) {
+  util::Matrix centroids(rows.size(), dataset.d());
+  for (std::size_t j = 0; j < rows.size(); ++j) {
+    const auto src = dataset.sample(rows[j]);
+    std::copy(src.begin(), src.end(), centroids.row(j).begin());
+  }
+  return centroids;
+}
+
+util::Matrix init_first_k(const data::Dataset& dataset, std::size_t k) {
+  std::vector<std::size_t> rows(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    rows[j] = j;
+  }
+  return take_rows(dataset, rows);
+}
+
+util::Matrix init_random(const data::Dataset& dataset, std::size_t k,
+                         std::uint64_t seed) {
+  // Partial Fisher-Yates over sample indices: k distinct rows.
+  util::Xoshiro256 rng(seed);
+  std::vector<std::size_t> indices(dataset.n());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = i;
+  }
+  std::vector<std::size_t> rows(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t pick = j + rng.below(indices.size() - j);
+    std::swap(indices[j], indices[pick]);
+    rows[j] = indices[j];
+  }
+  return take_rows(dataset, rows);
+}
+
+double squared_distance(std::span<const float> a, std::span<const float> b) {
+  double sum = 0;
+  for (std::size_t u = 0; u < a.size(); ++u) {
+    const double diff = static_cast<double>(a[u]) - static_cast<double>(b[u]);
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+util::Matrix init_plus_plus(const data::Dataset& dataset, std::size_t k,
+                            std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::size_t> rows;
+  rows.reserve(k);
+  rows.push_back(rng.below(dataset.n()));
+  std::vector<double> nearest(dataset.n(),
+                              std::numeric_limits<double>::max());
+  while (rows.size() < k) {
+    const auto latest = dataset.sample(rows.back());
+    double total = 0;
+    for (std::size_t i = 0; i < dataset.n(); ++i) {
+      nearest[i] =
+          std::min(nearest[i], squared_distance(dataset.sample(i), latest));
+      total += nearest[i];
+    }
+    if (total <= 0) {
+      // Degenerate data (all points already covered): fall back to any row.
+      rows.push_back(rng.below(dataset.n()));
+      continue;
+    }
+    double target = rng.uniform() * total;
+    std::size_t chosen = dataset.n() - 1;
+    for (std::size_t i = 0; i < dataset.n(); ++i) {
+      target -= nearest[i];
+      if (target <= 0) {
+        chosen = i;
+        break;
+      }
+    }
+    rows.push_back(chosen);
+  }
+  return take_rows(dataset, rows);
+}
+
+}  // namespace
+
+util::Matrix init_centroids(const data::Dataset& dataset,
+                            const KmeansConfig& config) {
+  SWHKM_REQUIRE(config.k > 0, "k must be positive");
+  SWHKM_REQUIRE(config.k <= dataset.n(),
+                "cannot seed more centroids than samples");
+  switch (config.init) {
+    case InitMethod::kFirstK:
+      return init_first_k(dataset, config.k);
+    case InitMethod::kRandom:
+      return init_random(dataset, config.k, config.seed);
+    case InitMethod::kPlusPlus:
+      return init_plus_plus(dataset, config.k, config.seed);
+  }
+  throw InvalidArgument("unknown init method");
+}
+
+}  // namespace swhkm::core

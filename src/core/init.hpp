@@ -1,0 +1,16 @@
+#pragma once
+
+#include "core/kmeans.hpp"
+#include "data/dataset.hpp"
+#include "util/matrix.hpp"
+
+namespace swhkm::core {
+
+/// Produce the k x d initial centroid matrix for `config`. Deterministic in
+/// (dataset, config) — every engine level and the serial baseline start
+/// from bit-identical centroids, which is what lets the tests demand
+/// identical trajectories.
+util::Matrix init_centroids(const data::Dataset& dataset,
+                            const KmeansConfig& config);
+
+}  // namespace swhkm::core

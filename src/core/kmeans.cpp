@@ -1,0 +1,76 @@
+#include "core/kmeans.hpp"
+
+#include "core/hkmeans.hpp"
+#include "core/init.hpp"
+#include "core/level1.hpp"
+#include "core/level2.hpp"
+#include "core/level3.hpp"
+#include "core/planner.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace swhkm::core {
+
+KmeansResult run_level(Level level, const data::Dataset& dataset,
+                       const KmeansConfig& config,
+                       const simarch::MachineConfig& machine,
+                       std::size_t m_group, std::size_t mprime_group) {
+  const ProblemShape shape{dataset.n(), config.k, dataset.d()};
+  const PartitionPlan plan =
+      make_plan(level, shape, machine, m_group, mprime_group);
+  return run_plan(plan, dataset, config, machine);
+}
+
+KmeansResult run_plan(const PartitionPlan& plan, const data::Dataset& dataset,
+                      const KmeansConfig& config,
+                      const simarch::MachineConfig& machine) {
+  util::Matrix centroids = init_centroids(dataset, config);
+  switch (plan.level) {
+    case Level::kLevel1:
+      return run_level1(dataset, config, machine, plan, std::move(centroids));
+    case Level::kLevel2:
+      return run_level2(dataset, config, machine, plan, std::move(centroids));
+    case Level::kLevel3:
+      return run_level3(dataset, config, machine, plan, std::move(centroids));
+  }
+  throw InvalidArgument("unknown level");
+}
+
+HierarchicalKmeans::HierarchicalKmeans(simarch::MachineConfig machine)
+    : machine_(std::move(machine)) {
+  machine_.validate();
+}
+
+KmeansResult HierarchicalKmeans::fit(const data::Dataset& dataset,
+                                     const KmeansConfig& config) const {
+  const ProblemShape shape{dataset.n(), config.k, dataset.d()};
+  const auto choice = auto_plan(shape, machine_);
+  if (!choice) {
+    throw InfeasibleError("no partition level can run (n=" +
+                          std::to_string(shape.n) + ", k=" +
+                          std::to_string(shape.k) + ", d=" +
+                          std::to_string(shape.d) + ") on " +
+                          machine_.summary());
+  }
+  SWHKM_INFO << "planner chose " << choice->plan.describe();
+  return run_plan(choice->plan, dataset, config, machine_);
+}
+
+KmeansResult HierarchicalKmeans::fit_level(Level level,
+                                           const data::Dataset& dataset,
+                                           const KmeansConfig& config) const {
+  const ProblemShape shape{dataset.n(), config.k, dataset.d()};
+  const auto choice = best_plan_for_level(level, shape, machine_);
+  if (!choice) {
+    throw InfeasibleError(std::string(level_name(level)) +
+                          " cannot run this shape on " + machine_.summary());
+  }
+  return run_plan(choice->plan, dataset, config, machine_);
+}
+
+std::optional<PlanChoice> HierarchicalKmeans::plan(
+    const ProblemShape& shape) const {
+  return auto_plan(shape, machine_);
+}
+
+}  // namespace swhkm::core

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "simarch/cost.hpp"
+#include "simarch/machine_config.hpp"
+#include "util/matrix.hpp"
+
+namespace swhkm::simarch {
+class Trace;
+}
+
+namespace swhkm::core {
+
+/// The three partition strategies of the paper (Section III).
+enum class Level : int {
+  kLevel1 = 1,  ///< n-partition: every CPE holds all k centroids
+  kLevel2 = 2,  ///< nk-partition: centroids split over a CPE group
+  kLevel3 = 3,  ///< nkd-partition: dims over a CG, centroids over CG groups
+};
+
+const char* level_name(Level level);
+
+/// Problem shape (n samples, k centroids, d dimensions) — what the
+/// feasibility constraints and the performance model consume. Engines
+/// derive it from the Dataset; benches build it directly for paper-scale
+/// virtual workloads.
+struct ProblemShape {
+  std::uint64_t n = 0;
+  std::uint64_t k = 0;
+  std::uint64_t d = 0;
+};
+
+enum class InitMethod {
+  kFirstK,     ///< first k samples — the deterministic test default
+  kRandom,     ///< k distinct samples drawn with the seeded PRNG
+  kPlusPlus,   ///< k-means++ seeding (Arthur & Vassilvitskii)
+};
+
+struct KmeansConfig {
+  std::size_t k = 2;
+  std::size_t max_iterations = 50;
+  /// Convergence: stop when no centroid moved more than `tolerance`
+  /// (Euclidean). 0 reproduces the paper's "until fixed".
+  double tolerance = 1e-6;
+  InitMethod init = InitMethod::kFirstK;
+  std::uint64_t seed = 1;
+  /// Optional timeline sink: engines record each rank's per-iteration
+  /// phase intervals (simulated time) into it. Not owned; may be null.
+  simarch::Trace* trace = nullptr;
+};
+
+/// Per-iteration trajectory record (optional diagnostics).
+struct IterationStats {
+  double max_centroid_shift = 0;  ///< largest Euclidean centroid movement
+  double simulated_s = 0;         ///< modelled machine time this iteration
+};
+
+struct KmeansResult {
+  util::Matrix centroids;                   ///< k x d
+  std::vector<std::uint32_t> assignments;   ///< per-sample nearest centroid
+  std::size_t iterations = 0;
+  bool converged = false;
+  double inertia = 0;  ///< mean squared distance to assigned centroid, O(C)
+  /// Simulated machine time accumulated by the engine across all
+  /// iterations (zero for the serial baseline).
+  simarch::CostTally cost;
+  /// Simulated time of the last full iteration — the paper's metric.
+  simarch::CostTally last_iteration_cost;
+  /// One entry per executed iteration (shift trajectory; simulated time is
+  /// zero for the serial baseline).
+  std::vector<IterationStats> history;
+};
+
+}  // namespace swhkm::core

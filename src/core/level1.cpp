@@ -1,0 +1,135 @@
+#include "core/level1.hpp"
+
+#include <algorithm>
+
+#include "core/engine_common.hpp"
+#include "core/metrics.hpp"
+#include "simarch/regcomm.hpp"
+#include "simarch/topology.hpp"
+#include "simarch/trace.hpp"
+#include "swmpi/runtime.hpp"
+#include "util/error.hpp"
+
+namespace swhkm::core {
+
+KmeansResult run_level1(const data::Dataset& dataset,
+                        const KmeansConfig& config,
+                        const simarch::MachineConfig& machine,
+                        const PartitionPlan& plan,
+                        util::Matrix initial_centroids) {
+  SWHKM_REQUIRE(plan.level == Level::kLevel1, "plan is not a Level 1 plan");
+  SWHKM_REQUIRE(plan.shape.n == dataset.n() && plan.shape.d == dataset.d() &&
+                    plan.shape.k == config.k,
+                "plan shape does not match the dataset/config");
+  detail::validate_ldm_layout(plan, machine);
+
+  const std::size_t num_cgs = machine.num_cgs();
+  const std::size_t cpes = machine.cpes_per_cg;
+  const std::size_t total_cpes = machine.total_cpes();
+  const std::size_t k = config.k;
+  const std::size_t d = dataset.d();
+  const std::size_t eb = machine.elem_bytes;
+  const simarch::Topology topo(machine);
+
+  KmeansResult result;
+  result.assignments.assign(dataset.n(), 0);
+
+  // Rank-0 outputs, written only by rank 0 after the loop.
+  util::Matrix final_centroids;
+  std::size_t iterations = 0;
+  bool converged = false;
+  simarch::CostTally total_cost;
+  simarch::CostTally last_cost;
+  std::vector<IterationStats> history;
+
+  swmpi::run_spmd(static_cast<int>(num_cgs), [&](swmpi::Comm& world) {
+    const std::size_t cg = static_cast<std::size_t>(world.rank());
+    util::Matrix centroids = initial_centroids;  // per-rank copy
+    double rank_clock = 0;
+    detail::UpdateAccumulator acc(k, d);
+    const std::size_t accum_bytes = (k * d + k) * eb;
+
+    for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+      acc.reset();
+      simarch::CostTally tally;
+      simarch::RegComm reg(machine, tally);
+
+      // Every CPE (re)loads the full centroid set.
+      tally.centroid_stream_s +=
+          static_cast<double>(cpes * k * d * eb) / machine.dma_bandwidth;
+      tally.dma_bytes += cpes * k * d * eb;
+
+      // Assign: each CPE streams its block and scores all k centroids.
+      std::uint64_t sample_bytes = 0;
+      std::uint64_t max_cpe_samples = 0;
+      std::uint64_t rank_samples = 0;
+      for (std::size_t cpe = 0; cpe < cpes; ++cpe) {
+        const auto [begin, end] =
+            detail::block_range(dataset.n(), total_cpes, cg * cpes + cpe);
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto x = dataset.sample(i);
+          const auto [dist, j] = detail::nearest_in_slice(x, centroids, 0, k);
+          (void)dist;
+          result.assignments[i] = j;
+          acc.add_sample(j, x);
+        }
+        const std::uint64_t count = end - begin;
+        sample_bytes += count * d * eb;
+        rank_samples += count;
+        max_cpe_samples = std::max(max_cpe_samples, count);
+      }
+      detail::charge_sample_stream(tally, machine, sample_bytes,
+                                   max_cpe_samples);
+      tally.compute_s += static_cast<double>(max_cpe_samples) *
+                         static_cast<double>(k) *
+                         machine.assign_row_seconds(d);
+      tally.flops += rank_samples * 2 * k * d;
+
+      // Update: register-comm reduce inside the CG, then the machine-wide
+      // AllReduce (functional via swmpi, time via the topology model).
+      reg.account_allreduce(accum_bytes, cpes);
+      tally.net_comm_s += topo.allreduce_time(accum_bytes, 0, num_cgs);
+      tally.net_bytes += accum_bytes;
+      const double shift = detail::reduce_and_update(world, centroids, acc);
+      tally.update_s +=
+          static_cast<double>(2 * k * d) /
+              (machine.cg_flops() * machine.compute_efficiency) +
+          static_cast<double>(k * d * eb) / machine.dma_bandwidth;
+
+      if (config.trace != nullptr) {
+        config.trace->record_iteration(static_cast<std::uint32_t>(cg),
+                                       static_cast<std::uint32_t>(iter),
+                                       rank_clock, tally);
+      }
+      const simarch::CostTally combined =
+          detail::combine_tallies(world, tally);
+      rank_clock += combined.total_s();  // bulk-synchronous iteration edge
+      if (cg == 0) {
+        total_cost += combined;
+        last_cost = combined;
+        iterations = iter + 1;
+        history.push_back({shift, combined.total_s()});
+      }
+      if (shift <= config.tolerance) {
+        if (cg == 0) {
+          converged = true;
+        }
+        break;
+      }
+    }
+    if (cg == 0) {
+      final_centroids = std::move(centroids);
+    }
+  });
+
+  result.centroids = std::move(final_centroids);
+  result.iterations = iterations;
+  result.converged = converged;
+  result.cost = total_cost;
+  result.last_iteration_cost = last_cost;
+  result.history = std::move(history);
+  result.inertia = inertia(dataset, result.centroids, result.assignments);
+  return result;
+}
+
+}  // namespace swhkm::core

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "core/kmeans.hpp"
+#include "core/partition.hpp"
+#include "data/dataset.hpp"
+#include "util/matrix.hpp"
+
+namespace swhkm::core {
+
+/// Level 1 engine — dataflow (n) partition, Algorithm 1 of the paper.
+/// Every CPE holds all k centroids and streams a contiguous block of
+/// samples; updates reduce over register communication inside a CG and
+/// over the network between CGs.
+///
+/// Runs one SPMD rank (thread) per core group; CPEs within a CG are
+/// simulated sequentially with their LDM budgets enforced. `plan` must be
+/// a Level-1 plan for `machine`; `initial_centroids` is consumed.
+KmeansResult run_level1(const data::Dataset& dataset,
+                        const KmeansConfig& config,
+                        const simarch::MachineConfig& machine,
+                        const PartitionPlan& plan,
+                        util::Matrix initial_centroids);
+
+}  // namespace swhkm::core

@@ -1,0 +1,155 @@
+#include "core/level2.hpp"
+
+#include <algorithm>
+
+#include "core/engine_common.hpp"
+#include "core/metrics.hpp"
+#include "simarch/regcomm.hpp"
+#include "simarch/topology.hpp"
+#include "simarch/trace.hpp"
+#include "swmpi/runtime.hpp"
+#include "util/error.hpp"
+
+namespace swhkm::core {
+
+KmeansResult run_level2(const data::Dataset& dataset,
+                        const KmeansConfig& config,
+                        const simarch::MachineConfig& machine,
+                        const PartitionPlan& plan,
+                        util::Matrix initial_centroids) {
+  SWHKM_REQUIRE(plan.level == Level::kLevel2, "plan is not a Level 2 plan");
+  SWHKM_REQUIRE(plan.shape.n == dataset.n() && plan.shape.d == dataset.d() &&
+                    plan.shape.k == config.k,
+                "plan shape does not match the dataset/config");
+  detail::validate_ldm_layout(plan, machine);
+
+  const std::size_t num_cgs = machine.num_cgs();
+  const std::size_t cpes = machine.cpes_per_cg;
+  const std::size_t g = plan.m_group;
+  const std::size_t groups_per_cg = cpes / g;
+  const std::size_t flow_units = plan.num_flow_units;
+  const std::size_t k = config.k;
+  const std::size_t d = dataset.d();
+  const std::size_t k_local = plan.k_local;
+  const std::size_t eb = machine.elem_bytes;
+  const simarch::Topology topo(machine);
+
+  KmeansResult result;
+  result.assignments.assign(dataset.n(), 0);
+
+  util::Matrix final_centroids;
+  std::size_t iterations = 0;
+  bool converged = false;
+  simarch::CostTally total_cost;
+  simarch::CostTally last_cost;
+  std::vector<IterationStats> history;
+
+  swmpi::run_spmd(static_cast<int>(num_cgs), [&](swmpi::Comm& world) {
+    const std::size_t cg = static_cast<std::size_t>(world.rank());
+    util::Matrix centroids = initial_centroids;
+    double rank_clock = 0;
+    detail::UpdateAccumulator acc(k, d);
+    const std::size_t accum_bytes = (k * d + k) * eb;
+
+    for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+      acc.reset();
+      simarch::CostTally tally;
+      simarch::RegComm reg(machine, tally);
+
+      // Assign: each CPE group of this CG takes one flow unit's block;
+      // every member CPE reads the whole sample (replication factor g) and
+      // scores its centroid slice; the group's register-bus argmin combine
+      // selects the winner, which the slice owner accumulates.
+      std::uint64_t sample_bytes = 0;
+      std::uint64_t max_group_samples = 0;
+      std::uint64_t rank_samples = 0;
+      for (std::size_t grp = 0; grp < groups_per_cg; ++grp) {
+        const std::size_t flow_unit = cg * groups_per_cg + grp;
+        const auto [begin, end] =
+            detail::block_range(dataset.n(), flow_units, flow_unit);
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto x = dataset.sample(i);
+          double best = std::numeric_limits<double>::max();
+          std::uint32_t best_j = 0;
+          for (std::size_t slice = 0; slice < g; ++slice) {
+            const std::size_t j_begin = slice * k_local;
+            if (j_begin >= k) {
+              break;
+            }
+            const std::size_t j_end = std::min(k, j_begin + k_local);
+            const auto [dist, j] =
+                detail::nearest_in_slice(x, centroids, j_begin, j_end);
+            if (dist < best || (dist == best && j < best_j)) {
+              best = dist;
+              best_j = j;
+            }
+          }
+          result.assignments[i] = best_j;
+          acc.add_sample(best_j, x);
+        }
+        const std::uint64_t count = end - begin;
+        sample_bytes += count * d * eb * g;  // replicated reads
+        rank_samples += count;
+        max_group_samples = std::max(max_group_samples, count);
+      }
+      detail::charge_sample_stream(tally, machine, sample_bytes,
+                                   max_group_samples);
+      detail::charge_centroid_traffic(tally, machine, plan,
+                                      max_group_samples);
+      tally.compute_s += static_cast<double>(max_group_samples) *
+                         static_cast<double>(k_local) *
+                         machine.assign_row_seconds(d);
+      tally.flops += rank_samples * 2 * k * d;
+
+      // Per-sample argmin combine on the register buses (groups of a CG
+      // run in parallel; charge the busiest group), then the update-phase
+      // reductions: same-slice CPEs across the CG's groups, and the
+      // machine-wide AllReduce.
+      reg.account_allreduce(16, g, max_group_samples);
+      reg.account_allreduce(k_local * d * eb, groups_per_cg);
+      tally.net_comm_s += topo.allreduce_time(accum_bytes, 0, num_cgs);
+      tally.net_bytes += accum_bytes;
+
+      const double shift = detail::reduce_and_update(world, centroids, acc);
+      tally.update_s +=
+          static_cast<double>(2 * k_local * d) /
+              (machine.cpe_flops() * machine.compute_efficiency) +
+          static_cast<double>(k * d * eb) / machine.dma_bandwidth;
+
+      if (config.trace != nullptr) {
+        config.trace->record_iteration(static_cast<std::uint32_t>(cg),
+                                       static_cast<std::uint32_t>(iter),
+                                       rank_clock, tally);
+      }
+      const simarch::CostTally combined =
+          detail::combine_tallies(world, tally);
+      rank_clock += combined.total_s();  // bulk-synchronous iteration edge
+      if (cg == 0) {
+        total_cost += combined;
+        last_cost = combined;
+        iterations = iter + 1;
+        history.push_back({shift, combined.total_s()});
+      }
+      if (shift <= config.tolerance) {
+        if (cg == 0) {
+          converged = true;
+        }
+        break;
+      }
+    }
+    if (cg == 0) {
+      final_centroids = std::move(centroids);
+    }
+  });
+
+  result.centroids = std::move(final_centroids);
+  result.iterations = iterations;
+  result.converged = converged;
+  result.cost = total_cost;
+  result.last_iteration_cost = last_cost;
+  result.history = std::move(history);
+  result.inertia = inertia(dataset, result.centroids, result.assignments);
+  return result;
+}
+
+}  // namespace swhkm::core

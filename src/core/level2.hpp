@@ -1,0 +1,21 @@
+#pragma once
+
+#include "core/kmeans.hpp"
+#include "core/partition.hpp"
+#include "data/dataset.hpp"
+#include "util/matrix.hpp"
+
+namespace swhkm::core {
+
+/// Level 2 engine — dataflow + centroid (nk) partition, Algorithm 2.
+/// The k centroids are split across the m_group CPEs of a CPE group; each
+/// group jointly scores whole samples (every member reads the sample, each
+/// scores only its slice, a register-bus argmin combine picks the winner).
+/// Slices too large for LDM are streamed from main memory in tiles.
+KmeansResult run_level2(const data::Dataset& dataset,
+                        const KmeansConfig& config,
+                        const simarch::MachineConfig& machine,
+                        const PartitionPlan& plan,
+                        util::Matrix initial_centroids);
+
+}  // namespace swhkm::core

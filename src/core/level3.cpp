@@ -1,0 +1,162 @@
+#include "core/level3.hpp"
+
+#include <algorithm>
+
+#include "core/engine_common.hpp"
+#include "core/metrics.hpp"
+#include "simarch/regcomm.hpp"
+#include "simarch/topology.hpp"
+#include "simarch/trace.hpp"
+#include "swmpi/collectives.hpp"
+#include "swmpi/runtime.hpp"
+#include "util/error.hpp"
+
+namespace swhkm::core {
+
+KmeansResult run_level3(const data::Dataset& dataset,
+                        const KmeansConfig& config,
+                        const simarch::MachineConfig& machine,
+                        const PartitionPlan& plan,
+                        util::Matrix initial_centroids) {
+  SWHKM_REQUIRE(plan.level == Level::kLevel3, "plan is not a Level 3 plan");
+  SWHKM_REQUIRE(plan.shape.n == dataset.n() && plan.shape.d == dataset.d() &&
+                    plan.shape.k == config.k,
+                "plan shape does not match the dataset/config");
+  detail::validate_ldm_layout(plan, machine);
+
+  const std::size_t num_cgs = machine.num_cgs();
+  const std::size_t cpes = machine.cpes_per_cg;
+  const std::size_t p = plan.mprime_group;
+  const std::size_t cg_groups = plan.num_flow_units;
+  const std::size_t k = config.k;
+  const std::size_t d = dataset.d();
+  const std::size_t k_local = plan.k_local;
+  const std::size_t d_local = plan.d_local;
+  const std::size_t eb = machine.elem_bytes;
+  const simarch::Topology topo(machine);
+
+  KmeansResult result;
+  result.assignments.assign(dataset.n(), 0);
+
+  util::Matrix final_centroids;
+  std::size_t iterations = 0;
+  bool converged = false;
+  simarch::CostTally total_cost;
+  simarch::CostTally last_cost;
+  std::vector<IterationStats> history;
+
+  swmpi::run_spmd(static_cast<int>(num_cgs), [&](swmpi::Comm& world) {
+    const std::size_t cg = static_cast<std::size_t>(world.rank());
+    const std::size_t group = cg / p;        // CG-group index (flow unit)
+    const std::size_t within = cg % p;       // slice holder index
+    swmpi::Comm group_comm =
+        world.split(static_cast<int>(group), static_cast<int>(within));
+
+    // This CG's centroid slice [j_begin, j_end) and the CG ranks holding
+    // the same slice in the other groups (for cost accounting).
+    const std::size_t j_begin = std::min(within * k_local, k);
+    const std::size_t j_end = std::min(k, j_begin + k_local);
+    std::vector<std::size_t> same_slice_cgs(cg_groups);
+    for (std::size_t other = 0; other < cg_groups; ++other) {
+      same_slice_cgs[other] = other * p + within;
+    }
+    const double group_combine_time = topo.allreduce_time(16, group * p, p);
+    const std::size_t slice_accum_bytes = (k_local * d + k_local) * eb;
+
+    util::Matrix centroids = initial_centroids;
+    double rank_clock = 0;
+    detail::UpdateAccumulator acc(k, d);
+
+    for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+      acc.reset();
+      simarch::CostTally tally;
+      simarch::RegComm reg(machine, tally);
+
+      const auto [begin, end] =
+          detail::block_range(dataset.n(), cg_groups, group);
+      const std::uint64_t count = end - begin;
+
+      // Assign: every CG of the group reads each sample (its CPEs taking
+      // d_local dims each), scores its own slice, and joins the group's
+      // argmin combine. The winner's slice owner accumulates.
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto x = dataset.sample(i);
+        swmpi::MinLoc mine{std::numeric_limits<double>::max(),
+                           std::numeric_limits<std::uint64_t>::max()};
+        if (j_begin < j_end) {
+          const auto [dist, j] =
+              detail::nearest_in_slice(x, centroids, j_begin, j_end);
+          mine = {dist, j};
+        }
+        swmpi::allreduce_minloc(group_comm, std::span<swmpi::MinLoc>(&mine, 1));
+        const auto winner = static_cast<std::uint32_t>(mine.index);
+        if (winner >= j_begin && winner < j_end) {
+          acc.add_sample(winner, x);
+        }
+        if (within == 0) {
+          result.assignments[i] = winner;
+        }
+      }
+
+      detail::charge_sample_stream(tally, machine, count * d * eb, count);
+      detail::charge_centroid_traffic(tally, machine, plan, count);
+      tally.compute_s += static_cast<double>(count) *
+                         static_cast<double>(k_local) *
+                         machine.assign_row_seconds(d_local);
+      tally.flops += count * 2 * (j_end - j_begin) * d;
+
+      // Per-sample mesh reduce of the CPEs' distance partials, then the
+      // per-sample network argmin across the CG group.
+      reg.account_allreduce(k_local * eb, cpes, count);
+      tally.net_comm_s += static_cast<double>(count) * group_combine_time;
+      tally.net_bytes += count * 16 * (p - 1);
+
+      // Update: combine slice accumulators across same-slice CGs (cost),
+      // functionally a world AllReduce since each sample was accumulated
+      // exactly once machine-wide.
+      tally.net_comm_s +=
+          topo.allreduce_time(slice_accum_bytes, same_slice_cgs);
+      tally.net_bytes += slice_accum_bytes;
+      const double shift = detail::reduce_and_update(world, centroids, acc);
+      tally.update_s +=
+          static_cast<double>(2 * k_local * d_local) /
+              (machine.cpe_flops() * machine.compute_efficiency) +
+          static_cast<double>(k_local * d * eb) / machine.dma_bandwidth;
+
+      if (config.trace != nullptr) {
+        config.trace->record_iteration(static_cast<std::uint32_t>(cg),
+                                       static_cast<std::uint32_t>(iter),
+                                       rank_clock, tally);
+      }
+      const simarch::CostTally combined =
+          detail::combine_tallies(world, tally);
+      rank_clock += combined.total_s();  // bulk-synchronous iteration edge
+      if (cg == 0) {
+        total_cost += combined;
+        last_cost = combined;
+        iterations = iter + 1;
+        history.push_back({shift, combined.total_s()});
+      }
+      if (shift <= config.tolerance) {
+        if (cg == 0) {
+          converged = true;
+        }
+        break;
+      }
+    }
+    if (cg == 0) {
+      final_centroids = std::move(centroids);
+    }
+  });
+
+  result.centroids = std::move(final_centroids);
+  result.iterations = iterations;
+  result.converged = converged;
+  result.cost = total_cost;
+  result.last_iteration_cost = last_cost;
+  result.history = std::move(history);
+  result.inertia = inertia(dataset, result.centroids, result.assignments);
+  return result;
+}
+
+}  // namespace swhkm::core

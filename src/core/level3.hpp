@@ -1,0 +1,25 @@
+#pragma once
+
+#include "core/kmeans.hpp"
+#include "core/partition.hpp"
+#include "data/dataset.hpp"
+#include "util/matrix.hpp"
+
+namespace swhkm::core {
+
+/// Level 3 engine — the paper's contribution: dataflow + centroid +
+/// dimension (nkd) partition, Algorithm 3. Each sample's d dimensions are
+/// spread over the 64 CPEs of a core group; the k centroids are spread
+/// over the m'_group CGs of a CG group; the dataflow is split across CG
+/// groups. Per sample, a CG reduces its CPEs' distance partials over the
+/// register buses, then the CG group combines per-CG argmins over the
+/// network — the communication structure that frees k*d from any single
+/// memory while costing a per-sample network combine (the trade Figs. 7-9
+/// measure).
+KmeansResult run_level3(const data::Dataset& dataset,
+                        const KmeansConfig& config,
+                        const simarch::MachineConfig& machine,
+                        const PartitionPlan& plan,
+                        util::Matrix initial_centroids);
+
+}  // namespace swhkm::core

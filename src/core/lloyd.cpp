@@ -1,0 +1,61 @@
+#include "core/lloyd.hpp"
+
+#include "core/engine_util.hpp"
+#include "core/init.hpp"
+#include "core/metrics.hpp"
+#include "util/error.hpp"
+
+namespace swhkm::core {
+
+std::vector<std::uint32_t> assign_serial(const data::Dataset& dataset,
+                                         const util::Matrix& centroids) {
+  std::vector<std::uint32_t> labels(dataset.n());
+  for (std::size_t i = 0; i < dataset.n(); ++i) {
+    labels[i] = detail::nearest_in_slice(dataset.sample(i), centroids, 0,
+                                         centroids.rows())
+                    .second;
+  }
+  return labels;
+}
+
+KmeansResult lloyd_serial_from(const data::Dataset& dataset,
+                               const KmeansConfig& config,
+                               util::Matrix centroids) {
+  SWHKM_REQUIRE(centroids.rows() == config.k, "centroid count must equal k");
+  SWHKM_REQUIRE(centroids.cols() == dataset.d(),
+                "centroid dimensionality must match the data");
+  KmeansResult result;
+  result.assignments.assign(dataset.n(), 0);
+  detail::UpdateAccumulator acc(config.k, dataset.d());
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    acc.reset();
+    for (std::size_t i = 0; i < dataset.n(); ++i) {
+      const auto x = dataset.sample(i);
+      const auto [dist, j] =
+          detail::nearest_in_slice(x, centroids, 0, config.k);
+      (void)dist;
+      result.assignments[i] = j;
+      acc.add_sample(j, x);
+    }
+    const double shift = detail::apply_update(centroids, acc.sums, acc.counts);
+    result.iterations = iter + 1;
+    result.history.push_back({shift, 0.0});
+    if (shift <= config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.inertia = inertia(dataset, centroids, result.assignments);
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+KmeansResult lloyd_serial(const data::Dataset& dataset,
+                          const KmeansConfig& config) {
+  return lloyd_serial_from(dataset, config,
+                           init_centroids(dataset, config));
+}
+
+}  // namespace swhkm::core

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "core/kmeans.hpp"
+#include "data/dataset.hpp"
+
+namespace swhkm::core {
+
+/// Serial Lloyd iteration — the reference the engines are validated
+/// against. Assign + Update, repeated until converged or max_iterations.
+KmeansResult lloyd_serial(const data::Dataset& dataset,
+                          const KmeansConfig& config);
+
+/// Same, starting from caller-provided centroids (consumed).
+KmeansResult lloyd_serial_from(const data::Dataset& dataset,
+                               const KmeansConfig& config,
+                               util::Matrix centroids);
+
+/// One Assign step: nearest-centroid label per sample (serial scan order).
+std::vector<std::uint32_t> assign_serial(const data::Dataset& dataset,
+                                         const util::Matrix& centroids);
+
+}  // namespace swhkm::core

@@ -1,0 +1,208 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/engine_util.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace swhkm::core {
+
+double inertia(const data::Dataset& dataset, const util::Matrix& centroids,
+               const std::vector<std::uint32_t>& assignments) {
+  SWHKM_REQUIRE(assignments.size() == dataset.n(),
+                "assignment count must equal n");
+  if (dataset.n() == 0) {
+    return 0;
+  }
+  double total = 0;
+  for (std::size_t i = 0; i < dataset.n(); ++i) {
+    total += detail::squared_distance(dataset.sample(i),
+                                      centroids.row(assignments[i]));
+  }
+  return total / static_cast<double>(dataset.n());
+}
+
+std::vector<std::size_t> cluster_sizes(
+    const std::vector<std::uint32_t>& assignments, std::size_t k) {
+  std::vector<std::size_t> sizes(k, 0);
+  for (std::uint32_t label : assignments) {
+    SWHKM_REQUIRE(label < k, "assignment label out of range");
+    ++sizes[label];
+  }
+  return sizes;
+}
+
+double assignment_agreement(const std::vector<std::uint32_t>& a,
+                            const std::vector<std::uint32_t>& b) {
+  SWHKM_REQUIRE(a.size() == b.size(), "assignment lengths differ");
+  if (a.empty()) {
+    return 1.0;
+  }
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    same += a[i] == b[i] ? 1 : 0;
+  }
+  return static_cast<double>(same) / static_cast<double>(a.size());
+}
+
+double adjusted_rand_index(const std::vector<std::uint32_t>& a,
+                           const std::vector<std::uint32_t>& b) {
+  SWHKM_REQUIRE(a.size() == b.size(), "labelings must have equal length");
+  if (a.empty()) {
+    return 1.0;
+  }
+  const std::uint32_t ka =
+      a.empty() ? 0 : *std::max_element(a.begin(), a.end()) + 1;
+  const std::uint32_t kb =
+      b.empty() ? 0 : *std::max_element(b.begin(), b.end()) + 1;
+  // Contingency table and its marginals.
+  std::vector<std::uint64_t> table(static_cast<std::size_t>(ka) * kb, 0);
+  std::vector<std::uint64_t> rows(ka, 0);
+  std::vector<std::uint64_t> cols(kb, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ++table[static_cast<std::size_t>(a[i]) * kb + b[i]];
+    ++rows[a[i]];
+    ++cols[b[i]];
+  }
+  auto choose2 = [](std::uint64_t x) {
+    return static_cast<double>(x) * (static_cast<double>(x) - 1.0) / 2.0;
+  };
+  double sum_cells = 0;
+  for (std::uint64_t cell : table) {
+    sum_cells += choose2(cell);
+  }
+  double sum_rows = 0;
+  for (std::uint64_t r : rows) {
+    sum_rows += choose2(r);
+  }
+  double sum_cols = 0;
+  for (std::uint64_t c : cols) {
+    sum_cols += choose2(c);
+  }
+  const double total = choose2(a.size());
+  const double expected = sum_rows * sum_cols / total;
+  const double maximum = (sum_rows + sum_cols) / 2.0;
+  if (maximum == expected) {
+    return 1.0;  // both partitions trivial (single cluster or singletons)
+  }
+  return (sum_cells - expected) / (maximum - expected);
+}
+
+double silhouette_sampled(const data::Dataset& dataset,
+                          const std::vector<std::uint32_t>& assignments,
+                          std::size_t k, std::size_t max_samples,
+                          std::uint64_t seed) {
+  SWHKM_REQUIRE(assignments.size() == dataset.n(),
+                "assignment count must equal n");
+  SWHKM_REQUIRE(k >= 2, "silhouette needs at least two clusters");
+  // Deterministic subsample.
+  util::Xoshiro256 rng(seed);
+  std::vector<std::size_t> pool(dataset.n());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    pool[i] = i;
+  }
+  const std::size_t count = std::min(max_samples, pool.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    std::swap(pool[i], pool[i + rng.below(pool.size() - i)]);
+  }
+  pool.resize(count);
+
+  double total = 0;
+  std::size_t scored = 0;
+  std::vector<double> mean_dist(k);
+  std::vector<std::size_t> cluster_count(k);
+  for (std::size_t idx = 0; idx < count; ++idx) {
+    const std::size_t i = pool[idx];
+    std::fill(mean_dist.begin(), mean_dist.end(), 0.0);
+    std::fill(cluster_count.begin(), cluster_count.end(), 0u);
+    for (std::size_t other_idx = 0; other_idx < count; ++other_idx) {
+      const std::size_t j = pool[other_idx];
+      if (i == j) {
+        continue;
+      }
+      mean_dist[assignments[j]] += std::sqrt(
+          detail::squared_distance(dataset.sample(i), dataset.sample(j)));
+      ++cluster_count[assignments[j]];
+    }
+    const std::uint32_t own = assignments[i];
+    if (cluster_count[own] == 0) {
+      continue;  // lone sampled member: silhouette undefined, skip
+    }
+    const double a_i =
+        mean_dist[own] / static_cast<double>(cluster_count[own]);
+    double b_i = std::numeric_limits<double>::max();
+    for (std::uint32_t c = 0; c < k; ++c) {
+      if (c == own || cluster_count[c] == 0) {
+        continue;
+      }
+      b_i = std::min(b_i, mean_dist[c] / static_cast<double>(cluster_count[c]));
+    }
+    if (b_i == std::numeric_limits<double>::max()) {
+      continue;  // no other cluster present in the sample
+    }
+    total += (b_i - a_i) / std::max(a_i, b_i);
+    ++scored;
+  }
+  return scored == 0 ? 0.0 : total / static_cast<double>(scored);
+}
+
+double davies_bouldin(const data::Dataset& dataset,
+                      const util::Matrix& centroids,
+                      const std::vector<std::uint32_t>& assignments) {
+  SWHKM_REQUIRE(assignments.size() == dataset.n(),
+                "assignment count must equal n");
+  const std::size_t k = centroids.rows();
+  SWHKM_REQUIRE(k >= 2, "Davies-Bouldin needs at least two clusters");
+  std::vector<double> scatter(k, 0.0);
+  std::vector<std::size_t> counts(k, 0);
+  for (std::size_t i = 0; i < dataset.n(); ++i) {
+    const std::uint32_t j = assignments[i];
+    scatter[j] += std::sqrt(detail::squared_distance(
+        dataset.sample(i), centroids.row(j)));
+    ++counts[j];
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    if (counts[j] > 0) {
+      scatter[j] /= static_cast<double>(counts[j]);
+    }
+  }
+  double total = 0;
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    double worst = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j == i || counts[j] == 0) {
+        continue;
+      }
+      const double separation = std::sqrt(
+          detail::squared_distance(centroids.row(i), centroids.row(j)));
+      if (separation > 0) {
+        worst = std::max(worst, (scatter[i] + scatter[j]) / separation);
+      }
+    }
+    total += worst;
+    ++live;
+  }
+  return live == 0 ? 0.0 : total / static_cast<double>(live);
+}
+
+double centroid_max_abs_diff(const util::Matrix& a, const util::Matrix& b) {
+  SWHKM_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                "centroid matrices must have equal shape");
+  double worst = 0;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    worst = std::max(worst,
+                     std::abs(static_cast<double>(fa[i]) - fb[i]));
+  }
+  return worst;
+}
+
+}  // namespace swhkm::core

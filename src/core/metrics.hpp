@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/matrix.hpp"
+
+namespace swhkm::core {
+
+/// The paper's objective O(C): mean squared distance from each sample to
+/// its assigned centroid.
+double inertia(const data::Dataset& dataset, const util::Matrix& centroids,
+               const std::vector<std::uint32_t>& assignments);
+
+/// Count of samples per cluster.
+std::vector<std::size_t> cluster_sizes(
+    const std::vector<std::uint32_t>& assignments, std::size_t k);
+
+/// Fraction of samples on which two assignments agree.
+double assignment_agreement(const std::vector<std::uint32_t>& a,
+                            const std::vector<std::uint32_t>& b);
+
+/// Largest per-element absolute difference between two centroid matrices.
+double centroid_max_abs_diff(const util::Matrix& a, const util::Matrix& b);
+
+/// Adjusted Rand Index between two labelings (label values need not
+/// align); 1 = identical partitions, ~0 = random agreement. Used to score
+/// clusterings against known generator memberships.
+double adjusted_rand_index(const std::vector<std::uint32_t>& a,
+                           const std::vector<std::uint32_t>& b);
+
+/// Mean silhouette coefficient over a deterministic subsample of at most
+/// `max_samples` points (full silhouette is O(n^2)). Range [-1, 1];
+/// higher = tighter, better-separated clusters.
+double silhouette_sampled(const data::Dataset& dataset,
+                          const std::vector<std::uint32_t>& assignments,
+                          std::size_t k, std::size_t max_samples = 512,
+                          std::uint64_t seed = 1);
+
+/// Davies–Bouldin index (lower is better): mean over clusters of the worst
+/// (scatter_i + scatter_j) / centroid_distance_ij ratio.
+double davies_bouldin(const data::Dataset& dataset,
+                      const util::Matrix& centroids,
+                      const std::vector<std::uint32_t>& assignments);
+
+}  // namespace swhkm::core

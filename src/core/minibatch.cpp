@@ -1,0 +1,83 @@
+#include "core/minibatch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/engine_util.hpp"
+#include "core/init.hpp"
+#include "core/lloyd.hpp"
+#include "core/metrics.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace swhkm::core {
+
+KmeansResult minibatch_kmeans(const data::Dataset& dataset,
+                              const MiniBatchConfig& config) {
+  SWHKM_REQUIRE(config.k > 0 && config.k <= dataset.n(),
+                "k must be in [1, n]");
+  SWHKM_REQUIRE(config.batch_size > 0, "batch size must be positive");
+
+  KmeansConfig seeding;
+  seeding.k = config.k;
+  seeding.init = config.init;
+  seeding.seed = config.seed;
+  util::Matrix centroids = init_centroids(dataset, seeding);
+
+  util::Xoshiro256 rng(config.seed ^ 0xB5297A4D3F84D5B5ULL);
+  const std::size_t batch = std::min(config.batch_size, dataset.n());
+  const std::size_t d = dataset.d();
+  std::vector<double> per_center_counts(config.k, 0.0);
+  std::vector<std::size_t> batch_indices(batch);
+
+  KmeansResult result;
+  std::size_t calm_iterations = 0;
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      batch_indices[b] = rng.below(dataset.n());
+    }
+    // Assign the batch against the frozen centroids, then apply the
+    // per-centre decayed updates (the cached-assignment variant).
+    double shift_sq_max = 0;
+    std::vector<std::uint32_t> batch_labels(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      batch_labels[b] =
+          detail::nearest_in_slice(dataset.sample(batch_indices[b]),
+                                   centroids, 0, config.k)
+              .second;
+    }
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::uint32_t j = batch_labels[b];
+      per_center_counts[j] += 1.0;
+      const double eta = 1.0 / per_center_counts[j];
+      const auto x = dataset.sample(batch_indices[b]);
+      std::span<float> row = centroids.row(j);
+      double step_sq = 0;
+      for (std::size_t u = 0; u < d; ++u) {
+        const double delta = eta * (static_cast<double>(x[u]) - row[u]);
+        row[u] = static_cast<float>(row[u] + delta);
+        step_sq += delta * delta;
+      }
+      shift_sq_max = std::max(shift_sq_max, step_sq);
+    }
+    const double shift = std::sqrt(shift_sq_max);
+    result.iterations = iter + 1;
+    result.history.push_back({shift, 0.0});
+    if (config.tolerance > 0) {
+      calm_iterations = shift <= config.tolerance ? calm_iterations + 1 : 0;
+      if (calm_iterations >= config.patience) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+
+  // Final full pass for reporting.
+  result.assignments = assign_serial(dataset, centroids);
+  result.inertia = inertia(dataset, centroids, result.assignments);
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace swhkm::core

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "core/kmeans.hpp"
+#include "data/dataset.hpp"
+
+namespace swhkm::core {
+
+/// Mini-batch k-means (Sculley, WWW'10) — the streaming/approximate
+/// variant the paper's related work positions against exact large-scale
+/// Lloyd (Newling & Fleuret's nested mini-batch, ref [31]). Included as a
+/// baseline: it trades exactness for per-iteration cost O(b·k·d), b << n.
+struct MiniBatchConfig {
+  std::size_t k = 2;
+  std::size_t batch_size = 256;
+  std::size_t iterations = 100;
+  InitMethod init = InitMethod::kRandom;
+  std::uint64_t seed = 1;
+  /// Stop early when the batch-estimated centroid movement stays below
+  /// this for `patience` consecutive iterations (0 disables).
+  double tolerance = 0;
+  std::size_t patience = 5;
+};
+
+/// Run mini-batch k-means. The result's assignments/inertia come from one
+/// final full assignment pass with the learned centroids.
+KmeansResult minibatch_kmeans(const data::Dataset& dataset,
+                              const MiniBatchConfig& config);
+
+}  // namespace swhkm::core

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "core/kmeans.hpp"
+#include "data/streaming.hpp"
+
+namespace swhkm::core {
+
+/// Out-of-core Lloyd: full exact k-means over a disk-resident SWKM file,
+/// never holding more than `chunk_rows` samples in memory. Produces the
+/// same trajectory as lloyd_serial on the loaded dataset (same init, same
+/// update, same stop rule); only the working-set size differs.
+///
+/// Init methods needing global data access (kRandom, kPlusPlus) draw from
+/// chunks via reservoir-style reads, deterministic in the seed.
+KmeansResult lloyd_out_of_core(const data::BinaryDatasetReader& reader,
+                               const KmeansConfig& config,
+                               std::size_t chunk_rows = 4096);
+
+/// Label a disk-resident dataset against fixed centroids, chunk by chunk.
+std::vector<std::uint32_t> assign_out_of_core(
+    const data::BinaryDatasetReader& reader, const util::Matrix& centroids,
+    std::size_t chunk_rows = 4096);
+
+}  // namespace swhkm::core

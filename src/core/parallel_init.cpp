@@ -1,0 +1,229 @@
+#include "core/parallel_init.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "core/engine_util.hpp"
+#include "swmpi/collectives.hpp"
+#include "swmpi/runtime.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace swhkm::core {
+
+namespace {
+
+/// Weighted k-means++ over a small candidate matrix: the standard
+/// reduction step of k-means||. Deterministic in (candidates, weights,
+/// seed).
+util::Matrix weighted_plus_plus(const util::Matrix& candidates,
+                                const std::vector<double>& weights,
+                                std::size_t k, std::uint64_t seed) {
+  const std::size_t m = candidates.rows();
+  SWHKM_REQUIRE(m >= k, "fewer candidates than centroids");
+  util::Xoshiro256 rng(seed);
+  std::vector<std::size_t> chosen;
+  chosen.reserve(k);
+
+  // First pick: weight-proportional.
+  double total_weight = 0;
+  for (double w : weights) {
+    total_weight += w;
+  }
+  double target = rng.uniform() * total_weight;
+  std::size_t first = m - 1;
+  for (std::size_t c = 0; c < m; ++c) {
+    target -= weights[c];
+    if (target <= 0) {
+      first = c;
+      break;
+    }
+  }
+  chosen.push_back(first);
+
+  std::vector<double> nearest(m, std::numeric_limits<double>::max());
+  while (chosen.size() < k) {
+    const auto latest = candidates.row(chosen.back());
+    double total = 0;
+    for (std::size_t c = 0; c < m; ++c) {
+      nearest[c] = std::min(
+          nearest[c], detail::squared_distance(candidates.row(c), latest));
+      total += weights[c] * nearest[c];
+    }
+    std::size_t pick = m - 1;
+    if (total > 0) {
+      double thresh = rng.uniform() * total;
+      for (std::size_t c = 0; c < m; ++c) {
+        thresh -= weights[c] * nearest[c];
+        if (thresh <= 0) {
+          pick = c;
+          break;
+        }
+      }
+    } else {
+      // All remaining mass sits on already-chosen points (duplicates):
+      // fall back to weight-proportional over unchosen candidates.
+      pick = chosen.back();
+      for (std::size_t c = 0; c < m; ++c) {
+        if (std::find(chosen.begin(), chosen.end(), c) == chosen.end()) {
+          pick = c;
+          break;
+        }
+      }
+    }
+    chosen.push_back(pick);
+  }
+
+  util::Matrix centroids(k, candidates.cols());
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto src = candidates.row(chosen[j]);
+    std::copy(src.begin(), src.end(), centroids.row(j).begin());
+  }
+  return centroids;
+}
+
+}  // namespace
+
+util::Matrix parallel_init(const data::Dataset& dataset,
+                           const ParallelInitConfig& config) {
+  SWHKM_REQUIRE(config.k >= 1, "k must be positive");
+  SWHKM_REQUIRE(config.k <= dataset.n(), "cannot seed more centroids than "
+                                         "samples");
+  SWHKM_REQUIRE(config.ranks >= 1, "need at least one rank");
+  const std::size_t d = dataset.d();
+  const double oversample =
+      config.oversample > 0 ? config.oversample
+                            : 2.0 * static_cast<double>(config.k);
+
+  // Rank 0 exports the (identical-on-every-rank) candidate set and the
+  // global weights here after the SPMD region.
+  std::vector<float> candidate_rows;
+  std::vector<double> shared_weights;
+  util::Xoshiro256 seed_rng(config.seed);
+  const std::size_t first_candidate = seed_rng.below(dataset.n());
+
+  swmpi::run_spmd(config.ranks, [&](swmpi::Comm& comm) {
+    const auto [begin, end] = detail::block_range(
+        dataset.n(), static_cast<std::size_t>(comm.size()),
+        static_cast<std::size_t>(comm.rank()));
+    util::Xoshiro256 rng =
+        util::Xoshiro256(config.seed).split(
+            static_cast<std::uint64_t>(comm.rank()) + 1);
+
+    // Local copy of the candidate set as a growing matrix; rank-local
+    // nearest-candidate distances for the block.
+    std::vector<std::vector<float>> candidates;
+    auto push_candidate = [&](std::size_t i) {
+      const auto row = dataset.sample(i);
+      candidates.emplace_back(row.begin(), row.end());
+    };
+    push_candidate(first_candidate);
+
+    std::vector<double> dist_sq(end - begin,
+                                std::numeric_limits<double>::max());
+    auto refresh_against = [&](std::size_t from) {
+      for (std::size_t i = begin; i < end; ++i) {
+        for (std::size_t c = from; c < candidates.size(); ++c) {
+          dist_sq[i - begin] = std::min(
+              dist_sq[i - begin],
+              detail::squared_distance(
+                  dataset.sample(i),
+                  std::span<const float>(candidates[c].data(), d)));
+        }
+      }
+    };
+    refresh_against(0);
+
+    for (std::size_t round = 0; round < config.rounds; ++round) {
+      // Global seeding cost.
+      double local_cost = 0;
+      for (double v : dist_sq) {
+        local_cost += v;
+      }
+      std::vector<double> cost{local_cost};
+      swmpi::allreduce_sum(comm, std::span<double>(cost));
+      if (cost[0] <= 0) {
+        break;  // every sample is a candidate already
+      }
+      // Independent oversampling: P(pick x) = min(1, l * d^2(x)/cost).
+      std::vector<std::uint64_t> picked;
+      for (std::size_t i = begin; i < end; ++i) {
+        const double p = oversample * dist_sq[i - begin] / cost[0];
+        if (rng.uniform() < p) {
+          picked.push_back(i);
+        }
+      }
+      // Share the picks: counts via allgather, then rows via the root.
+      const std::vector<int> counts =
+          swmpi::allgather(comm, static_cast<int>(picked.size()));
+      const std::size_t before = candidates.size();
+      for (int r = 0; r < comm.size(); ++r) {
+        const int tag = comm.next_collective_tag();
+        if (comm.rank() == r) {
+          for (std::uint64_t i : picked) {
+            for (int q = 0; q < comm.size(); ++q) {
+              if (q != r) {
+                comm.send_value<std::uint64_t>(q, tag, i);
+              }
+            }
+            push_candidate(i);
+          }
+        } else {
+          for (int c = 0; c < counts[static_cast<std::size_t>(r)]; ++c) {
+            push_candidate(comm.recv_value<std::uint64_t>(r, tag));
+          }
+        }
+      }
+      refresh_against(before);
+    }
+
+    // Weights: how many of this rank's samples are nearest to each
+    // candidate; AllReduce to global counts.
+    std::vector<double> weights(candidates.size(), 0.0);
+    for (std::size_t i = begin; i < end; ++i) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        const double dist = detail::squared_distance(
+            dataset.sample(i),
+            std::span<const float>(candidates[c].data(), d));
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      weights[best_c] += 1.0;
+    }
+    swmpi::allreduce_sum(comm,
+                         std::span<double>(weights.data(), weights.size()));
+
+    if (comm.rank() == 0) {
+      candidate_rows.reserve(candidates.size() * d);
+      for (const auto& row : candidates) {
+        candidate_rows.insert(candidate_rows.end(), row.begin(), row.end());
+      }
+      shared_weights = weights;
+    }
+  });
+
+  // Rank 0 exported the candidate set; reduce it to k centroids.
+  const std::size_t m = candidate_rows.size() / d;
+  util::Matrix candidates =
+      util::Matrix::from_vector(m, d, std::move(candidate_rows));
+  if (m < config.k) {
+    // Pathological (tiny data / zero rounds): pad with random samples.
+    util::Matrix padded(config.k, d);
+    for (std::size_t j = 0; j < config.k; ++j) {
+      const auto src = j < m ? candidates.row(j)
+                             : dataset.sample(seed_rng.below(dataset.n()));
+      std::copy(src.begin(), src.end(), padded.row(j).begin());
+    }
+    return padded;
+  }
+  return weighted_plus_plus(candidates, shared_weights, config.k,
+                            config.seed ^ 0x5851F42D4C957F2DULL);
+}
+
+}  // namespace swhkm::core

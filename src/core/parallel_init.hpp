@@ -1,0 +1,33 @@
+#pragma once
+
+#include "core/kmeans.hpp"
+#include "data/dataset.hpp"
+
+namespace swhkm::core {
+
+/// k-means|| — scalable k-means++ (Bahmani et al., VLDB'12) — run as a
+/// real SPMD job over the swmpi runtime: serial k-means++ needs k
+/// sequential passes over the data, which at the paper's n and k would
+/// dwarf the clustering itself; k-means|| gets comparable seeding quality
+/// in a handful of parallel rounds.
+///
+/// Each of `ranks` workers holds a block of samples; every round the
+/// workers AllReduce the current seeding cost, independently oversample
+/// candidates proportional to their squared distance from the seed set,
+/// and AllGather the new candidates. The weighted candidate set (weights =
+/// nearest-sample counts) is then reduced to k centroids with weighted
+/// k-means++.
+struct ParallelInitConfig {
+  std::size_t k = 2;
+  int ranks = 4;            ///< SPMD workers (threads)
+  std::size_t rounds = 5;   ///< oversampling rounds (~log of initial cost)
+  double oversample = 0;    ///< l; 0 means the standard 2k
+  std::uint64_t seed = 1;
+};
+
+/// Returns a k x d centroid matrix. Deterministic in (dataset, config) —
+/// including the rank count, which shapes the per-rank sampling streams.
+util::Matrix parallel_init(const data::Dataset& dataset,
+                           const ParallelInitConfig& config);
+
+}  // namespace swhkm::core

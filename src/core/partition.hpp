@@ -1,0 +1,115 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/kmeans.hpp"
+#include "simarch/machine_config.hpp"
+
+namespace swhkm::core {
+
+/// The paper's feasibility constraints, in LDM *elements* (Section III).
+/// These are the published algebra; the engines enforce the slightly
+/// stricter engineering layout in LdmLayout below (which accounts for the
+/// DMA double-buffering a real SW26010 kernel needs).
+namespace paper {
+
+/// C1: one sample + k centroids + k accumulators + k counters on one CPE.
+bool c1(const ProblemShape& shape, std::size_t ldm_elems);
+/// C2: 3d + 1 <= LDM — one sample must fit with working buffers.
+bool c2(const ProblemShape& shape, std::size_t ldm_elems);
+/// C3: 3k + 1 <= LDM — the centroid bookkeeping must fit.
+bool c3(const ProblemShape& shape, std::size_t ldm_elems);
+/// C1': Level 2 — aggregate over an m_group-CPE group.
+bool c1_l2(const ProblemShape& shape, std::size_t ldm_elems,
+           std::size_t m_group);
+/// C3': 3k + 1 <= m_group * LDM, m_group <= 64.
+bool c3_l2(const ProblemShape& shape, std::size_t ldm_elems,
+           std::size_t m_group, std::size_t cpes_per_cg);
+/// C1'': d(1+2k)+k <= m * LDM — the paper's headline breakthrough bound.
+bool c1_l3(const ProblemShape& shape, std::size_t ldm_elems,
+           std::size_t total_cpes);
+/// C2'': 3d + 1 <= 64 * LDM.
+bool c2_l3(const ProblemShape& shape, std::size_t ldm_elems,
+           std::size_t cpes_per_cg);
+/// C3'': 3k + 1 <= m'_group * 64 * LDM.
+bool c3_l3(const ProblemShape& shape, std::size_t ldm_elems,
+           std::size_t mprime_group, std::size_t cpes_per_cg);
+
+}  // namespace paper
+
+/// How one CPE's scratchpad is laid out under a plan — what the engines
+/// actually allocate through LdmAllocator. `resident` means the full
+/// centroid slice plus accumulators live in LDM; otherwise centroids are
+/// streamed from main memory in tiles of `tile_rows`, triple-buffered
+/// (tile in use, prefetch, accumulator writeback).
+struct LdmLayout {
+  bool resident = false;
+  std::size_t tile_rows = 0;      ///< centroid rows per streamed tile
+  std::size_t sample_elems = 0;   ///< sample buffer (d, or d_local for L3)
+  std::size_t slice_elems = 0;    ///< resident centroid slice, 0 if streamed
+  std::size_t scratch_elems = 0;  ///< counters / distance partials
+  std::size_t total_elems = 0;    ///< peak LDM demand in elements
+};
+
+/// A fully resolved partition: which level, how centroids and dimensions
+/// are split, and what each simulated CPE must hold.
+struct PartitionPlan {
+  Level level = Level::kLevel1;
+  ProblemShape shape;
+
+  std::size_t num_cgs = 0;      ///< CGs participating
+  std::size_t cpes_per_cg = 0;
+
+  /// Level 2: CPEs jointly holding the k centroids (1 for other levels).
+  std::size_t m_group = 1;
+  /// Level 3: CGs jointly holding the k centroids (1 for other levels).
+  std::size_t mprime_group = 1;
+
+  /// Parallel dataflow units the samples are block-partitioned across:
+  /// CPEs (L1), CPE groups (L2), CG groups (L3).
+  std::size_t num_flow_units = 0;
+  /// Centroids per holder: k (L1), ceil(k/m_group) per CPE (L2),
+  /// ceil(k/m'_group) per CG (L3).
+  std::size_t k_local = 0;
+  /// Dimensions per CPE: d for L1/L2, ceil(d/cpes_per_cg) for L3.
+  std::size_t d_local = 0;
+
+  LdmLayout ldm;
+
+  std::string describe() const;
+};
+
+struct Feasibility {
+  bool ok = false;
+  std::string reason;  ///< which constraint failed, with numbers
+};
+
+/// Check whether `level` can run `shape` on `machine` with the given group
+/// sizes (0 = choose the smallest workable value automatically).
+Feasibility check_level(Level level, const ProblemShape& shape,
+                        const simarch::MachineConfig& machine,
+                        std::size_t m_group = 0, std::size_t mprime_group = 0);
+
+/// Resolve a plan; throws InfeasibleError (with the failing constraint)
+/// when the combination cannot run.
+PartitionPlan make_plan(Level level, const ProblemShape& shape,
+                        const simarch::MachineConfig& machine,
+                        std::size_t m_group = 0, std::size_t mprime_group = 0);
+
+/// Group sizes worth considering on this machine: divisors of cpes_per_cg
+/// for m_group, divisors of num_cgs for m'_group.
+std::vector<std::size_t> candidate_m_groups(
+    const simarch::MachineConfig& machine);
+std::vector<std::size_t> candidate_mprime_groups(
+    const simarch::MachineConfig& machine);
+
+/// Largest k (resp. d) the level can handle on `machine` with the other
+/// two shape parameters fixed — powers Table I and the capability bench.
+std::uint64_t max_k_for_level(Level level, std::uint64_t d,
+                              const simarch::MachineConfig& machine);
+std::uint64_t max_d_for_level(Level level, std::uint64_t k,
+                              const simarch::MachineConfig& machine);
+
+}  // namespace swhkm::core

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "core/partition.hpp"
+#include "simarch/cost.hpp"
+#include "simarch/machine_config.hpp"
+
+namespace swhkm::core {
+
+/// How CG groups map onto the machine (Level 3). The paper recommends
+/// packing a CG group inside a supernode; kScattered stripes groups across
+/// the machine instead, and exists as the ablation of that advice.
+enum class Placement { kPacked, kScattered };
+
+/// Analytic cost of ONE k-means iteration under `plan` — the model that
+/// regenerates the paper's figures at paper scale, where the functional
+/// engines cannot run. Mechanics (all derived from the plan, none fitted
+/// per-figure):
+///
+///  sample_read      — every flow unit DMA-streams its sample block; Level 2
+///                     replicates each sample across the m_group CPEs of a
+///                     group, Level 3 across the m'_group CGs of a group.
+///  centroid_stream  — when the centroid slice does not fit LDM (plan.ldm.
+///                     resident == false), the engine runs the cheaper of
+///                     (a) re-streaming the slice for every sample and
+///                     (b) tiling centroids and re-reading the sample block
+///                     once per tile. The tile quantisation of (b) is what
+///                     produces the stepwise jumps in the Fig. 7 curves.
+///  compute          — 2*k_local*d_local flops per sample per holder at
+///                     compute_efficiency * peak.
+///  mesh_comm        — per-sample register-communication combines inside a
+///                     CG (argmin for L2, distance partials for L3) plus
+///                     the intra-CG accumulator reduction.
+///  net_comm         — per-sample inter-CG argmin combine (Level 3 only;
+///                     this latency floor is why Level 2 wins at small d)
+///                     plus the end-of-iteration accumulator AllReduce.
+///  update           — centroid recomputation and writeback.
+simarch::CostTally model_iteration(const PartitionPlan& plan,
+                                   const simarch::MachineConfig& machine,
+                                   Placement placement = Placement::kPacked);
+
+/// The paper's own closed-form estimates (Section III analysis): T_read and
+/// T_comm for the plan's level, transcribed literally. Used by the ablation
+/// bench to show where the published algebra and the mechanistic model
+/// diverge; not used by the planner.
+struct PaperFormulaTimes {
+  double t_read_s = 0;
+  double t_comm_s = 0;
+  double total_s() const { return t_read_s + t_comm_s; }
+};
+PaperFormulaTimes paper_formula_times(const PartitionPlan& plan,
+                                      const simarch::MachineConfig& machine);
+
+}  // namespace swhkm::core

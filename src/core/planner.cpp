@@ -1,0 +1,100 @@
+#include "core/planner.hpp"
+
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace swhkm::core {
+
+namespace {
+
+std::optional<PlanChoice> evaluate(Level level, const ProblemShape& shape,
+                                   const simarch::MachineConfig& machine,
+                                   std::size_t m_group,
+                                   std::size_t mprime_group,
+                                   Placement placement) {
+  if (!check_level(level, shape, machine, m_group, mprime_group).ok) {
+    return std::nullopt;
+  }
+  PlanChoice choice;
+  choice.plan = make_plan(level, shape, machine, m_group, mprime_group);
+  choice.predicted = model_iteration(choice.plan, machine, placement);
+  return choice;
+}
+
+void keep_better(std::optional<PlanChoice>& best,
+                 std::optional<PlanChoice> candidate) {
+  if (!candidate) {
+    return;
+  }
+  if (!best || candidate->predicted_s() < best->predicted_s()) {
+    best = std::move(candidate);
+  }
+}
+
+}  // namespace
+
+std::optional<PlanChoice> best_plan_for_level(
+    Level level, const ProblemShape& shape,
+    const simarch::MachineConfig& machine, Placement placement) {
+  std::optional<PlanChoice> best;
+  switch (level) {
+    case Level::kLevel1:
+      keep_better(best, evaluate(level, shape, machine, 0, 0, placement));
+      break;
+    case Level::kLevel2:
+      for (std::size_t g : candidate_m_groups(machine)) {
+        keep_better(best, evaluate(level, shape, machine, g, 0, placement));
+      }
+      break;
+    case Level::kLevel3:
+      for (std::size_t p : candidate_mprime_groups(machine)) {
+        keep_better(best, evaluate(level, shape, machine, 0, p, placement));
+      }
+      break;
+  }
+  return best;
+}
+
+std::optional<PlanChoice> auto_plan(const ProblemShape& shape,
+                                    const simarch::MachineConfig& machine,
+                                    Placement placement) {
+  std::optional<PlanChoice> best;
+  for (Level level : {Level::kLevel1, Level::kLevel2, Level::kLevel3}) {
+    keep_better(best, best_plan_for_level(level, shape, machine, placement));
+  }
+  return best;
+}
+
+std::string feasibility_report(const ProblemShape& shape,
+                               const simarch::MachineConfig& machine) {
+  std::ostringstream out;
+  out << "shape (n=" << shape.n << ", k=" << shape.k << ", d=" << shape.d
+      << ") on " << machine.summary() << "\n";
+  for (Level level : {Level::kLevel1, Level::kLevel2, Level::kLevel3}) {
+    const Feasibility feasible = check_level(level, shape, machine);
+    out << "  " << level_name(level) << ": ";
+    if (!feasible.ok) {
+      out << "infeasible — " << feasible.reason << "\n";
+      continue;
+    }
+    const auto choice = best_plan_for_level(level, shape, machine);
+    if (!choice) {
+      out << "infeasible for every group size\n";
+      continue;
+    }
+    out << "feasible, predicted "
+        << util::format_seconds(choice->predicted_s()) << "/iteration ["
+        << choice->plan.describe() << "]\n";
+  }
+  const auto best = auto_plan(shape, machine);
+  if (best) {
+    out << "  => planner picks " << level_name(best->plan.level) << " at "
+        << util::format_seconds(best->predicted_s()) << "/iteration\n";
+  } else {
+    out << "  => no level can run this shape on this machine\n";
+  }
+  return out.str();
+}
+
+}  // namespace swhkm::core

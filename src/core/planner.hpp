@@ -1,0 +1,38 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/partition.hpp"
+#include "core/perf_model.hpp"
+
+namespace swhkm::core {
+
+/// A plan together with its modelled per-iteration cost.
+struct PlanChoice {
+  PartitionPlan plan;
+  simarch::CostTally predicted;
+  double predicted_s() const { return predicted.total_s(); }
+};
+
+/// Best plan for one level: sweeps the level's group-size knob (m_group or
+/// m'_group) over all feasible candidates and keeps the one with the
+/// smallest modelled iteration time. nullopt when the level cannot run the
+/// shape at all.
+std::optional<PlanChoice> best_plan_for_level(
+    Level level, const ProblemShape& shape,
+    const simarch::MachineConfig& machine,
+    Placement placement = Placement::kPacked);
+
+/// Best plan across all three levels. nullopt when nothing fits (shape
+/// exceeds even C1''/C2''/C3'').
+std::optional<PlanChoice> auto_plan(const ProblemShape& shape,
+                                    const simarch::MachineConfig& machine,
+                                    Placement placement = Placement::kPacked);
+
+/// Human-readable per-level feasibility and prediction summary — what the
+/// capacity_planner example prints.
+std::string feasibility_report(const ProblemShape& shape,
+                               const simarch::MachineConfig& machine);
+
+}  // namespace swhkm::core

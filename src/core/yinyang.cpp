@@ -1,0 +1,216 @@
+#include "core/yinyang.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/engine_util.hpp"
+#include "core/init.hpp"
+#include "core/lloyd.hpp"
+#include "core/metrics.hpp"
+#include "util/error.hpp"
+
+namespace swhkm::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::max();
+
+/// Cluster the k centroids into t groups with a few Lloyd iterations over
+/// the centroid rows themselves (the standard Yinyang grouping step).
+std::vector<std::uint32_t> group_centroids(const util::Matrix& centroids,
+                                           std::size_t t) {
+  if (t <= 1 || centroids.rows() <= t) {
+    // One group, or degenerate: everything in group 0 / identity-ish.
+    std::vector<std::uint32_t> groups(centroids.rows(), 0);
+    if (centroids.rows() <= t) {
+      for (std::size_t j = 0; j < centroids.rows(); ++j) {
+        groups[j] = static_cast<std::uint32_t>(j);
+      }
+    }
+    return groups;
+  }
+  data::Dataset as_dataset("centroids", centroids);
+  KmeansConfig grouping;
+  grouping.k = t;
+  grouping.max_iterations = 5;
+  grouping.init = InitMethod::kFirstK;
+  return lloyd_serial(as_dataset, grouping).assignments;
+}
+
+double euclidean(std::span<const float> a, std::span<const float> b) {
+  return std::sqrt(detail::squared_distance(a, b));
+}
+
+}  // namespace
+
+KmeansResult yinyang_serial_from(const data::Dataset& dataset,
+                                 const KmeansConfig& config,
+                                 util::Matrix centroids,
+                                 YinyangStats* stats) {
+  SWHKM_REQUIRE(centroids.rows() == config.k, "centroid count must equal k");
+  SWHKM_REQUIRE(centroids.cols() == dataset.d(),
+                "centroid dimensionality must match the data");
+  const std::size_t n = dataset.n();
+  const std::size_t k = config.k;
+  const std::size_t t = std::max<std::size_t>(1, k / 10);
+
+  YinyangStats local_stats;
+  YinyangStats& st = stats ? *stats : local_stats;
+
+  const std::vector<std::uint32_t> group_of = group_centroids(centroids, t);
+  const std::size_t num_groups =
+      1 + (group_of.empty()
+               ? 0
+               : *std::max_element(group_of.begin(), group_of.end()));
+  std::vector<std::vector<std::uint32_t>> members(num_groups);
+  for (std::uint32_t j = 0; j < k; ++j) {
+    members[group_of[j]].push_back(j);
+  }
+
+  KmeansResult result;
+  result.assignments.assign(n, 0);
+  std::vector<double> upper(n, 0.0);
+  std::vector<double> lower(n * num_groups, kInf);
+  detail::UpdateAccumulator acc(k, dataset.d());
+  std::vector<double> drift(k, 0.0);
+  std::vector<double> group_drift(num_groups, 0.0);
+  util::Matrix previous = centroids;
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    acc.reset();
+    st.lloyd_equivalent += static_cast<std::uint64_t>(n) * k;
+
+    if (iter == 0) {
+      // Exact first pass: assignment, upper bound, per-group lower bounds.
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto x = dataset.sample(i);
+        double best = kInf;
+        std::uint32_t best_j = 0;
+        std::vector<double> gmin1(num_groups, kInf);
+        std::vector<double> gmin2(num_groups, kInf);
+        for (std::uint32_t j = 0; j < k; ++j) {
+          const double dist = euclidean(x, centroids.row(j));
+          ++st.distance_computations;
+          const std::uint32_t g = group_of[j];
+          if (dist < gmin1[g]) {
+            gmin2[g] = gmin1[g];
+            gmin1[g] = dist;
+          } else if (dist < gmin2[g]) {
+            gmin2[g] = dist;
+          }
+          if (dist < best) {
+            best = dist;
+            best_j = j;
+          }
+        }
+        result.assignments[i] = best_j;
+        upper[i] = best;
+        for (std::size_t g = 0; g < num_groups; ++g) {
+          lower[i * num_groups + g] =
+              g == group_of[best_j] ? gmin2[g] : gmin1[g];
+        }
+        acc.add_sample(best_j, x);
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t assigned = result.assignments[i];
+        double* lb = lower.data() + i * num_groups;
+        // Drift the bounds.
+        double ub = upper[i] + drift[assigned];
+        double global_lb = kInf;
+        for (std::size_t g = 0; g < num_groups; ++g) {
+          lb[g] -= group_drift[g];
+          global_lb = std::min(global_lb, lb[g]);
+        }
+        if (ub < global_lb) {
+          upper[i] = ub;  // keep assignment, bounds drifted but valid
+          acc.add_sample(assigned, dataset.sample(i));
+          continue;
+        }
+        // Tighten the upper bound.
+        const auto x = dataset.sample(i);
+        double best = euclidean(x, centroids.row(assigned));
+        ++st.distance_computations;
+        std::uint32_t best_j = assigned;
+        const double exact_old = best;
+        std::vector<double> gmin1(num_groups, kInf);
+        std::vector<double> gmin2(num_groups, kInf);
+        const std::uint32_t old_group = group_of[assigned];
+        gmin1[old_group] = exact_old;
+        std::vector<bool> scanned(num_groups, false);
+        for (std::size_t g = 0; g < num_groups; ++g) {
+          if (lb[g] >= best) {
+            continue;  // group filter (best only shrinks, so this is safe)
+          }
+          scanned[g] = true;
+          for (std::uint32_t j : members[g]) {
+            if (j == assigned) {
+              continue;  // already measured
+            }
+            const double dist = euclidean(x, centroids.row(j));
+            ++st.distance_computations;
+            if (dist < gmin1[g]) {
+              gmin2[g] = gmin1[g];
+              gmin1[g] = dist;
+            } else if (dist < gmin2[g]) {
+              gmin2[g] = dist;
+            }
+            if (dist < best) {
+              best = dist;
+              best_j = j;
+            }
+          }
+        }
+        // Refresh bounds for scanned groups; unscanned keep drifted values
+        // (still valid), except the old group loses its exclusion if the
+        // assignment moved away.
+        for (std::size_t g = 0; g < num_groups; ++g) {
+          if (!scanned[g]) {
+            continue;
+          }
+          lb[g] = group_of[best_j] == g ? gmin2[g] : gmin1[g];
+        }
+        if (best_j != assigned && !scanned[old_group]) {
+          lb[old_group] = std::min(lb[old_group], exact_old);
+        }
+        result.assignments[i] = best_j;
+        upper[i] = best;
+        acc.add_sample(best_j, x);
+      }
+    }
+
+    // Update step (identical to Lloyd), then compute drifts for the next
+    // round of bound maintenance.
+    previous = centroids;
+    const double shift = detail::apply_update(centroids, acc.sums, acc.counts);
+    for (std::uint32_t j = 0; j < k; ++j) {
+      drift[j] = euclidean(previous.row(j), centroids.row(j));
+    }
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      group_drift[g] = 0;
+    }
+    for (std::uint32_t j = 0; j < k; ++j) {
+      group_drift[group_of[j]] = std::max(group_drift[group_of[j]], drift[j]);
+    }
+    result.iterations = iter + 1;
+    result.history.push_back({shift, 0.0});
+    if (shift <= config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.inertia = inertia(dataset, centroids, result.assignments);
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+KmeansResult yinyang_serial(const data::Dataset& dataset,
+                            const KmeansConfig& config, YinyangStats* stats) {
+  return yinyang_serial_from(dataset, config,
+                             init_centroids(dataset, config), stats);
+}
+
+}  // namespace swhkm::core

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "core/accel_stats.hpp"
+#include "core/kmeans.hpp"
+#include "data/dataset.hpp"
+
+namespace swhkm::core {
+
+/// Yinyang k-means (Ding et al., ICML'15) — the multi-core CPU comparator
+/// of the paper's Table III. A drop-in replacement for Lloyd: it produces
+/// the *same* assignments and centroids every iteration, but skips most
+/// distance computations using one upper bound per sample plus per-group
+/// lower bounds maintained under centroid drift.
+///
+/// We implement the standard formulation: centroids are clustered into
+/// t = max(1, k/10) groups once at start (a few Lloyd iterations over the
+/// centroids themselves); each iteration applies the global filter
+/// (ub < min-group lower bound => keep assignment) and then the group
+/// filter before any exact distance is evaluated.
+using YinyangStats = AccelStats;
+
+/// Run Yinyang k-means; trajectory-identical to lloyd_serial with the same
+/// config (same init, same tie-breaking, same update and stop rule).
+KmeansResult yinyang_serial(const data::Dataset& dataset,
+                            const KmeansConfig& config,
+                            YinyangStats* stats = nullptr);
+
+/// Same, from caller-provided centroids (consumed).
+KmeansResult yinyang_serial_from(const data::Dataset& dataset,
+                                 const KmeansConfig& config,
+                                 util::Matrix centroids,
+                                 YinyangStats* stats = nullptr);
+
+}  // namespace swhkm::core

@@ -1,0 +1,39 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace swhkm::data {
+
+std::vector<double> Dataset::dimension_means() const {
+  std::vector<double> means(d(), 0.0);
+  if (n() == 0) {
+    return means;
+  }
+  for (std::size_t i = 0; i < n(); ++i) {
+    const std::span<const float> row = samples_.row(i);
+    for (std::size_t u = 0; u < d(); ++u) {
+      means[u] += row[u];
+    }
+  }
+  for (double& m : means) {
+    m /= static_cast<double>(n());
+  }
+  return means;
+}
+
+std::pair<std::vector<float>, std::vector<float>> Dataset::bounding_box()
+    const {
+  std::vector<float> lo(d(), std::numeric_limits<float>::max());
+  std::vector<float> hi(d(), std::numeric_limits<float>::lowest());
+  for (std::size_t i = 0; i < n(); ++i) {
+    const std::span<const float> row = samples_.row(i);
+    for (std::size_t u = 0; u < d(); ++u) {
+      lo[u] = std::min(lo[u], row[u]);
+      hi[u] = std::max(hi[u], row[u]);
+    }
+  }
+  return {std::move(lo), std::move(hi)};
+}
+
+}  // namespace swhkm::data

@@ -1,0 +1,205 @@
+#include "data/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace swhkm::data {
+
+void save_ppm(const Image& image, const std::string& path) {
+  SWHKM_REQUIRE(!image.empty(), "refusing to save an empty image");
+  std::ofstream file(path, std::ios::binary);
+  SWHKM_REQUIRE(static_cast<bool>(file), "cannot open " + path + " to write");
+  file << "P6\n" << image.width() << " " << image.height() << "\n255\n";
+  file.write(reinterpret_cast<const char*>(image.raw().data()),
+             static_cast<std::streamsize>(image.raw().size()));
+  if (!file) {
+    throw Error("short write to " + path);
+  }
+}
+
+Image load_ppm(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  SWHKM_REQUIRE(static_cast<bool>(file), "cannot open " + path + " to read");
+  std::string magic;
+  file >> magic;
+  if (magic != "P6") {
+    throw InvalidArgument(path + " is not a binary PPM (P6)");
+  }
+  std::size_t width = 0;
+  std::size_t height = 0;
+  int maxval = 0;
+  file >> width >> height >> maxval;
+  if (!file || maxval != 255 || width == 0 || height == 0) {
+    throw InvalidArgument(path + " has an unsupported PPM header");
+  }
+  file.get();  // single whitespace after header
+  Image image(width, height);
+  file.read(reinterpret_cast<char*>(
+                const_cast<std::uint8_t*>(image.raw().data())),
+            static_cast<std::streamsize>(image.raw().size()));
+  if (!file) {
+    throw InvalidArgument(path + " is truncated");
+  }
+  return image;
+}
+
+std::array<std::array<std::uint8_t, 3>, 7> land_cover_palette() {
+  // Deep Globe 2018 class colours.
+  return {{{0, 255, 255},    // urban        - cyan
+           {255, 255, 0},    // agriculture  - yellow
+           {255, 0, 255},    // rangeland    - magenta
+           {0, 255, 0},      // forest       - green
+           {0, 0, 255},      // water        - blue
+           {255, 255, 255},  // barren       - white
+           {0, 0, 0}}};      // unknown      - black
+}
+
+namespace {
+
+/// Smooth pseudo-terrain: sum of a few random cosine plane waves. Cheap,
+/// seedable, and produces contiguous regions like real land cover.
+class TerrainField {
+ public:
+  TerrainField(util::Xoshiro256& rng, std::size_t waves = 6) {
+    waves_.reserve(waves);
+    for (std::size_t w = 0; w < waves; ++w) {
+      waves_.push_back({rng.uniform(-1.0, 1.0) * 0.02,
+                        rng.uniform(-1.0, 1.0) * 0.02,
+                        rng.uniform(0.0, 6.283185307)});
+    }
+  }
+
+  double at(double x, double y) const {
+    double value = 0;
+    for (const auto& wave : waves_) {
+      value += std::cos(wave.fx * x + wave.fy * y + wave.phase);
+    }
+    return value / static_cast<double>(waves_.size());
+  }
+
+ private:
+  struct Wave {
+    double fx, fy, phase;
+  };
+  std::vector<Wave> waves_;
+};
+
+}  // namespace
+
+Image make_land_cover_scene(std::size_t width, std::size_t height,
+                            std::uint64_t seed) {
+  SWHKM_REQUIRE(width > 0 && height > 0, "scene must be non-empty");
+  util::Xoshiro256 rng(seed);
+  const TerrainField elevation(rng);
+  const TerrainField moisture(rng);
+  const TerrainField development(rng);
+
+  // Spectral signatures (mean RGB) per class; classes are decided from the
+  // terrain fields so regions are spatially coherent.
+  struct Signature {
+    double r, g, b, noise;
+  };
+  const Signature signatures[7] = {
+      {140, 138, 148, 14},  // urban: grey
+      {168, 158, 84, 10},   // agriculture: straw
+      {150, 170, 110, 12},  // rangeland
+      {48, 92, 50, 9},      // forest
+      {38, 60, 110, 6},     // water
+      {180, 168, 150, 12},  // barren
+      {90, 90, 90, 30},     // unknown: noisy grey
+  };
+
+  Image image(width, height);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const double fx = static_cast<double>(x);
+      const double fy = static_cast<double>(y);
+      const double e = elevation.at(fx, fy);
+      const double m = moisture.at(fx, fy);
+      const double dev = development.at(fx, fy);
+      std::size_t cls;
+      if (m > 0.45) {
+        cls = 4;  // water
+      } else if (dev > 0.4) {
+        cls = 0;  // urban
+      } else if (e > 0.35) {
+        cls = 5;  // barren highland
+      } else if (m > 0.1) {
+        cls = 3;  // forest
+      } else if (dev > 0.0) {
+        cls = 1;  // agriculture
+      } else if (e > -0.5) {
+        cls = 2;  // rangeland
+      } else {
+        cls = 6;  // unknown
+      }
+      const Signature& sig = signatures[cls];
+      auto channel = [&](double mean) {
+        return static_cast<std::uint8_t>(
+            std::clamp(mean + sig.noise * rng.normal(), 0.0, 255.0));
+      };
+      image.set_pixel(x, y, channel(sig.r), channel(sig.g), channel(sig.b));
+    }
+  }
+  return image;
+}
+
+Dataset extract_patches(const Image& image, std::size_t side,
+                        std::size_t stride) {
+  SWHKM_REQUIRE(side > 0 && stride > 0, "side and stride must be positive");
+  SWHKM_REQUIRE(image.width() >= side && image.height() >= side,
+                "image smaller than one patch");
+  const std::size_t nx = (image.width() - side) / stride + 1;
+  const std::size_t ny = (image.height() - side) / stride + 1;
+  const std::size_t d = side * side * 3;
+  util::Matrix samples(nx * ny, d);
+  std::size_t row = 0;
+  for (std::size_t py = 0; py < ny; ++py) {
+    for (std::size_t px = 0; px < nx; ++px, ++row) {
+      float* out = samples.row(row).data();
+      for (std::size_t y = 0; y < side; ++y) {
+        const std::uint8_t* src = image.pixel(px * stride, py * stride + y);
+        for (std::size_t i = 0; i < side * 3; ++i) {
+          *out++ = static_cast<float>(src[i]);
+        }
+      }
+    }
+  }
+  return Dataset("patches", std::move(samples));
+}
+
+Image render_patch_labels(std::size_t image_width, std::size_t image_height,
+                          std::size_t side, std::size_t stride,
+                          const std::vector<std::uint32_t>& labels,
+                          std::size_t num_classes) {
+  SWHKM_REQUIRE(side > 0 && stride > 0, "side and stride must be positive");
+  const std::size_t nx = (image_width - side) / stride + 1;
+  const std::size_t ny = (image_height - side) / stride + 1;
+  SWHKM_REQUIRE(labels.size() == nx * ny,
+                "label count does not match patch grid");
+  const auto palette = land_cover_palette();
+  Image out(image_width, image_height);
+  for (std::size_t py = 0; py < ny; ++py) {
+    for (std::size_t px = 0; px < nx; ++px) {
+      const std::uint32_t label = labels[py * nx + px];
+      SWHKM_REQUIRE(label < num_classes, "label out of range");
+      const auto& colour = palette[label % palette.size()];
+      const std::size_t x_end =
+          px + 1 == nx ? image_width : px * stride + stride;
+      const std::size_t y_end =
+          py + 1 == ny ? image_height : py * stride + stride;
+      for (std::size_t y = py * stride; y < y_end; ++y) {
+        for (std::size_t x = px * stride; x < x_end; ++x) {
+          out.set_pixel(x, y, colour[0], colour[1], colour[2]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace swhkm::data

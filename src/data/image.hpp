@@ -1,0 +1,75 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace swhkm::data {
+
+/// 8-bit RGB raster — enough image machinery for the paper's land-cover
+/// classification application (Fig. 10) without an imaging dependency.
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t width, std::size_t height)
+      : width_(width), height_(height), pixels_(width * height * 3, 0) {}
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  bool empty() const { return pixels_.empty(); }
+
+  std::uint8_t* pixel(std::size_t x, std::size_t y) {
+    return &pixels_[(y * width_ + x) * 3];
+  }
+  const std::uint8_t* pixel(std::size_t x, std::size_t y) const {
+    return &pixels_[(y * width_ + x) * 3];
+  }
+
+  void set_pixel(std::size_t x, std::size_t y, std::uint8_t r, std::uint8_t g,
+                 std::uint8_t b) {
+    std::uint8_t* p = pixel(x, y);
+    p[0] = r;
+    p[1] = g;
+    p[2] = b;
+  }
+
+  const std::vector<std::uint8_t>& raw() const { return pixels_; }
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// Binary PPM (P6) round-trip.
+void save_ppm(const Image& image, const std::string& path);
+Image load_ppm(const std::string& path);
+
+/// Deep-Globe-flavoured synthetic scene: smooth "terrain" fields partition
+/// the frame into the paper's seven land classes (urban, agriculture,
+/// rangeland, forest, water, barren, unknown), each rendered with its own
+/// spectral signature plus speckle noise.
+Image make_land_cover_scene(std::size_t width, std::size_t height,
+                            std::uint64_t seed);
+
+/// Slice an image into patch feature vectors: every `stride` pixels a
+/// patch of side*side*3 values (row-major, RGB interleaved, cast to float).
+/// This is how the paper turns a 2k x 2k scene into n samples with d=4096
+/// (patch side 37 rounded... we expose side directly).
+Dataset extract_patches(const Image& image, std::size_t side,
+                        std::size_t stride);
+
+/// Paint per-patch labels back over the image geometry (each patch's area
+/// gets its cluster's colour) — the right-hand panel of Fig. 10.
+Image render_patch_labels(std::size_t image_width, std::size_t image_height,
+                          std::size_t side, std::size_t stride,
+                          const std::vector<std::uint32_t>& labels,
+                          std::size_t num_classes);
+
+/// The 7-class palette used for Fig. 10 (Deep Globe colour convention).
+std::array<std::array<std::uint8_t, 3>, 7> land_cover_palette();
+
+}  // namespace swhkm::data

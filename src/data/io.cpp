@@ -1,0 +1,129 @@
+#include "data/io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace swhkm::data {
+
+namespace {
+constexpr char kMagic[4] = {'S', 'W', 'K', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  char magic[4];
+  std::uint32_t version;
+  std::uint64_t n;
+  std::uint64_t d;
+};
+static_assert(sizeof(Header) == 24);
+}  // namespace
+
+void save_binary(const Dataset& dataset, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  SWHKM_REQUIRE(static_cast<bool>(file), "cannot open " + path + " to write");
+  Header header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.n = dataset.n();
+  header.d = dataset.d();
+  file.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  const auto flat = dataset.samples().flat();
+  file.write(reinterpret_cast<const char*>(flat.data()),
+             static_cast<std::streamsize>(flat.size_bytes()));
+  if (!file) {
+    throw Error("short write to " + path);
+  }
+}
+
+Dataset load_binary(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  SWHKM_REQUIRE(static_cast<bool>(file), "cannot open " + path + " to read");
+  Header header{};
+  file.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!file || std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    throw InvalidArgument(path + " is not a SWKM dataset");
+  }
+  if (header.version != kVersion) {
+    throw InvalidArgument(path + " has unsupported SWKM version " +
+                          std::to_string(header.version));
+  }
+  // Validate the declared shape against the real file size before
+  // allocating — a corrupted header must not trigger a huge allocation.
+  file.seekg(0, std::ios::end);
+  const std::uint64_t payload =
+      static_cast<std::uint64_t>(file.tellg()) - sizeof(Header);
+  file.seekg(sizeof(Header), std::ios::beg);
+  if (header.d == 0 || header.n > payload / sizeof(float) / header.d) {
+    throw InvalidArgument(path + " declares a shape larger than the file");
+  }
+  util::Matrix samples(header.n, header.d);
+  const auto flat = samples.flat();
+  file.read(reinterpret_cast<char*>(flat.data()),
+            static_cast<std::streamsize>(flat.size_bytes()));
+  if (!file) {
+    throw InvalidArgument(path + " is truncated");
+  }
+  return Dataset(path, std::move(samples));
+}
+
+void save_csv(const Dataset& dataset, const std::string& path) {
+  std::ofstream file(path);
+  SWHKM_REQUIRE(static_cast<bool>(file), "cannot open " + path + " to write");
+  for (std::size_t i = 0; i < dataset.n(); ++i) {
+    const auto row = dataset.sample(i);
+    for (std::size_t u = 0; u < row.size(); ++u) {
+      if (u != 0) {
+        file << ',';
+      }
+      file << row[u];
+    }
+    file << '\n';
+  }
+  if (!file) {
+    throw Error("short write to " + path);
+  }
+}
+
+Dataset load_csv(const std::string& path, const std::string& name) {
+  std::ifstream file(path);
+  SWHKM_REQUIRE(static_cast<bool>(file), "cannot open " + path + " to read");
+  std::vector<float> values;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::size_t row_cols = 0;
+    std::istringstream fields(line);
+    std::string field;
+    while (std::getline(fields, field, ',')) {
+      try {
+        values.push_back(std::stof(field));
+      } catch (const std::exception&) {
+        throw InvalidArgument(path + ": bad float '" + field + "' at row " +
+                              std::to_string(rows));
+      }
+      ++row_cols;
+    }
+    if (rows == 0) {
+      cols = row_cols;
+    } else if (row_cols != cols) {
+      throw InvalidArgument(path + ": row " + std::to_string(rows) + " has " +
+                            std::to_string(row_cols) + " fields, expected " +
+                            std::to_string(cols));
+    }
+    ++rows;
+  }
+  SWHKM_REQUIRE(rows > 0, path + " contains no data");
+  return Dataset(name,
+                 util::Matrix::from_vector(rows, cols, std::move(values)));
+}
+
+}  // namespace swhkm::data

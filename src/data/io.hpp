@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace swhkm::data {
+
+/// Binary dataset format "SWKM": little-endian header (magic, version,
+/// n, d as u64) followed by n*d float32 values row-major. Round-trips
+/// exactly; used by examples to cache generated data between runs.
+void save_binary(const Dataset& dataset, const std::string& path);
+Dataset load_binary(const std::string& path);
+
+/// Plain CSV (no header): one sample per line, comma-separated floats.
+/// For interchange with plotting scripts and for small fixtures.
+void save_csv(const Dataset& dataset, const std::string& path);
+Dataset load_csv(const std::string& path, const std::string& name = "csv");
+
+}  // namespace swhkm::data

@@ -1,0 +1,199 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace swhkm::data {
+
+namespace {
+using util::Matrix;
+using util::Xoshiro256;
+}  // namespace
+
+DatasetInfo benchmark_info(Benchmark which) {
+  switch (which) {
+    case Benchmark::kKeggNetwork:
+      return {"Kegg Network", 65554, 28, 256};
+    case Benchmark::kRoadNetwork:
+      return {"Road Network", 434874, 4, 10000};
+    case Benchmark::kUsCensus1990:
+      return {"US Census 1990", 2458285, 68, 10000};
+    case Benchmark::kIlsvrc2012:
+      return {"ILSVRC2012 (ImgNet)", 1265723, 196608, 160000};
+  }
+  throw InvalidArgument("unknown benchmark");
+}
+
+std::vector<DatasetInfo> paper_benchmarks() {
+  return {benchmark_info(Benchmark::kKeggNetwork),
+          benchmark_info(Benchmark::kRoadNetwork),
+          benchmark_info(Benchmark::kUsCensus1990),
+          benchmark_info(Benchmark::kIlsvrc2012)};
+}
+
+Dataset make_blobs(std::size_t n, std::size_t d, std::size_t k_true,
+                   std::uint64_t seed, double separation, double spread) {
+  SWHKM_REQUIRE(n > 0 && d > 0 && k_true > 0, "blobs need n, d, k_true > 0");
+  Xoshiro256 rng(seed);
+  // Cluster centres on a scaled random lattice so that pairwise distances
+  // are at least ~separation even in low dimensions.
+  Matrix centres(k_true, d);
+  for (std::size_t j = 0; j < k_true; ++j) {
+    for (std::size_t u = 0; u < d; ++u) {
+      centres.at(j, u) = static_cast<float>(
+          separation * (rng.below(64) + 0.5) +
+          (u % k_true == j % k_true ? separation * 4.0 : 0.0));
+    }
+  }
+  Matrix samples(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = i % k_true;  // balanced memberships
+    for (std::size_t u = 0; u < d; ++u) {
+      samples.at(i, u) = centres.at(j, u) +
+                         static_cast<float>(spread * rng.normal());
+    }
+  }
+  return Dataset("blobs", std::move(samples));
+}
+
+Dataset make_uniform(std::size_t n, std::size_t d, std::uint64_t seed,
+                     float lo, float hi) {
+  SWHKM_REQUIRE(n > 0 && d > 0, "uniform needs n, d > 0");
+  SWHKM_REQUIRE(lo < hi, "uniform needs lo < hi");
+  Xoshiro256 rng(seed);
+  Matrix samples(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t u = 0; u < d; ++u) {
+      samples.at(i, u) = static_cast<float>(rng.uniform(lo, hi));
+    }
+  }
+  return Dataset("uniform", std::move(samples));
+}
+
+Dataset make_kegg_like(std::size_t n, std::uint64_t seed) {
+  constexpr std::size_t kDims = 28;
+  Xoshiro256 rng(seed);
+  Matrix samples(n, kDims);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Pathways differ in overall scale (hub vs leaf metabolites).
+    const double scale = std::exp(rng.normal() * 0.8);
+    for (std::size_t u = 0; u < kDims; ++u) {
+      const double value = scale * std::exp(rng.normal() * 0.5 +
+                                            0.05 * static_cast<double>(u));
+      samples.at(i, u) = static_cast<float>(value);
+    }
+  }
+  return Dataset("kegg-like", std::move(samples));
+}
+
+Dataset make_road_like(std::size_t n, std::uint64_t seed) {
+  constexpr std::size_t kDims = 4;
+  constexpr std::size_t kRoads = 48;
+  Xoshiro256 rng(seed);
+  // Roads are random line segments in a lat/lon box (Jutland-ish extent,
+  // matching the original 3D road network data's geography).
+  struct Segment {
+    double lat0, lon0, lat1, lon1;
+  };
+  std::vector<Segment> roads(kRoads);
+  for (auto& road : roads) {
+    road.lat0 = rng.uniform(56.5, 57.8);
+    road.lon0 = rng.uniform(8.1, 11.2);
+    road.lat1 = road.lat0 + rng.uniform(-0.4, 0.4);
+    road.lon1 = road.lon0 + rng.uniform(-0.4, 0.4);
+  }
+  Matrix samples(n, kDims);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Segment& road = roads[rng.below(kRoads)];
+    const double t = rng.uniform();
+    const double lat = road.lat0 + t * (road.lat1 - road.lat0);
+    const double lon = road.lon0 + t * (road.lon1 - road.lon0);
+    samples.at(i, 0) = static_cast<float>(lat + rng.normal() * 1e-3);
+    samples.at(i, 1) = static_cast<float>(lon + rng.normal() * 1e-3);
+    // altitude correlates with latitude; gradient with segment direction
+    samples.at(i, 2) = static_cast<float>(20.0 + 8.0 * (lat - 56.5) +
+                                          rng.normal() * 0.5);
+    samples.at(i, 3) = static_cast<float>(rng.normal() * 0.05);
+  }
+  return Dataset("road-like", std::move(samples));
+}
+
+Dataset make_census_like(std::size_t n, std::uint64_t seed) {
+  constexpr std::size_t kDims = 68;
+  Xoshiro256 rng(seed);
+  Matrix samples(n, kDims);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Correlated blocks: a latent "household type" shifts a block of
+    // categorical codes together, like the real PUMS extract.
+    const std::uint64_t household = rng.below(12);
+    for (std::size_t u = 0; u < kDims; ++u) {
+      const std::uint64_t cardinality = 2 + (u * 7) % 15;
+      std::uint64_t code = rng.below(cardinality);
+      if (u % 4 == 0) {
+        code = (code + household) % cardinality;
+      }
+      samples.at(i, u) = static_cast<float>(code);
+    }
+  }
+  return Dataset("census-like", std::move(samples));
+}
+
+Dataset make_ilsvrc_like(std::size_t n, std::size_t side, std::uint64_t seed) {
+  SWHKM_REQUIRE(side > 0, "image side must be positive");
+  const std::size_t d = side * side * 3;
+  Xoshiro256 rng(seed);
+  Matrix samples(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Low-frequency content: a random 2D gradient plus per-channel offset,
+    // with pixel noise on top — the covariance structure of natural image
+    // thumbnails without shipping ImageNet.
+    const double gx = rng.uniform(-1.0, 1.0);
+    const double gy = rng.uniform(-1.0, 1.0);
+    const double base[3] = {rng.uniform(40, 215), rng.uniform(40, 215),
+                            rng.uniform(40, 215)};
+    for (std::size_t y = 0; y < side; ++y) {
+      for (std::size_t x = 0; x < side; ++x) {
+        for (std::size_t c = 0; c < 3; ++c) {
+          const double value =
+              base[c] +
+              40.0 * (gx * (static_cast<double>(x) / side - 0.5) +
+                      gy * (static_cast<double>(y) / side - 0.5)) +
+              6.0 * rng.normal();
+          samples.at(i, (y * side + x) * 3 + c) =
+              static_cast<float>(std::clamp(value, 0.0, 255.0));
+        }
+      }
+    }
+  }
+  return Dataset("ilsvrc-like", std::move(samples));
+}
+
+Dataset make_benchmark_surrogate(Benchmark which, std::size_t max_n,
+                                 std::size_t max_d, std::uint64_t seed) {
+  const DatasetInfo info = benchmark_info(which);
+  const std::size_t n = std::min(info.n, max_n);
+  switch (which) {
+    case Benchmark::kKeggNetwork:
+      return make_kegg_like(n, seed);
+    case Benchmark::kRoadNetwork:
+      return make_road_like(n, seed);
+    case Benchmark::kUsCensus1990:
+      return make_census_like(n, seed);
+    case Benchmark::kIlsvrc2012: {
+      // Pick the largest paper patch side whose d fits max_d.
+      std::size_t side = 2;
+      for (std::size_t candidate : {4ul, 8ul, 16ul, 32ul, 64ul, 256ul}) {
+        if (candidate * candidate * 3 <= max_d) {
+          side = candidate;
+        }
+      }
+      return make_ilsvrc_like(n, side, seed);
+    }
+  }
+  throw InvalidArgument("unknown benchmark");
+}
+
+}  // namespace swhkm::data

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace swhkm::data {
+
+/// Table II of the paper: the four benchmark workloads. We cannot ship the
+/// originals (UCI download, 1 PB of ILSVRC features), so each entry has a
+/// deterministic synthetic surrogate (below) that matches the shape and the
+/// broad statistical character; the paper's metric (time per iteration) is
+/// shape-dependent, not value-dependent.
+enum class Benchmark { kKeggNetwork, kRoadNetwork, kUsCensus1990, kIlsvrc2012 };
+
+DatasetInfo benchmark_info(Benchmark which);
+std::vector<DatasetInfo> paper_benchmarks();
+
+/// Gaussian mixture ("blobs"): k_true well-separated spherical clusters.
+/// The workhorse for correctness tests — with `separation` large relative
+/// to `spread`, every engine and serial Lloyd agree exactly on assignments.
+Dataset make_blobs(std::size_t n, std::size_t d, std::size_t k_true,
+                   std::uint64_t seed, double separation = 10.0,
+                   double spread = 1.0);
+
+/// Uniform noise in [lo, hi)^d — the adversarial case for FP-order
+/// robustness tests.
+Dataset make_uniform(std::size_t n, std::size_t d, std::uint64_t seed,
+                     float lo = 0.0f, float hi = 1.0f);
+
+/// KEGG metabolic network surrogate: skewed non-negative reaction features
+/// (log-normal-ish), 28 dims.
+Dataset make_kegg_like(std::size_t n, std::uint64_t seed);
+
+/// Road network surrogate: (latitude, longitude, altitude-derived) tuples
+/// clustered along polyline "roads", 4 dims.
+Dataset make_road_like(std::size_t n, std::uint64_t seed);
+
+/// US Census 1990 surrogate: 68 small-cardinality categorical codes with
+/// correlated blocks.
+Dataset make_census_like(std::size_t n, std::uint64_t seed);
+
+/// ILSVRC2012 raw-pixel surrogate: patch features in [0,255] with strong
+/// low-frequency spatial correlation, d = side*side*3 (paper: 32/64/256).
+Dataset make_ilsvrc_like(std::size_t n, std::size_t side, std::uint64_t seed);
+
+/// Scaled-down materialisation of a benchmark surrogate for functional
+/// validation: at most `max_n` samples and `max_d` dimensions, same
+/// generator family as the full-shape entry.
+Dataset make_benchmark_surrogate(Benchmark which, std::size_t max_n,
+                                 std::size_t max_d, std::uint64_t seed);
+
+}  // namespace swhkm::data

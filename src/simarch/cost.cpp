@@ -1,0 +1,25 @@
+#include "simarch/cost.hpp"
+
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace swhkm::simarch {
+
+std::string CostTally::summary() const {
+  std::ostringstream out;
+  out << "total " << util::format_seconds(total_s()) << " (read "
+      << util::format_seconds(sample_read_s) << ", stream "
+      << util::format_seconds(centroid_stream_s) << ", compute "
+      << util::format_seconds(compute_s) << ", mesh "
+      << util::format_seconds(mesh_comm_s) << ", net "
+      << util::format_seconds(net_comm_s) << ", update "
+      << util::format_seconds(update_s) << "); volumes: dma "
+      << util::format_bytes(dma_bytes) << ", reg "
+      << util::format_bytes(reg_bytes) << ", net "
+      << util::format_bytes(net_bytes) << ", flops "
+      << util::format_count(flops);
+  return out.str();
+}
+
+}  // namespace swhkm::simarch

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace swhkm::simarch {
+
+/// Simulated-time ledger for one iteration (or one run) of an engine.
+/// Each component is the *critical-path* seconds attributed to that
+/// activity; total() is their sum, i.e. the model assumes phases do not
+/// overlap (the paper's formulas make the same assumption).
+///
+/// Byte/flop counters are bookkeeping totals across the whole machine and
+/// exist for reporting and for tests that assert data-movement volumes.
+struct CostTally {
+  // seconds on the critical path
+  double sample_read_s = 0;      ///< DMA of sample vectors into LDM
+  double centroid_stream_s = 0;  ///< DMA (re-)streaming of centroid tiles
+  double compute_s = 0;          ///< distance + accumulate arithmetic
+  double mesh_comm_s = 0;        ///< intra-CG register communication
+  double net_comm_s = 0;         ///< inter-CG / inter-node MPI traffic
+  double update_s = 0;           ///< centroid recomputation after reduce
+
+  // machine-wide volume counters
+  std::uint64_t dma_bytes = 0;
+  std::uint64_t reg_bytes = 0;
+  std::uint64_t net_bytes = 0;
+  std::uint64_t flops = 0;
+
+  double total_s() const {
+    return sample_read_s + centroid_stream_s + compute_s + mesh_comm_s +
+           net_comm_s + update_s;
+  }
+
+  CostTally& operator+=(const CostTally& other) {
+    sample_read_s += other.sample_read_s;
+    centroid_stream_s += other.centroid_stream_s;
+    compute_s += other.compute_s;
+    mesh_comm_s += other.mesh_comm_s;
+    net_comm_s += other.net_comm_s;
+    update_s += other.update_s;
+    dma_bytes += other.dma_bytes;
+    reg_bytes += other.reg_bytes;
+    net_bytes += other.net_bytes;
+    flops += other.flops;
+    return *this;
+  }
+
+  /// Component-wise maximum of the time fields; used when parallel branches
+  /// of the machine execute the same phase and the slowest one gates the
+  /// iteration. Volume counters are summed.
+  CostTally& max_in_place(const CostTally& other) {
+    sample_read_s = sample_read_s > other.sample_read_s ? sample_read_s
+                                                        : other.sample_read_s;
+    centroid_stream_s = centroid_stream_s > other.centroid_stream_s
+                            ? centroid_stream_s
+                            : other.centroid_stream_s;
+    compute_s = compute_s > other.compute_s ? compute_s : other.compute_s;
+    mesh_comm_s =
+        mesh_comm_s > other.mesh_comm_s ? mesh_comm_s : other.mesh_comm_s;
+    net_comm_s = net_comm_s > other.net_comm_s ? net_comm_s : other.net_comm_s;
+    update_s = update_s > other.update_s ? update_s : other.update_s;
+    dma_bytes += other.dma_bytes;
+    reg_bytes += other.reg_bytes;
+    net_bytes += other.net_bytes;
+    flops += other.flops;
+    return *this;
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace swhkm::simarch

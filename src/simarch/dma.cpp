@@ -1,0 +1,43 @@
+#include "simarch/dma.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace swhkm::simarch {
+
+void DmaEngine::get(std::span<float> dst, std::span<const float> src,
+                    Purpose purpose) {
+  SWHKM_REQUIRE(dst.size() == src.size(), "DMA get extents must match");
+  std::copy(src.begin(), src.end(), dst.begin());
+  charge(dst.size_bytes(), purpose);
+}
+
+void DmaEngine::put(std::span<float> dst, std::span<const float> src,
+                    Purpose purpose) {
+  SWHKM_REQUIRE(dst.size() == src.size(), "DMA put extents must match");
+  std::copy(src.begin(), src.end(), dst.begin());
+  charge(dst.size_bytes(), purpose);
+}
+
+void DmaEngine::account(std::size_t bytes, Purpose purpose) {
+  charge(bytes, purpose);
+}
+
+void DmaEngine::charge(std::size_t bytes, Purpose purpose) {
+  const double seconds = transfer_time(bytes);
+  tally_->dma_bytes += bytes;
+  switch (purpose) {
+    case Purpose::kSampleRead:
+      tally_->sample_read_s += seconds;
+      break;
+    case Purpose::kCentroidStream:
+      tally_->centroid_stream_s += seconds;
+      break;
+    case Purpose::kWriteback:
+      tally_->update_s += seconds;
+      break;
+  }
+}
+
+}  // namespace swhkm::simarch

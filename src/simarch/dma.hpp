@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "simarch/cost.hpp"
+#include "simarch/machine_config.hpp"
+
+namespace swhkm::simarch {
+
+/// Simulated DMA channel of one core group: moves data between main memory
+/// and CPE scratchpads, charging simulated time to a CostTally.
+///
+/// Functional `get`/`put` both copy bytes and account them; `account` only
+/// charges time (used when the data is already where C++ can reach it but
+/// the real machine would have had to move it — e.g. re-streaming a
+/// centroid tile that the functional engine keeps in one address space).
+class DmaEngine {
+ public:
+  /// What the transfer is for — selects the CostTally bucket so benches can
+  /// report sample-read vs centroid-stream volume separately.
+  enum class Purpose { kSampleRead, kCentroidStream, kWriteback };
+
+  DmaEngine(const MachineConfig& config, CostTally& tally)
+      : config_(&config), tally_(&tally) {}
+
+  /// Main memory -> LDM. dst and src must have equal extents.
+  void get(std::span<float> dst, std::span<const float> src, Purpose purpose);
+
+  /// LDM -> main memory.
+  void put(std::span<float> dst, std::span<const float> src, Purpose purpose);
+
+  /// Charge time/volume for `bytes` without copying.
+  void account(std::size_t bytes, Purpose purpose);
+
+  /// Model: seconds for one transfer of `bytes` (latency + bandwidth).
+  double transfer_time(std::size_t bytes) const {
+    return config_->dma_latency +
+           static_cast<double>(bytes) / config_->dma_bandwidth;
+  }
+
+ private:
+  void charge(std::size_t bytes, Purpose purpose);
+
+  const MachineConfig* config_;
+  CostTally* tally_;
+};
+
+}  // namespace swhkm::simarch

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace swhkm::simarch {
+
+/// Simulated Local Directive Memory (scratchpad) of one CPE.
+///
+/// The real SW26010 gives each CPE 64 KiB of software-managed memory and no
+/// data cache: anything a kernel touches must have been explicitly placed.
+/// The engines in core/ allocate every LDM-resident buffer through this
+/// class, so exceeding the paper's constraints (C1..C3'') is a hard runtime
+/// error (CapacityError) rather than a silent fiction.
+///
+/// Allocation is a bump pointer with named blocks; free() only releases the
+/// most recent block(s) (stack discipline), which matches how scratchpad
+/// kernels are actually written and keeps the model trivially correct.
+class LdmAllocator {
+ public:
+  explicit LdmAllocator(std::size_t capacity_bytes);
+
+  /// Reserve `bytes` under `name`. Throws CapacityError when the scratchpad
+  /// would overflow; the message names every live block to make planner
+  /// bugs diagnosable.
+  void alloc(const std::string& name, std::size_t bytes);
+
+  /// Release the most recent allocation; it must be named `name`
+  /// (stack discipline guard). Throws RuntimeFault on mismatch.
+  void free(const std::string& name);
+
+  /// Release everything.
+  void reset();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  std::size_t remaining() const { return capacity_ - used_; }
+  std::size_t high_water() const { return high_water_; }
+  std::size_t live_blocks() const { return blocks_.size(); }
+
+  /// Human-readable listing of live blocks, for diagnostics.
+  std::string layout() const;
+
+ private:
+  struct Block {
+    std::string name;
+    std::size_t bytes;
+  };
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+  std::vector<Block> blocks_;
+};
+
+/// RAII helper: allocates on construction, frees on destruction. Use for
+/// per-phase buffers inside engine loops.
+class LdmBlock {
+ public:
+  LdmBlock(LdmAllocator& ldm, std::string name, std::size_t bytes)
+      : ldm_(ldm), name_(std::move(name)) {
+    ldm_.alloc(name_, bytes);
+  }
+  LdmBlock(const LdmBlock&) = delete;
+  LdmBlock& operator=(const LdmBlock&) = delete;
+  ~LdmBlock() { ldm_.free(name_); }
+
+ private:
+  LdmAllocator& ldm_;
+  std::string name_;
+};
+
+}  // namespace swhkm::simarch

@@ -1,0 +1,67 @@
+#include "simarch/machine_config.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace swhkm::simarch {
+
+void MachineConfig::validate() const {
+  SWHKM_REQUIRE(cpes_per_cg >= 1, "a CG needs at least one CPE");
+  SWHKM_REQUIRE(mesh_rows * mesh_cols == cpes_per_cg,
+                "mesh geometry must cover exactly the CPEs of a CG");
+  SWHKM_REQUIRE(ldm_bytes >= 16, "LDM unrealistically small");
+  SWHKM_REQUIRE(elem_bytes > 0 && ldm_bytes % elem_bytes == 0,
+                "LDM must hold a whole number of elements");
+  SWHKM_REQUIRE(cgs_per_node >= 1, "a node needs at least one CG");
+  SWHKM_REQUIRE(nodes >= 1, "need at least one node");
+  SWHKM_REQUIRE(supernode_nodes >= 1, "supernode must contain nodes");
+  SWHKM_REQUIRE(dma_bandwidth > 0 && reg_bandwidth > 0 && net_bandwidth > 0 &&
+                    inter_supernode_bandwidth > 0,
+                "bandwidths must be positive");
+  SWHKM_REQUIRE(cpe_clock_hz > 0 && cpe_flops_per_cycle > 0,
+                "compute rates must be positive");
+  SWHKM_REQUIRE(compute_efficiency > 0 && compute_efficiency <= 1.0,
+                "efficiency must be in (0, 1]");
+}
+
+std::string MachineConfig::summary() const {
+  std::ostringstream out;
+  out << nodes << " node(s) x " << cgs_per_node << " CG x " << cpes_per_cg
+      << " CPE (" << total_cpes() << " CPEs total), LDM "
+      << util::format_bytes(ldm_bytes) << "/CPE, B=" << dma_bandwidth / 1e9
+      << " GB/s, R=" << reg_bandwidth / 1e9 << " GB/s, M="
+      << net_bandwidth / 1e9 << " GB/s, supernode=" << supernode_nodes
+      << " nodes";
+  return out.str();
+}
+
+MachineConfig MachineConfig::sw26010(std::size_t nodes) {
+  MachineConfig config;
+  config.nodes = nodes;
+  config.validate();
+  return config;
+}
+
+MachineConfig MachineConfig::tiny(std::size_t nodes, std::size_t cpes_per_cg,
+                                  std::size_t ldm_bytes) {
+  MachineConfig config;
+  config.nodes = nodes;
+  config.cpes_per_cg = cpes_per_cg;
+  // Choose the most square mesh that covers cpes_per_cg exactly.
+  std::size_t rows = 1;
+  for (std::size_t r = 1; r * r <= cpes_per_cg; ++r) {
+    if (cpes_per_cg % r == 0) {
+      rows = r;
+    }
+  }
+  config.mesh_rows = rows;
+  config.mesh_cols = cpes_per_cg / rows;
+  config.ldm_bytes = ldm_bytes;
+  config.cgs_per_node = 2;
+  config.supernode_nodes = 4;
+  config.validate();
+  return config;
+}
+
+}  // namespace swhkm::simarch

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace swhkm::simarch {
+
+/// Parameters of the simulated machine: an SW26010-based system in the
+/// default configuration, shrinkable for tests.
+///
+/// Terminology follows the paper:
+///   CPE  — compute processing element (64 per core group, 8x8 mesh,
+///          64 KiB software-managed LDM each, no data cache)
+///   CG   — core group (64 CPEs + 1 MPE sharing a DMA channel to DDR3)
+///   node — one SW26010 processor = 4 CGs
+///   supernode — 256 nodes on one interconnection board; traffic between
+///          supernodes goes through the central routing switch
+///
+/// Bandwidths use the paper's symbols: B (DMA), R (register communication),
+/// M (inter-node network).
+struct MachineConfig {
+  // --- core group ---
+  std::size_t cpes_per_cg = 64;
+  std::size_t mesh_rows = 8;  ///< CPE mesh geometry; rows*cols == cpes_per_cg
+  std::size_t mesh_cols = 8;
+  std::size_t ldm_bytes = 64 * util::kKiB;  ///< scratchpad per CPE
+  double cpe_clock_hz = 1.45e9;
+  /// Vector FMA throughput per CPE per cycle (256-bit, single precision).
+  double cpe_flops_per_cycle = 8.0;
+  /// Fraction of peak FLOPs the assign kernel sustains. Calibrated against
+  /// the paper's own Table III (its Sunway time for n=1e9, k=120, d=40 on
+  /// 128 nodes implies ~160 GFLOP/s per node, i.e. ~5% of peak — the
+  /// expected regime for this memory-bound, gather-heavy kernel).
+  double compute_efficiency = 0.05;
+  /// Fixed cycles a CPE spends per (sample, centroid-row) on top of the
+  /// arithmetic: loop control, pointer setup, LDM partial write-back. This
+  /// is what makes narrow dimension slices (Level 3 at small d) pay: a CPE
+  /// scoring 8-element rows does almost as much bookkeeping as one scoring
+  /// 512-element rows.
+  double row_overhead_cycles = 96.0;
+
+  // --- memory system ---
+  double dma_bandwidth = 32e9;  ///< B: DDR3 bandwidth shared by one CG (B/s)
+  double dma_latency = 2.0e-7;  ///< per-transfer issue+setup cost (s)
+  double reg_bandwidth = 46.4e9;  ///< R: register-comm bandwidth (B/s)
+  double reg_hop_latency = 20e-9;  ///< per mesh hop (s)
+  std::uint64_t ddr_bytes_per_node = 32ull * util::kGiB;
+
+  /// CG-to-CG transfers inside one SW26010 chip go through shared DDR3;
+  /// faster than the network but slower than register communication.
+  double intra_node_bandwidth = 25e9;
+  double intra_node_latency = 1.2e-6;
+
+  // --- system ---
+  std::size_t cgs_per_node = 4;
+  std::size_t nodes = 1;
+  std::size_t supernode_nodes = 256;
+  double net_bandwidth = 16e9;  ///< M: bidirectional peak per node (B/s)
+  /// Per-message cost within a supernode: wire latency plus the MPI
+  /// software stack (matching the ~5-10 us cost of small messages on
+  /// production interconnects).
+  double net_latency = 6.5e-6;
+  /// Effective per-node share of the central switch when a collective
+  /// spans supernodes (paper: inter-supernode is "less efficient").
+  double inter_supernode_bandwidth = 8e9;
+  double inter_supernode_latency = 9.5e-6;
+
+  std::size_t elem_bytes = 4;  ///< sizeof(float): sample/centroid elements
+
+  // --- derived quantities ---
+  std::size_t num_cgs() const { return nodes * cgs_per_node; }
+  std::size_t total_cpes() const { return num_cgs() * cpes_per_cg; }
+  /// LDM capacity in data elements, the unit of the paper's constraints.
+  std::size_t ldm_elems() const { return ldm_bytes / elem_bytes; }
+  double cpe_flops() const { return cpe_clock_hz * cpe_flops_per_cycle; }
+  /// Seconds one CPE spends scoring one centroid row of `row_width`
+  /// elements against one sample: arithmetic at sustained rate plus the
+  /// fixed per-row overhead.
+  double assign_row_seconds(std::size_t row_width) const {
+    return 2.0 * static_cast<double>(row_width) /
+               (cpe_flops() * compute_efficiency) +
+           row_overhead_cycles / cpe_clock_hz;
+  }
+  double cg_flops() const {
+    return cpe_flops() * static_cast<double>(cpes_per_cg);
+  }
+  std::size_t num_supernodes() const {
+    return (nodes + supernode_nodes - 1) / supernode_nodes;
+  }
+
+  /// Throws InvalidArgument when internally inconsistent (mesh geometry,
+  /// zero sizes, non-positive bandwidths).
+  void validate() const;
+
+  std::string summary() const;
+
+  // --- factories ---
+  /// Sunway TaihuLight subset with the given processor (node) count, as
+  /// used in the paper's three experiment setups (1 / 256 / 4096 nodes).
+  static MachineConfig sw26010(std::size_t nodes);
+  /// A tiny machine for unit tests: few CPEs, small LDM, 1..n nodes.
+  /// Functional semantics identical to the real shape, constraints bite
+  /// at laptop-scale problem sizes.
+  static MachineConfig tiny(std::size_t nodes = 1, std::size_t cpes_per_cg = 4,
+                            std::size_t ldm_bytes = 4 * util::kKiB);
+};
+
+}  // namespace swhkm::simarch

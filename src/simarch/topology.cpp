@@ -1,0 +1,111 @@
+#include "simarch/topology.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace swhkm::simarch {
+
+Topology::Topology(const MachineConfig& config) : config_(&config) {
+  config.validate();
+}
+
+double Topology::message_time(std::size_t bytes, std::size_t cg_a,
+                              std::size_t cg_b) const {
+  if (cg_a == cg_b) {
+    return 0.0;
+  }
+  double bandwidth = 0;
+  double latency = 0;
+  if (same_node(cg_a, cg_b)) {
+    bandwidth = config_->intra_node_bandwidth;
+    latency = config_->intra_node_latency;
+  } else if (same_supernode(cg_a, cg_b)) {
+    bandwidth = config_->net_bandwidth;
+    latency = config_->net_latency;
+  } else {
+    bandwidth = config_->inter_supernode_bandwidth;
+    latency = config_->inter_supernode_latency;
+  }
+  return latency + static_cast<double>(bytes) / bandwidth;
+}
+
+double Topology::allreduce_time(std::size_t bytes, std::size_t first_cg,
+                                std::size_t count) const {
+  SWHKM_REQUIRE(first_cg + count <= num_cgs(), "CG range out of machine");
+  std::vector<std::size_t> cgs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    cgs[i] = first_cg + i;
+  }
+  return allreduce_time(bytes, cgs);
+}
+
+double Topology::allreduce_time(std::size_t bytes,
+                                const std::vector<std::size_t>& cgs) const {
+  const std::size_t count = cgs.size();
+  if (count <= 1) {
+    return 0.0;
+  }
+  double total = 0.0;
+  // Recursive doubling over the rank list; for non-powers of two the
+  // surplus ranks fold into the nearest power of two first (one extra
+  // exchange), which is the standard MPI implementation shape.
+  const std::size_t pow2 = [&] {
+    std::size_t p = 1;
+    while (p * 2 <= count) {
+      p *= 2;
+    }
+    return p;
+  }();
+  if (pow2 != count) {
+    // fold-in stage: rank i >= pow2 sends to i - pow2
+    double worst = 0.0;
+    for (std::size_t r = pow2; r < count; ++r) {
+      worst = std::max(worst, message_time(bytes, cgs[r], cgs[r - pow2]));
+    }
+    total += 2.0 * worst;  // fold in before, fold out after
+  }
+  for (std::size_t stride = 1; stride < pow2; stride *= 2) {
+    double worst = 0.0;
+    for (std::size_t r = 0; r < pow2; ++r) {
+      const std::size_t partner = r ^ stride;
+      if (partner < r) {
+        continue;  // pair counted once
+      }
+      worst = std::max(worst, message_time(bytes, cgs[r], cgs[partner]));
+    }
+    total += worst;
+  }
+  return total;
+}
+
+double Topology::broadcast_time(std::size_t bytes, std::size_t first_cg,
+                                std::size_t count) const {
+  SWHKM_REQUIRE(first_cg + count <= num_cgs(), "CG range out of machine");
+  if (count <= 1) {
+    return 0.0;
+  }
+  // Binomial tree from rank 0 of the range: stage s doubles the reached
+  // prefix; stage cost is its worst link.
+  double total = 0.0;
+  for (std::size_t reached = 1; reached < count; reached *= 2) {
+    double worst = 0.0;
+    const std::size_t senders = std::min(reached, count - reached);
+    for (std::size_t s = 0; s < senders; ++s) {
+      worst = std::max(
+          worst, message_time(bytes, first_cg + s, first_cg + s + reached));
+    }
+    total += worst;
+  }
+  return total;
+}
+
+double Topology::min_combine_time(std::size_t first_cg,
+                                  std::size_t count) const {
+  // (double, uint64) payload: 16 bytes — pure latency in practice.
+  return allreduce_time(sizeof(double) + sizeof(std::uint64_t), first_cg,
+                        count);
+}
+
+}  // namespace swhkm::simarch

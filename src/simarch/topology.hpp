@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "simarch/machine_config.hpp"
+
+namespace swhkm::simarch {
+
+/// TaihuLight interconnect model: CGs sit on nodes (4 per SW26010
+/// processor), nodes sit on supernodes (256 per interconnection board), and
+/// supernodes meet at the central routing switch. Link quality degrades in
+/// three steps: same node (shared memory) > same supernode (board network)
+/// > cross supernode (central switch).
+///
+/// Ranks in this class are CG indices; placement is contiguous: CG r lives
+/// on node r / cgs_per_node. The paper's placement advice ("make a CG group
+/// located within a super-node if possible") is modelled by choosing which
+/// contiguous CG ranges a plan assigns to a group.
+class Topology {
+ public:
+  explicit Topology(const MachineConfig& config);
+
+  std::size_t num_cgs() const { return config_->num_cgs(); }
+  std::size_t node_of_cg(std::size_t cg) const {
+    return cg / config_->cgs_per_node;
+  }
+  std::size_t supernode_of_node(std::size_t node) const {
+    return node / config_->supernode_nodes;
+  }
+  std::size_t supernode_of_cg(std::size_t cg) const {
+    return supernode_of_node(node_of_cg(cg));
+  }
+  bool same_node(std::size_t cg_a, std::size_t cg_b) const {
+    return node_of_cg(cg_a) == node_of_cg(cg_b);
+  }
+  bool same_supernode(std::size_t cg_a, std::size_t cg_b) const {
+    return supernode_of_cg(cg_a) == supernode_of_cg(cg_b);
+  }
+
+  /// Seconds for one point-to-point message of `bytes` between two CGs.
+  double message_time(std::size_t bytes, std::size_t cg_a,
+                      std::size_t cg_b) const;
+
+  /// Seconds for a sum-AllReduce of `bytes` payload over the contiguous CG
+  /// range [first_cg, first_cg + count). Modelled as recursive doubling:
+  /// ceil(log2(count)) stages, each stage exchanging the full payload with
+  /// a partner 2^s ranks away; a stage costs what its slowest pair costs.
+  /// Crossing node and supernode boundaries at the large-stride stages is
+  /// what produces the boundary effects the paper observes in Fig. 7.
+  double allreduce_time(std::size_t bytes, std::size_t first_cg,
+                        std::size_t count) const;
+
+  /// Same, over an arbitrary set of CG ranks (e.g. the stride-m'_group
+  /// same-slice CGs that combine accumulators in Level 3).
+  double allreduce_time(std::size_t bytes,
+                        const std::vector<std::size_t>& cgs) const;
+
+  /// Seconds for a one-to-all broadcast over the same range (binomial tree;
+  /// log2(count) stages of the full payload).
+  double broadcast_time(std::size_t bytes, std::size_t first_cg,
+                        std::size_t count) const;
+
+  /// Seconds for an argmin-style combine of a tiny (value,index) payload
+  /// over the range — latency dominated; used per-sample by Level 3.
+  double min_combine_time(std::size_t first_cg, std::size_t count) const;
+
+ private:
+  const MachineConfig* config_;
+};
+
+}  // namespace swhkm::simarch

@@ -1,0 +1,129 @@
+#include "simarch/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace swhkm::simarch {
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kSampleRead:
+      return "sample_read";
+    case Phase::kCentroidStream:
+      return "centroid_stream";
+    case Phase::kCompute:
+      return "compute";
+    case Phase::kMeshComm:
+      return "mesh_comm";
+    case Phase::kNetComm:
+      return "net_comm";
+    case Phase::kUpdate:
+      return "update";
+  }
+  return "unknown";
+}
+
+void Trace::record_iteration(std::uint32_t cg, std::uint32_t iteration,
+                             double iteration_start, const CostTally& tally) {
+  const double durations[kPhaseCount] = {
+      tally.sample_read_s, tally.centroid_stream_s, tally.compute_s,
+      tally.mesh_comm_s,   tally.net_comm_s,        tally.update_s,
+  };
+  std::lock_guard lock(mutex_);
+  double clock = iteration_start;
+  for (int p = 0; p < kPhaseCount; ++p) {
+    if (durations[p] <= 0) {
+      continue;
+    }
+    events_.push_back(TraceEvent{cg, iteration, static_cast<Phase>(p), clock,
+                                 durations[p]});
+    clock += durations[p];
+  }
+}
+
+std::size_t Trace::event_count() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Trace::events() const {
+  std::vector<TraceEvent> copy;
+  {
+    std::lock_guard lock(mutex_);
+    copy = events_;
+  }
+  std::sort(copy.begin(), copy.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.cg != b.cg ? a.cg < b.cg : a.start_s < b.start_s;
+            });
+  return copy;
+}
+
+std::vector<double> Trace::phase_totals() const {
+  std::vector<double> totals(kPhaseCount, 0.0);
+  std::lock_guard lock(mutex_);
+  for (const TraceEvent& event : events_) {
+    totals[static_cast<int>(event.phase)] += event.duration_s;
+  }
+  return totals;
+}
+
+double Trace::makespan() const {
+  std::lock_guard lock(mutex_);
+  double latest = 0;
+  for (const TraceEvent& event : events_) {
+    latest = std::max(latest, event.start_s + event.duration_s);
+  }
+  return latest;
+}
+
+double Trace::imbalance(std::uint32_t iteration) const {
+  std::lock_guard lock(mutex_);
+  // Per-rank total duration within the iteration.
+  std::vector<std::pair<std::uint32_t, double>> per_rank;
+  for (const TraceEvent& event : events_) {
+    if (event.iteration != iteration) {
+      continue;
+    }
+    auto it = std::find_if(per_rank.begin(), per_rank.end(),
+                           [&](const auto& entry) {
+                             return entry.first == event.cg;
+                           });
+    if (it == per_rank.end()) {
+      per_rank.emplace_back(event.cg, event.duration_s);
+    } else {
+      it->second += event.duration_s;
+    }
+  }
+  if (per_rank.empty()) {
+    return 0.0;
+  }
+  double worst = 0;
+  double sum = 0;
+  for (const auto& [cg, seconds] : per_rank) {
+    worst = std::max(worst, seconds);
+    sum += seconds;
+  }
+  const double mean = sum / static_cast<double>(per_rank.size());
+  return mean > 0 ? worst / mean : 1.0;
+}
+
+std::string Trace::to_csv() const {
+  std::ostringstream out;
+  out << "cg,iteration,phase,start_s,duration_s\n";
+  for (const TraceEvent& event : events()) {
+    out << event.cg << ',' << event.iteration << ','
+        << phase_name(event.phase) << ',' << event.start_s << ','
+        << event.duration_s << '\n';
+  }
+  return out.str();
+}
+
+void Trace::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+}
+
+}  // namespace swhkm::simarch

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simarch/cost.hpp"
+
+namespace swhkm::simarch {
+
+/// Phases of one engine iteration, in execution order — the trace assumes
+/// the non-overlapped phase model the cost ledger uses.
+enum class Phase : int {
+  kSampleRead = 0,
+  kCentroidStream,
+  kCompute,
+  kMeshComm,
+  kNetComm,
+  kUpdate,
+};
+inline constexpr int kPhaseCount = 6;
+const char* phase_name(Phase phase);
+
+/// One simulated-time interval on one core group.
+struct TraceEvent {
+  std::uint32_t cg = 0;
+  std::uint32_t iteration = 0;
+  Phase phase = Phase::kSampleRead;
+  double start_s = 0;     ///< simulated seconds since run start
+  double duration_s = 0;
+};
+
+/// Timeline of an engine run in simulated time: every rank reports its
+/// per-iteration cost split, and the trace lays the phases out as
+/// intervals (per CG, iterations back to back). Thread-safe appends —
+/// engine ranks record concurrently.
+///
+/// The result is the Gantt-style view HPC people actually debug with:
+/// which phase dominates, how imbalanced ranks are, where the machine
+/// idles at the AllReduce.
+class Trace {
+ public:
+  /// Record one rank's iteration as six phase intervals. `iteration_start`
+  /// is the simulated time the iteration began on this rank (engines pass
+  /// their running per-rank clock).
+  void record_iteration(std::uint32_t cg, std::uint32_t iteration,
+                        double iteration_start, const CostTally& tally);
+
+  std::size_t event_count() const;
+  std::vector<TraceEvent> events() const;  ///< copy, sorted by (cg, start)
+
+  /// Total simulated seconds attributed to each phase across all ranks.
+  std::vector<double> phase_totals() const;
+
+  /// Longest per-rank simulated completion time (the run's critical path
+  /// under the trace's serialization assumptions).
+  double makespan() const;
+
+  /// Rank imbalance of one iteration: slowest rank time / mean rank time
+  /// (1.0 = perfectly balanced).
+  double imbalance(std::uint32_t iteration) const;
+
+  /// CSV with header: cg,iteration,phase,start_s,duration_s.
+  std::string to_csv() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace swhkm::simarch

@@ -1,0 +1,153 @@
+#include "swmpi/comm.hpp"
+
+#include <algorithm>
+
+namespace swhkm::swmpi {
+
+namespace detail {
+
+World::World(int world_size) : size(world_size) {
+  boxes.reserve(static_cast<std::size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    boxes.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+}  // namespace detail
+
+void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
+  SWHKM_REQUIRE(valid(), "communicator is empty");
+  SWHKM_REQUIRE(dest >= 0 && dest < size(), "destination rank out of range");
+  Message message;
+  message.source = rank_;
+  message.tag = tag;
+  message.payload.assign(payload.begin(), payload.end());
+  world_->boxes[static_cast<std::size_t>(dest)]->push(std::move(message));
+}
+
+std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
+  SWHKM_REQUIRE(valid(), "communicator is empty");
+  SWHKM_REQUIRE(source == kAnySource || (source >= 0 && source < size()),
+                "source rank out of range");
+  Message message =
+      world_->boxes[static_cast<std::size_t>(rank_)]->pop_matching(source, tag);
+  return std::move(message.payload);
+}
+
+Comm Comm::split(int color, int key) {
+  SWHKM_REQUIRE(valid(), "communicator is empty");
+  const int tag = next_collective_tag();
+
+  // Exchange (color, key) through rank 0. Linear, but split happens once
+  // per engine run, not per iteration.
+  struct Entry {
+    int color;
+    int key;
+    int old_rank;
+  };
+  std::vector<Entry> entries(static_cast<std::size_t>(size()));
+  const Entry mine{color, key, rank_};
+  if (rank_ == 0) {
+    entries[0] = mine;
+    for (int r = 1; r < size(); ++r) {
+      Message m = world_->boxes[0]->pop_matching(r, tag);
+      SWHKM_REQUIRE(m.payload.size() == sizeof(Entry), "bad split payload");
+      std::memcpy(&entries[static_cast<std::size_t>(r)], m.payload.data(),
+                  sizeof(Entry));
+    }
+    for (int r = 1; r < size(); ++r) {
+      send<Entry>(r, tag, std::span<const Entry>(entries));
+    }
+  } else {
+    send_value<Entry>(0, tag, mine);
+    entries = recv<Entry>(0, tag);
+  }
+
+  // Members of my color, ordered by (key, old rank); my new rank is my
+  // position in that order.
+  std::vector<Entry> members;
+  for (const Entry& e : entries) {
+    if (e.color == color) {
+      members.push_back(e);
+    }
+  }
+  std::sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.old_rank < b.old_rank;
+  });
+  int new_rank = -1;
+  std::vector<int> registry_key;
+  registry_key.push_back(tag);
+  registry_key.push_back(color);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    registry_key.push_back(members[i].old_rank);
+    if (members[i].old_rank == rank_) {
+      new_rank = static_cast<int>(i);
+    }
+  }
+  SWHKM_REQUIRE(new_rank >= 0, "split bookkeeping lost the caller");
+
+  // Rendezvous: first member in creates the sub-world, last one out
+  // removes the registry entry.
+  std::shared_ptr<detail::World> sub;
+  {
+    std::lock_guard lock(world_->splits.mutex);
+    auto it = world_->splits.live.find(registry_key);
+    if (it == world_->splits.live.end()) {
+      sub = std::make_shared<detail::World>(static_cast<int>(members.size()));
+      sub->pickups_remaining = static_cast<int>(members.size());
+      world_->splits.live.emplace(registry_key, sub);
+    } else {
+      sub = it->second;
+    }
+    if (--sub->pickups_remaining == 0) {
+      world_->splits.live.erase(registry_key);
+    }
+  }
+  {
+    std::lock_guard lock(world_->children_mutex);
+    world_->children.push_back(sub);
+  }
+  return Comm(std::move(sub), new_rank);
+}
+
+std::vector<Comm> Comm::create_world(int size) {
+  SWHKM_REQUIRE(size >= 1, "world needs at least one rank");
+  auto world = std::make_shared<detail::World>(size);
+  std::vector<Comm> comms;
+  comms.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    comms.push_back(Comm(world, r));
+  }
+  return comms;
+}
+
+void Comm::abort_world() {
+  if (!world_) {
+    return;
+  }
+  world_->abort_all();
+}
+
+namespace detail {
+
+void World::abort_all() {
+  for (auto& box : boxes) {
+    box->abort();
+  }
+  std::vector<std::shared_ptr<World>> kids;
+  {
+    std::lock_guard lock(children_mutex);
+    for (auto& weak : children) {
+      if (auto strong = weak.lock()) {
+        kids.push_back(std::move(strong));
+      }
+    }
+  }
+  for (auto& kid : kids) {
+    kid->abort_all();
+  }
+}
+
+}  // namespace detail
+
+}  // namespace swhkm::swmpi

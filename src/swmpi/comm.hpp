@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "swmpi/mailbox.hpp"
+#include "util/error.hpp"
+
+namespace swhkm::swmpi {
+
+/// Tags >= kReservedTagBase are used internally by the collectives; user
+/// point-to-point traffic must stay below it.
+inline constexpr int kReservedTagBase = 1 << 24;
+
+namespace detail {
+
+struct World;
+
+/// Rendezvous registry used by Comm::split: every member of a new
+/// sub-communicator must end up holding the *same* World object, so the
+/// first member to arrive creates it and the rest look it up by a key that
+/// all members can compute identically.
+struct SplitRegistry {
+  std::mutex mutex;
+  std::map<std::vector<int>, std::shared_ptr<World>> live;
+};
+
+/// Shared state of one communicator: one mailbox per member rank.
+struct World {
+  explicit World(int size);
+
+  int size;
+  std::vector<std::unique_ptr<Mailbox>> boxes;
+  SplitRegistry splits;
+
+  /// How many members still have to pick this world up out of the parent's
+  /// split registry (only meaningful while registered there).
+  int pickups_remaining = 0;
+
+  /// Sub-worlds created by split(); abort_all() must reach ranks blocked in
+  /// a sub-communicator's recv too.
+  std::mutex children_mutex;
+  std::vector<std::weak_ptr<World>> children;
+
+  /// Poison every mailbox (recursively) so blocked ranks unblock with a
+  /// RuntimeFault instead of deadlocking after a peer died.
+  void abort_all();
+};
+
+}  // namespace detail
+
+/// A rank's handle onto a communicator — the MPI-flavoured façade of the
+/// thread-backed runtime. Copyable (both copies denote the same rank).
+///
+/// Deadlock discipline: send() never blocks (mailboxes are unbounded);
+/// recv() blocks until a matching message arrives. Collectives must be
+/// entered by every rank of the communicator in the same order.
+class Comm {
+ public:
+  Comm() = default;
+
+  int rank() const { return rank_; }
+  int size() const { return world_ ? world_->size : 0; }
+  bool valid() const { return world_ != nullptr; }
+
+  void send_bytes(int dest, int tag, std::span<const std::byte> payload);
+  std::vector<std::byte> recv_bytes(int source, int tag);
+
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> payload) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag,
+               std::as_bytes(std::span<const T>(payload.data(),
+                                                payload.size())));
+  }
+
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) {
+    send(dest, tag, std::span<const T>(&value, 1));
+  }
+
+  template <typename T>
+  std::vector<T> recv(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> raw = recv_bytes(source, tag);
+    SWHKM_REQUIRE(raw.size() % sizeof(T) == 0,
+                  "received payload is not a whole number of elements");
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  template <typename T>
+  T recv_value(int source, int tag) {
+    std::vector<T> v = recv<T>(source, tag);
+    SWHKM_REQUIRE(v.size() == 1, "expected a single-element message");
+    return v.front();
+  }
+
+  /// Collective: partition the communicator by `color`; ranks sharing a
+  /// color form a new communicator, ordered by (key, old rank). Every rank
+  /// must call it; each gets the sub-communicator for its own color.
+  Comm split(int color, int key);
+
+  /// Fresh internal tag for one collective operation. All ranks call the
+  /// collectives in the same order, so their sequence counters agree.
+  int next_collective_tag() { return kReservedTagBase + (op_seq_++ & 0xFFFF); }
+
+  /// Create the root communicator for `size` ranks; runtime.cpp hands each
+  /// spawned thread its rank's handle.
+  static std::vector<Comm> create_world(int size);
+
+  /// Poison this communicator and all its sub-communicators; any rank
+  /// blocked in recv wakes up with RuntimeFault. Called by the SPMD
+  /// launcher when a rank dies so the others don't deadlock.
+  void abort_world();
+
+ private:
+  Comm(std::shared_ptr<detail::World> world, int rank)
+      : world_(std::move(world)), rank_(rank) {}
+
+  std::shared_ptr<detail::World> world_;
+  int rank_ = -1;
+  int op_seq_ = 0;
+};
+
+}  // namespace swhkm::swmpi

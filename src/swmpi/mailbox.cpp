@@ -1,0 +1,70 @@
+#include "swmpi/mailbox.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace swhkm::swmpi {
+
+namespace {
+bool matches(const Message& message, int source, int tag) {
+  return (source == kAnySource || message.source == source) &&
+         message.tag == tag;
+}
+}  // namespace
+
+void Mailbox::push(Message message) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  arrived_.notify_all();
+}
+
+Message Mailbox::pop_matching(int source, int tag) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [&](const Message& m) {
+                             return matches(m, source, tag);
+                           });
+    if (it != queue_.end()) {
+      Message out = std::move(*it);
+      queue_.erase(it);
+      return out;
+    }
+    if (aborted_) {
+      throw RuntimeFault("swmpi: communicator aborted while waiting for a "
+                         "message (a peer rank failed)");
+    }
+    arrived_.wait(lock);
+  }
+}
+
+bool Mailbox::try_pop_matching(int source, int tag, Message& out) {
+  std::lock_guard lock(mutex_);
+  auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
+    return matches(m, source, tag);
+  });
+  if (it == queue_.end()) {
+    return false;
+  }
+  out = std::move(*it);
+  queue_.erase(it);
+  return true;
+}
+
+void Mailbox::abort() {
+  {
+    std::lock_guard lock(mutex_);
+    aborted_ = true;
+  }
+  arrived_.notify_all();
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace swhkm::swmpi

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace swhkm::swmpi {
+
+/// One addressed message. `payload` is raw bytes; typed views live in
+/// Comm's templated helpers.
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+inline constexpr int kAnySource = -1;
+
+/// Per-rank inbound queue. Senders push from any thread; the owning rank
+/// blocks in pop_matching until a message with the requested source/tag
+/// arrives. Matching is out-of-order (a later-arrived matching message can
+/// be taken while earlier non-matching ones wait), which is what MPI's
+/// (source, tag) envelope semantics require.
+class Mailbox {
+ public:
+  void push(Message message);
+
+  /// Block until a message from `source` (or kAnySource) with tag `tag`
+  /// is available, remove and return it.
+  Message pop_matching(int source, int tag);
+
+  /// Non-blocking variant; returns false when nothing matches right now.
+  bool try_pop_matching(int source, int tag, Message& out);
+
+  /// Poison the mailbox: current and future pop_matching calls that find no
+  /// match throw RuntimeFault instead of blocking. Used when a peer rank
+  /// dies, so the SPMD job fails loudly rather than deadlocking.
+  void abort();
+
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::deque<Message> queue_;
+  bool aborted_ = false;
+};
+
+}  // namespace swhkm::swmpi

@@ -1,0 +1,64 @@
+#include "swmpi/runtime.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace swhkm::swmpi {
+
+void run_spmd(int nranks, const std::function<void(Comm&)>& body) {
+  SWHKM_REQUIRE(nranks >= 1, "need at least one rank");
+  std::vector<Comm> comms = Comm::create_world(nranks);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+
+  auto run_rank = [&](int rank) {
+    try {
+      body(comms[static_cast<std::size_t>(rank)]);
+    } catch (...) {
+      errors[static_cast<std::size_t>(rank)] = std::current_exception();
+      // Unblock peers waiting on this rank.
+      comms[static_cast<std::size_t>(rank)].abort_world();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks - 1));
+  for (int rank = 1; rank < nranks; ++rank) {
+    threads.emplace_back(run_rank, rank);
+  }
+  run_rank(0);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  // Prefer the original failure over secondary "aborted" faults.
+  std::exception_ptr first_real;
+  std::exception_ptr first_any;
+  for (const auto& error : errors) {
+    if (!error) {
+      continue;
+    }
+    if (!first_any) {
+      first_any = error;
+    }
+    if (!first_real) {
+      try {
+        std::rethrow_exception(error);
+      } catch (const RuntimeFault&) {
+        // likely a secondary abort; keep looking
+      } catch (...) {
+        first_real = error;
+      }
+    }
+  }
+  if (first_real) {
+    std::rethrow_exception(first_real);
+  }
+  if (first_any) {
+    std::rethrow_exception(first_any);
+  }
+}
+
+}  // namespace swhkm::swmpi

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <functional>
+
+#include "swmpi/comm.hpp"
+
+namespace swhkm::swmpi {
+
+/// Launch `body` on `nranks` SPMD ranks (rank 0 on the calling thread,
+/// the rest on fresh std::threads), join them all, and rethrow the
+/// lowest-rank exception if any rank failed.
+///
+/// When a rank throws, the whole communicator tree is poisoned so ranks
+/// blocked in recv fail fast instead of deadlocking; their secondary
+/// "communicator aborted" faults are swallowed in favour of the original
+/// error.
+void run_spmd(int nranks, const std::function<void(Comm&)>& body);
+
+}  // namespace swhkm::swmpi

@@ -1,0 +1,132 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace swhkm::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SWHKM_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+Table& Table::new_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  if (rows_.empty()) {
+    new_row();
+  }
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+
+Table& Table::add(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return add(std::string(buf));
+}
+
+Table& Table::add(std::uint64_t value) { return add(std::to_string(value)); }
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& cells,
+                      std::string& out) {
+    out += "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+
+  std::string rule = "+";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule += std::string(widths[c] + 2, '-') + "+";
+  }
+  rule += "\n";
+
+  std::string out = rule;
+  emit_row(headers_, out);
+  out += rule;
+  for (const auto& row : rows_) {
+    emit_row(row, out);
+  }
+  out += rule;
+  return out;
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') {
+      out += "\"\"";
+    } else {
+      out += ch;
+    }
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) {
+      out += ",";
+    }
+    out += csv_escape(headers_[c]);
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c != 0) {
+        out += ",";
+      }
+      if (c < row.size()) {
+        out += csv_escape(row[c]);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void Table::print(std::ostream& out) const { out << to_text(); }
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    SWHKM_WARN << "cannot open " << path << " for writing";
+    return false;
+  }
+  file << to_csv();
+  return static_cast<bool>(file);
+}
+
+}  // namespace swhkm::util

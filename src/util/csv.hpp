@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swhkm::util {
+
+/// Small result-table builder used by every bench binary: collects rows of
+/// heterogeneous cells, then renders either an aligned text table (for the
+/// terminal) or CSV (for plotting scripts).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row. Cells are appended with operator<< style add() calls;
+  /// a row may be shorter than the header (missing cells render empty).
+  Table& new_row();
+
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(double value, int precision = 4);
+  Table& add(std::uint64_t value);
+  Table& add(std::int64_t value);
+  Table& add(int value);
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Aligned, boxed text rendering.
+  std::string to_text() const;
+  /// RFC-4180-ish CSV rendering (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+  void print(std::ostream& out) const;
+  /// Write CSV to `path`; returns false (and logs) on IO failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace swhkm::util

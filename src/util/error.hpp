@@ -1,0 +1,59 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace swhkm {
+
+/// Root of the library's exception hierarchy. Everything swhkm throws
+/// derives from this, so callers can catch one type at the API boundary.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A requested allocation does not fit in a simulated memory (e.g. a CPE's
+/// 64 KiB LDM). Thrown by the scratchpad allocator; partition planners must
+/// never let engine code reach this.
+class CapacityError : public Error {
+ public:
+  explicit CapacityError(const std::string& what) : Error(what) {}
+};
+
+/// A problem shape / machine combination violates one of the paper's
+/// feasibility constraints (C1..C3'') for the requested partition level.
+class InfeasibleError : public Error {
+ public:
+  explicit InfeasibleError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed input: bad file format, inconsistent dimensions, invalid
+/// configuration values.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant violation in the runtime (mismatched collective
+/// participation, mailbox protocol breach). Indicates a bug, not bad input.
+class RuntimeFault : public Error {
+ public:
+  explicit RuntimeFault(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const std::string& what) {
+  throw InvalidArgument(what);
+}
+}  // namespace detail
+
+/// Lightweight precondition check used at public API boundaries.
+#define SWHKM_REQUIRE(cond, msg)                                    \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::swhkm::detail::throw_invalid(std::string("precondition `") + \
+                                     #cond + "` failed: " + (msg)); \
+    }                                                               \
+  } while (0)
+
+}  // namespace swhkm

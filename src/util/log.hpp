@@ -1,0 +1,50 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace swhkm::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold. Messages below this level are dropped.
+/// Default is kWarn so library users see problems but not chatter;
+/// benches and examples raise it to kInfo explicitly.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr with a level tag. Thread-safe (single write call).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace swhkm::util
+
+#define SWHKM_LOG(level)                                      \
+  if (static_cast<int>(level) <                               \
+      static_cast<int>(::swhkm::util::log_level())) {         \
+  } else                                                      \
+    ::swhkm::util::detail::LineBuilder(level)
+
+#define SWHKM_DEBUG SWHKM_LOG(::swhkm::util::LogLevel::kDebug)
+#define SWHKM_INFO SWHKM_LOG(::swhkm::util::LogLevel::kInfo)
+#define SWHKM_WARN SWHKM_LOG(::swhkm::util::LogLevel::kWarn)
+#define SWHKM_ERROR SWHKM_LOG(::swhkm::util::LogLevel::kError)

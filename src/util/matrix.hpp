@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace swhkm::util {
+
+/// Dense row-major matrix of float — the storage type for samples and
+/// centroids throughout the library. Rows are contiguous so a row maps to a
+/// simulated DMA transfer and a std::span without copies.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix from_vector(std::size_t rows, std::size_t cols,
+                            std::vector<float> values) {
+    SWHKM_REQUIRE(values.size() == rows * cols,
+                  "value count must equal rows*cols");
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = std::move(values);
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<float> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void fill(float value) { data_.assign(data_.size(), value); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace swhkm::util

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace swhkm::util {
+
+/// xoshiro256** 1.0 — a small, fast, high-quality PRNG (Blackman & Vigna).
+/// We carry our own generator instead of std::mt19937 so that every dataset
+/// and initialisation in the repository is bit-reproducible across standard
+/// libraries and platforms.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Unbiased via rejection.
+  std::uint64_t below(std::uint64_t n) {
+    if (n == 0) {
+      return 0;
+    }
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) {
+        return r % n;
+      }
+    }
+  }
+
+  /// Standard normal via Box–Muller (no cached second value: keeps the
+  /// generator stateless beyond its 256-bit core, which makes stream
+  /// splitting by reseeding safe).
+  double normal();
+
+  /// Derive an independent stream for a sub-task (e.g. per-rank data
+  /// generation) without sharing state.
+  Xoshiro256 split(std::uint64_t stream_id) {
+    return Xoshiro256((*this)() ^ (0xA0761D6478BD642FULL * (stream_id + 1)));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+inline double Xoshiro256::normal() {
+  // Box–Muller; discard the cosine twin. u1 is kept away from 0 so the log
+  // is finite.
+  double u1 = uniform();
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return radius * std::sin(kTwoPi * u2);
+}
+
+}  // namespace swhkm::util

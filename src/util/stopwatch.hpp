@@ -1,0 +1,27 @@
+#pragma once
+
+#include <chrono>
+
+namespace swhkm::util {
+
+/// Monotonic wall-clock stopwatch for benches and examples. Simulated time
+/// (the performance model) never uses this; it lives in simarch::CostTally.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace swhkm::util

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace swhkm::util {
+
+inline constexpr std::size_t kKiB = 1024;
+inline constexpr std::size_t kMiB = 1024 * kKiB;
+inline constexpr std::size_t kGiB = 1024 * kMiB;
+
+inline constexpr double kGB = 1e9;  // decimal gigabyte, used for bandwidths
+
+/// "64 KiB", "1.5 MiB", "132 B" — human-readable byte counts.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "18.2 s", "3.1 ms", "420 us" — human-readable durations.
+std::string format_seconds(double seconds);
+
+/// "1,064,496" — thousands separators for counters in reports.
+std::string format_count(std::uint64_t value);
+
+/// Integer ceiling division for partition arithmetic; requires b > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Round `a` up to the next multiple of `b`; requires b > 0.
+constexpr std::uint64_t round_up(std::uint64_t a, std::uint64_t b) {
+  return ceil_div(a, b) * b;
+}
+
+/// Largest power of two <= x; requires x > 0.
+constexpr std::uint64_t floor_pow2(std::uint64_t x) {
+  std::uint64_t p = 1;
+  while (p * 2 <= x) {
+    p *= 2;
+  }
+  return p;
+}
+
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace swhkm::util

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/elkan.hpp"
+#include "core/hamerly.hpp"
+#include "core/lloyd.hpp"
+#include "core/metrics.hpp"
+#include "core/yinyang.hpp"
+#include "data/synthetic.hpp"
+
+namespace swhkm::core {
+namespace {
+
+/// The three accelerated exact algorithms behind one signature, so the
+/// whole family runs through the same parameterised checks.
+using AccelFn = KmeansResult (*)(const data::Dataset&, const KmeansConfig&,
+                                 AccelStats*);
+
+struct Algo {
+  const char* name;
+  AccelFn run;
+};
+
+class AccelFamilyTest : public ::testing::TestWithParam<Algo> {};
+
+void expect_identical(const KmeansResult& got, const KmeansResult& ref,
+                      const char* name) {
+  EXPECT_EQ(got.iterations, ref.iterations) << name;
+  EXPECT_EQ(got.converged, ref.converged) << name;
+  EXPECT_EQ(assignment_agreement(got.assignments, ref.assignments), 1.0)
+      << name;
+  EXPECT_LT(centroid_max_abs_diff(got.centroids, ref.centroids), 1e-5)
+      << name;
+}
+
+TEST_P(AccelFamilyTest, MatchesLloydOnBlobs) {
+  const data::Dataset ds = data::make_blobs(500, 10, 6, 42);
+  KmeansConfig config;
+  config.k = 6;
+  config.max_iterations = 25;
+  const KmeansResult ref = lloyd_serial(ds, config);
+  const KmeansResult got = GetParam().run(ds, config, nullptr);
+  expect_identical(got, ref, GetParam().name);
+}
+
+TEST_P(AccelFamilyTest, MatchesLloydOnUniform) {
+  const data::Dataset ds = data::make_uniform(400, 8, 17);
+  KmeansConfig config;
+  config.k = 20;
+  config.max_iterations = 15;
+  config.init = InitMethod::kRandom;
+  config.seed = 3;
+  const KmeansResult ref = lloyd_serial(ds, config);
+  const KmeansResult got = GetParam().run(ds, config, nullptr);
+  expect_identical(got, ref, GetParam().name);
+}
+
+TEST_P(AccelFamilyTest, MatchesLloydOnSurrogates) {
+  for (data::Benchmark bench :
+       {data::Benchmark::kKeggNetwork, data::Benchmark::kRoadNetwork,
+        data::Benchmark::kUsCensus1990}) {
+    const data::Dataset ds = data::make_benchmark_surrogate(bench, 250, 96, 8);
+    KmeansConfig config;
+    config.k = 10;
+    config.max_iterations = 12;
+    config.init = InitMethod::kRandom;
+    const KmeansResult ref = lloyd_serial(ds, config);
+    const KmeansResult got = GetParam().run(ds, config, nullptr);
+    expect_identical(got, ref, GetParam().name);
+  }
+}
+
+TEST_P(AccelFamilyTest, KEqualsOneDegenerates) {
+  const data::Dataset ds = data::make_uniform(80, 3, 2);
+  KmeansConfig config;
+  config.k = 1;
+  config.max_iterations = 5;
+  const KmeansResult ref = lloyd_serial(ds, config);
+  const KmeansResult got = GetParam().run(ds, config, nullptr);
+  expect_identical(got, ref, GetParam().name);
+}
+
+TEST_P(AccelFamilyTest, SavesDistancesOnConvergedBlobs) {
+  const data::Dataset ds = data::make_blobs(1500, 12, 8, 7);
+  KmeansConfig config;
+  config.k = 8;
+  config.max_iterations = 30;
+  AccelStats stats;
+  const KmeansResult result = GetParam().run(ds, config, &stats);
+  ASSERT_TRUE(result.converged) << GetParam().name;
+  EXPECT_GT(stats.savings(), 0.3) << GetParam().name;
+  EXPECT_LE(stats.distance_computations, stats.lloyd_equivalent)
+      << GetParam().name;
+}
+
+TEST_P(AccelFamilyTest, FirstIterationIsAlwaysExact) {
+  const data::Dataset ds = data::make_uniform(64, 4, 5);
+  KmeansConfig config;
+  config.k = 8;
+  config.max_iterations = 1;
+  config.tolerance = -1;
+  AccelStats stats;
+  GetParam().run(ds, config, &stats);
+  EXPECT_EQ(stats.distance_computations, 64u * 8u) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Family, AccelFamilyTest,
+    ::testing::Values(Algo{"yinyang", &yinyang_serial},
+                      Algo{"elkan", &elkan_serial},
+                      Algo{"hamerly", &hamerly_serial}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(AccelComparison, ElkanPrunesAtLeastAsHardAsHamerlyOnBlobs) {
+  // Elkan's per-centroid bounds dominate Hamerly's single bound in
+  // pruning power (Hamerly wins on constants, which we do not measure).
+  const data::Dataset ds = data::make_blobs(1000, 8, 12, 3);
+  KmeansConfig config;
+  config.k = 12;
+  config.max_iterations = 20;
+  AccelStats elkan_stats;
+  AccelStats hamerly_stats;
+  elkan_serial(ds, config, &elkan_stats);
+  hamerly_serial(ds, config, &hamerly_stats);
+  EXPECT_LE(elkan_stats.distance_computations,
+            hamerly_stats.distance_computations);
+}
+
+TEST(AccelComparison, BoundOverheadAccounted) {
+  const data::Dataset ds = data::make_uniform(200, 4, 9);
+  KmeansConfig config;
+  config.k = 16;
+  config.max_iterations = 5;
+  config.tolerance = -1;
+  AccelStats elkan_stats;
+  elkan_serial(ds, config, &elkan_stats);
+  // k*(k-1)/2 centroid pairs per iteration.
+  EXPECT_EQ(elkan_stats.centroid_distance_computations, 5u * 16 * 15 / 2);
+  AccelStats yy_stats;
+  yinyang_serial(ds, config, &yy_stats);
+  EXPECT_EQ(yy_stats.centroid_distance_computations, 0u);
+}
+
+}  // namespace
+}  // namespace swhkm::core

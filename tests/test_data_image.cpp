@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+
+#include "data/image.hpp"
+#include "util/error.hpp"
+
+namespace swhkm::data {
+namespace {
+
+TEST(Image, PixelAccess) {
+  Image img(4, 3);
+  EXPECT_EQ(img.width(), 4u);
+  EXPECT_EQ(img.height(), 3u);
+  img.set_pixel(2, 1, 10, 20, 30);
+  const std::uint8_t* p = img.pixel(2, 1);
+  EXPECT_EQ(p[0], 10);
+  EXPECT_EQ(p[1], 20);
+  EXPECT_EQ(p[2], 30);
+}
+
+TEST(Image, PpmRoundtrip) {
+  Image img(5, 4);
+  for (std::size_t y = 0; y < 4; ++y) {
+    for (std::size_t x = 0; x < 5; ++x) {
+      img.set_pixel(x, y, static_cast<std::uint8_t>(x * 50),
+                    static_cast<std::uint8_t>(y * 60), 7);
+    }
+  }
+  const std::string path = ::testing::TempDir() + "/swhkm_img.ppm";
+  save_ppm(img, path);
+  const Image back = load_ppm(path);
+  EXPECT_EQ(back.width(), 5u);
+  EXPECT_EQ(back.height(), 4u);
+  EXPECT_EQ(back.raw(), img.raw());
+}
+
+TEST(Image, SaveEmptyRejected) {
+  EXPECT_THROW(save_ppm(Image(), "/tmp/nope.ppm"), swhkm::InvalidArgument);
+}
+
+TEST(Image, LoadRejectsNonPpm) {
+  const std::string path = ::testing::TempDir() + "/swhkm_not.ppm";
+  std::ofstream(path) << "JPEG??";
+  EXPECT_THROW(load_ppm(path), swhkm::InvalidArgument);
+}
+
+TEST(Palette, SevenDistinctClassColours) {
+  const auto palette = land_cover_palette();
+  std::set<std::uint32_t> unique;
+  for (const auto& c : palette) {
+    unique.insert((c[0] << 16) | (c[1] << 8) | c[2]);
+  }
+  EXPECT_EQ(unique.size(), 7u);
+}
+
+TEST(Scene, DeterministicForSeed) {
+  const Image a = make_land_cover_scene(64, 48, 5);
+  const Image b = make_land_cover_scene(64, 48, 5);
+  EXPECT_EQ(a.raw(), b.raw());
+  const Image c = make_land_cover_scene(64, 48, 6);
+  EXPECT_NE(a.raw(), c.raw());
+}
+
+TEST(Scene, HasSpatialStructure) {
+  // A scene is not iid noise: neighbouring pixels are usually similar.
+  const Image img = make_land_cover_scene(128, 128, 9);
+  std::size_t similar = 0;
+  std::size_t total = 0;
+  for (std::size_t y = 0; y < 127; ++y) {
+    for (std::size_t x = 0; x < 127; x += 7) {
+      const std::uint8_t* a = img.pixel(x, y);
+      const std::uint8_t* b = img.pixel(x + 1, y);
+      const int diff = std::abs(int(a[0]) - b[0]) + std::abs(int(a[1]) - b[1]) +
+                       std::abs(int(a[2]) - b[2]);
+      similar += diff < 120 ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(similar) / total, 0.9);
+}
+
+TEST(Patches, GridArithmetic) {
+  const Image img = make_land_cover_scene(32, 24, 1);
+  const Dataset patches = extract_patches(img, 8, 8);
+  EXPECT_EQ(patches.n(), 4u * 3u);       // (32-8)/8+1 x (24-8)/8+1
+  EXPECT_EQ(patches.d(), 8u * 8u * 3u);  // = 192
+}
+
+TEST(Patches, OverlappingStride) {
+  const Image img = make_land_cover_scene(16, 16, 1);
+  const Dataset patches = extract_patches(img, 8, 4);
+  EXPECT_EQ(patches.n(), 3u * 3u);
+}
+
+TEST(Patches, ContentMatchesPixels) {
+  Image img(8, 8);
+  img.set_pixel(0, 0, 200, 100, 50);
+  const Dataset patches = extract_patches(img, 4, 4);
+  EXPECT_EQ(patches.sample(0)[0], 200.0f);
+  EXPECT_EQ(patches.sample(0)[1], 100.0f);
+  EXPECT_EQ(patches.sample(0)[2], 50.0f);
+}
+
+TEST(Patches, PatchLargerThanImageRejected) {
+  Image img(4, 4);
+  EXPECT_THROW(extract_patches(img, 8, 1), swhkm::InvalidArgument);
+}
+
+TEST(Patches, PaperShape4096IsSide37Ish) {
+  // The paper's d=4096 on 2k x 2k scenes: with RGB patches that's a
+  // ~37x37 window (37*37*3 = 4107 ≈ 4096); our API exposes the side
+  // directly, so verify the arithmetic holds for a realistic side.
+  const Image img = make_land_cover_scene(128, 128, 4);
+  const Dataset patches = extract_patches(img, 37, 37);
+  EXPECT_EQ(patches.d(), 4107u);
+}
+
+TEST(RenderLabels, PaintsClassColours) {
+  const std::size_t side = 4;
+  const std::size_t stride = 4;
+  std::vector<std::uint32_t> labels{0, 4, 3, 6};  // 2x2 patch grid
+  const Image img = render_patch_labels(8, 8, side, stride, labels, 7);
+  const auto palette = land_cover_palette();
+  EXPECT_EQ(img.pixel(0, 0)[0], palette[0][0]);
+  EXPECT_EQ(img.pixel(7, 0)[2], palette[4][2]);  // water patch, blue channel
+  EXPECT_EQ(img.pixel(0, 7)[1], palette[3][1]);  // forest patch, green
+}
+
+TEST(RenderLabels, WrongCountRejected) {
+  std::vector<std::uint32_t> labels{0};
+  EXPECT_THROW(render_patch_labels(8, 8, 4, 4, labels, 7),
+               swhkm::InvalidArgument);
+}
+
+TEST(RenderLabels, OutOfRangeLabelRejected) {
+  std::vector<std::uint32_t> labels{9, 0, 0, 0};
+  EXPECT_THROW(render_patch_labels(8, 8, 4, 4, labels, 7),
+               swhkm::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace swhkm::data

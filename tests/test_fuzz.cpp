@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/checkpoint.hpp"
+#include "data/io.hpp"
+#include "data/synthetic.hpp"
+#include "simarch/ldm.hpp"
+#include "simarch/topology.hpp"
+#include "swmpi/collectives.hpp"
+#include "swmpi/runtime.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace swhkm {
+namespace {
+
+/// Random-bytes fuzz of every binary loader: must throw Error (never
+/// crash, never return garbage silently).
+TEST(Fuzz, LoadersRejectRandomBytes) {
+  util::Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string path =
+        ::testing::TempDir() + "/swhkm_fuzz_" + std::to_string(trial);
+    std::ofstream out(path, std::ios::binary);
+    const std::size_t size = rng.below(512);
+    for (std::size_t b = 0; b < size; ++b) {
+      const char byte = static_cast<char>(rng.below(256));
+      out.write(&byte, 1);
+    }
+    out.close();
+    EXPECT_THROW((void)data::load_binary(path), Error) << trial;
+    EXPECT_THROW((void)core::load_checkpoint(path), Error) << trial;
+  }
+}
+
+/// Header-mutation fuzz: start from a valid file, flip random bytes; the
+/// loader must either throw or return a dataset with a coherent shape.
+TEST(Fuzz, LoaderSurvivesBitFlips) {
+  const data::Dataset ds = data::make_uniform(20, 3, 1);
+  const std::string path = ::testing::TempDir() + "/swhkm_flip.bin";
+  data::save_binary(ds, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+
+  util::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string mutated = bytes;
+    // Flip 1-4 bytes, biased toward the header.
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.below(std::min<std::size_t>(64, mutated.size()));
+      mutated[pos] = static_cast<char>(rng.below(256));
+    }
+    const std::string mpath = ::testing::TempDir() + "/swhkm_flip_mut.bin";
+    std::ofstream(mpath, std::ios::binary) << mutated;
+    try {
+      const data::Dataset loaded = data::load_binary(mpath);
+      EXPECT_EQ(loaded.n() * loaded.d(), loaded.samples().size());
+    } catch (const Error&) {
+      // rejection is the expected common case
+    }
+  }
+}
+
+/// LDM allocator fuzz against a trivial reference model.
+TEST(Fuzz, LdmMatchesReferenceModel) {
+  util::Xoshiro256 rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t capacity = 64 + rng.below(4096);
+    simarch::LdmAllocator ldm(capacity);
+    std::vector<std::pair<std::string, std::size_t>> reference;
+    std::size_t used = 0;
+    for (int op = 0; op < 200; ++op) {
+      if (reference.empty() || rng.below(2) == 0) {
+        const std::size_t bytes = rng.below(capacity / 2 + 1);
+        const std::string name = "b" + std::to_string(op);
+        if (used + bytes <= capacity) {
+          ldm.alloc(name, bytes);
+          reference.emplace_back(name, bytes);
+          used += bytes;
+        } else {
+          EXPECT_THROW(ldm.alloc(name, bytes), CapacityError);
+        }
+      } else {
+        ldm.free(reference.back().first);
+        used -= reference.back().second;
+        reference.pop_back();
+      }
+      ASSERT_EQ(ldm.used(), used);
+      ASSERT_EQ(ldm.live_blocks(), reference.size());
+    }
+  }
+}
+
+/// Topology fuzz: random rank subsets must always give finite,
+/// non-negative, permutation-sensible collective times.
+TEST(Fuzz, TopologyTimesAreSane) {
+  const simarch::MachineConfig machine = simarch::MachineConfig::sw26010(64);
+  const simarch::Topology topo(machine);
+  util::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t count = 1 + rng.below(32);
+    std::vector<std::size_t> ranks;
+    for (std::size_t i = 0; i < count; ++i) {
+      ranks.push_back(rng.below(machine.num_cgs()));
+    }
+    const std::size_t bytes = rng.below(1 << 20);
+    const double t = topo.allreduce_time(bytes, ranks);
+    EXPECT_TRUE(std::isfinite(t));
+    EXPECT_GE(t, 0.0);
+    if (count > 1) {
+      EXPECT_GT(t, 0.0);
+    }
+    // More bytes never cheaper on the same ranks.
+    EXPECT_LE(t, topo.allreduce_time(bytes + 4096, ranks) + 1e-15);
+  }
+}
+
+/// Collectives fuzz: random payload sizes and rank counts, allreduce-sum
+/// must equal the locally computed total.
+TEST(Fuzz, AllreduceSumRandomShapes) {
+  util::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int ranks = 1 + static_cast<int>(rng.below(6));
+    const std::size_t elems = 1 + rng.below(200);
+    swmpi::run_spmd(ranks, [&](swmpi::Comm& comm) {
+      std::vector<std::int64_t> buf(elems);
+      for (std::size_t i = 0; i < elems; ++i) {
+        buf[i] = (comm.rank() + 1) * static_cast<std::int64_t>(i + 1);
+      }
+      swmpi::allreduce_sum(comm, std::span<std::int64_t>(buf));
+      const std::int64_t rank_sum =
+          static_cast<std::int64_t>(ranks) * (ranks + 1) / 2;
+      for (std::size_t i = 0; i < elems; ++i) {
+        ASSERT_EQ(buf[i], rank_sum * static_cast<std::int64_t>(i + 1));
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace swhkm

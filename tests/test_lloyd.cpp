@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/init.hpp"
+#include "core/lloyd.hpp"
+#include "core/metrics.hpp"
+#include "data/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace swhkm::core {
+namespace {
+
+TEST(Init, FirstKTakesLeadingRows) {
+  const data::Dataset ds = data::make_blobs(20, 3, 2, 1);
+  KmeansConfig config;
+  config.k = 3;
+  config.init = InitMethod::kFirstK;
+  const util::Matrix c = init_centroids(ds, config);
+  EXPECT_EQ(c.rows(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t u = 0; u < 3; ++u) {
+      EXPECT_EQ(c.at(j, u), ds.sample(j)[u]);
+    }
+  }
+}
+
+TEST(Init, RandomRowsAreDistinctSamples) {
+  const data::Dataset ds = data::make_uniform(50, 2, 3);
+  KmeansConfig config;
+  config.k = 10;
+  config.init = InitMethod::kRandom;
+  config.seed = 5;
+  const util::Matrix c = init_centroids(ds, config);
+  // Every centroid is an actual sample, and no duplicates.
+  std::set<std::pair<float, float>> seen;
+  for (std::size_t j = 0; j < 10; ++j) {
+    seen.insert({c.at(j, 0), c.at(j, 1)});
+    bool found = false;
+    for (std::size_t i = 0; i < ds.n() && !found; ++i) {
+      found = ds.sample(i)[0] == c.at(j, 0) && ds.sample(i)[1] == c.at(j, 1);
+    }
+    EXPECT_TRUE(found) << "centroid " << j << " is not a sample";
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Init, RandomIsSeedDeterministic) {
+  const data::Dataset ds = data::make_uniform(50, 2, 3);
+  KmeansConfig config;
+  config.k = 5;
+  config.init = InitMethod::kRandom;
+  config.seed = 7;
+  const util::Matrix a = init_centroids(ds, config);
+  const util::Matrix b = init_centroids(ds, config);
+  EXPECT_EQ(centroid_max_abs_diff(a, b), 0.0);
+}
+
+TEST(Init, PlusPlusSpreadsSeeds) {
+  // On two tight far-apart blobs, k-means++ with k=2 picks one seed from
+  // each blob (the D^2 weighting makes the alternative astronomically
+  // unlikely).
+  const data::Dataset ds = data::make_blobs(100, 2, 2, 11, 100.0, 0.01);
+  KmeansConfig config;
+  config.k = 2;
+  config.init = InitMethod::kPlusPlus;
+  config.seed = 3;
+  const util::Matrix c = init_centroids(ds, config);
+  double gap = 0;
+  for (std::size_t u = 0; u < 2; ++u) {
+    const double diff = c.at(0, u) - c.at(1, u);
+    gap += diff * diff;
+  }
+  EXPECT_GT(gap, 100.0);
+}
+
+TEST(Init, KLargerThanNRejected) {
+  const data::Dataset ds = data::make_uniform(5, 2, 1);
+  KmeansConfig config;
+  config.k = 6;
+  EXPECT_THROW(init_centroids(ds, config), swhkm::InvalidArgument);
+}
+
+TEST(Lloyd, RecoversWellSeparatedBlobs) {
+  const data::Dataset ds = data::make_blobs(300, 8, 3, 42);
+  KmeansConfig config;
+  config.k = 3;
+  config.max_iterations = 50;
+  const KmeansResult result = lloyd_serial(ds, config);
+  EXPECT_TRUE(result.converged);
+  // Round-robin memberships: samples i and i+3 share a cluster.
+  for (std::size_t i = 0; i + 3 < ds.n(); i += 17) {
+    EXPECT_EQ(result.assignments[i], result.assignments[i + 3]);
+  }
+  const auto sizes = cluster_sizes(result.assignments, 3);
+  for (std::size_t s : sizes) {
+    EXPECT_EQ(s, 100u);
+  }
+}
+
+TEST(Lloyd, AssignMatchesBruteForce) {
+  const data::Dataset ds = data::make_uniform(64, 5, 9);
+  KmeansConfig config;
+  config.k = 7;
+  const util::Matrix centroids = init_centroids(ds, config);
+  const auto labels = assign_serial(ds, centroids);
+  for (std::size_t i = 0; i < ds.n(); ++i) {
+    double best = 1e300;
+    std::uint32_t best_j = 0;
+    for (std::size_t j = 0; j < 7; ++j) {
+      double dist = 0;
+      for (std::size_t u = 0; u < 5; ++u) {
+        const double diff =
+            double(ds.sample(i)[u]) - double(centroids.at(j, u));
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_j = static_cast<std::uint32_t>(j);
+      }
+    }
+    EXPECT_EQ(labels[i], best_j) << "sample " << i;
+  }
+}
+
+TEST(Lloyd, InertiaNeverIncreasesAcrossIterations) {
+  // Lloyd's algorithm monotonically decreases the objective; check by
+  // running 1, 2, 3 ... iterations from the same start.
+  const data::Dataset ds = data::make_uniform(200, 4, 17);
+  double prev = 1e300;
+  for (std::size_t iters = 1; iters <= 6; ++iters) {
+    KmeansConfig config;
+    config.k = 5;
+    config.max_iterations = iters;
+    config.tolerance = 0;  // never stop early
+    const KmeansResult result = lloyd_serial(ds, config);
+    EXPECT_LE(result.inertia, prev + 1e-9) << iters;
+    prev = result.inertia;
+  }
+}
+
+TEST(Lloyd, EmptyClusterKeepsItsCentroid) {
+  // Two samples, two centroids, one of which is far away and captures
+  // nothing — it must stay put rather than NaN out.
+  data::Dataset ds("x", util::Matrix::from_vector(2, 1, {0.0f, 1.0f}));
+  KmeansConfig config;
+  config.k = 2;
+  config.max_iterations = 3;
+  util::Matrix centroids = util::Matrix::from_vector(2, 1, {0.5f, 100.0f});
+  const KmeansResult result =
+      lloyd_serial_from(ds, config, std::move(centroids));
+  EXPECT_EQ(result.centroids.at(1, 0), 100.0f);
+  EXPECT_EQ(result.assignments[0], 0u);
+  EXPECT_EQ(result.assignments[1], 0u);
+}
+
+TEST(Lloyd, KEqualsOneAveragesEverything) {
+  data::Dataset ds("x", util::Matrix::from_vector(4, 1, {0, 2, 4, 6}));
+  KmeansConfig config;
+  config.k = 1;
+  config.max_iterations = 5;
+  const KmeansResult result = lloyd_serial(ds, config);
+  EXPECT_FLOAT_EQ(result.centroids.at(0, 0), 3.0f);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(Lloyd, KEqualsNPinsEachSample) {
+  const data::Dataset ds = data::make_uniform(6, 2, 5);
+  KmeansConfig config;
+  config.k = 6;
+  config.max_iterations = 10;
+  const KmeansResult result = lloyd_serial(ds, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(Lloyd, ToleranceZeroRunsToMaxIterations) {
+  const data::Dataset ds = data::make_uniform(100, 3, 2);
+  KmeansConfig config;
+  config.k = 4;
+  config.max_iterations = 3;
+  config.tolerance = -1.0;  // shift can never be <= -1
+  const KmeansResult result = lloyd_serial(ds, config);
+  EXPECT_EQ(result.iterations, 3u);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(Lloyd, MismatchedStartRejected) {
+  const data::Dataset ds = data::make_uniform(10, 3, 1);
+  KmeansConfig config;
+  config.k = 2;
+  EXPECT_THROW(lloyd_serial_from(ds, config, util::Matrix(2, 4)),
+               swhkm::InvalidArgument);
+  EXPECT_THROW(lloyd_serial_from(ds, config, util::Matrix(3, 3)),
+               swhkm::InvalidArgument);
+}
+
+TEST(Lloyd, TieBreaksTowardLowerIndex) {
+  // A sample exactly between two centroids goes to the lower index.
+  data::Dataset ds("x", util::Matrix::from_vector(1, 1, {0.0f}));
+  util::Matrix centroids = util::Matrix::from_vector(2, 1, {1.0f, -1.0f});
+  const auto labels = assign_serial(ds, centroids);
+  EXPECT_EQ(labels[0], 0u);
+}
+
+}  // namespace
+}  // namespace swhkm::core

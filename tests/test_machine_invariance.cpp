@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "core/hkmeans.hpp"
+
+namespace swhkm::core {
+namespace {
+
+using simarch::MachineConfig;
+
+/// The library's strongest portability property: the *clustering result*
+/// depends only on (data, config) — never on the simulated machine shape,
+/// the partition level, or the group sizes. Only the simulated cost may
+/// differ. This is what lets a user prototype on 2 tiny nodes and submit
+/// the same job to 4096 without re-validating results.
+TEST(MachineInvariance, ResultsIdenticalAcrossMachinesAndLevels) {
+  const data::Dataset ds = data::make_uniform(240, 9, 13);
+  KmeansConfig config;
+  config.k = 7;
+  config.max_iterations = 9;
+  config.init = InitMethod::kRandom;
+  config.seed = 4;
+  const KmeansResult reference = lloyd_serial(ds, config);
+
+  const MachineConfig machines[] = {
+      MachineConfig::tiny(1, 1, 8192),  MachineConfig::tiny(1, 4, 8192),
+      MachineConfig::tiny(2, 4, 8192),  MachineConfig::tiny(4, 2, 8192),
+      MachineConfig::tiny(3, 6, 16384), MachineConfig::tiny(2, 8, 4096),
+  };
+  for (const MachineConfig& machine : machines) {
+    const ProblemShape shape{ds.n(), config.k, ds.d()};
+    for (Level level : {Level::kLevel1, Level::kLevel2, Level::kLevel3}) {
+      if (!check_level(level, shape, machine).ok) {
+        continue;
+      }
+      const KmeansResult got = run_level(level, ds, config, machine);
+      ASSERT_EQ(got.assignments, reference.assignments)
+          << level_name(level) << " on " << machine.summary();
+      ASSERT_EQ(got.iterations, reference.iterations)
+          << level_name(level) << " on " << machine.summary();
+    }
+  }
+}
+
+TEST(MachineInvariance, GroupSizeNeverChangesResults) {
+  const data::Dataset ds = data::make_blobs(180, 8, 4, 3, 8.0, 2.0);
+  const MachineConfig machine = MachineConfig::tiny(2, 8, 16384);
+  KmeansConfig config;
+  config.k = 4;
+  config.max_iterations = 12;
+  const KmeansResult reference = lloyd_serial(ds, config);
+  const ProblemShape shape{ds.n(), 4, ds.d()};
+
+  for (std::size_t g : candidate_m_groups(machine)) {
+    if (!check_level(Level::kLevel2, shape, machine, g).ok) {
+      continue;
+    }
+    const KmeansResult got = run_level(Level::kLevel2, ds, config, machine, g);
+    ASSERT_EQ(got.assignments, reference.assignments) << "m_group=" << g;
+  }
+  for (std::size_t p : candidate_mprime_groups(machine)) {
+    if (!check_level(Level::kLevel3, shape, machine, 0, p).ok) {
+      continue;
+    }
+    const KmeansResult got =
+        run_level(Level::kLevel3, ds, config, machine, 0, p);
+    ASSERT_EQ(got.assignments, reference.assignments) << "m'_group=" << p;
+  }
+}
+
+TEST(MachineInvariance, CostsDifferWhereResultsDoNot) {
+  // The flip side: the machine DOES change what the run costs.
+  const data::Dataset ds = data::make_uniform(300, 6, 21);
+  KmeansConfig config;
+  config.k = 5;
+  config.max_iterations = 2;
+  config.tolerance = -1;
+  const KmeansResult small =
+      run_level(Level::kLevel1, ds, config, MachineConfig::tiny(1, 2, 8192));
+  const KmeansResult large =
+      run_level(Level::kLevel1, ds, config, MachineConfig::tiny(4, 8, 8192));
+  EXPECT_EQ(small.assignments, large.assignments);
+  EXPECT_NE(small.cost.total_s(), large.cost.total_s());
+}
+
+/// Scaled-down machine (fewer CPEs per CG than the real 64) vs the full
+/// SW26010 shape at a size both can hold: same answer.
+TEST(MachineInvariance, TinyAndFullCgShapesAgree) {
+  const data::Dataset ds = data::make_blobs(400, 12, 5, 17);
+  KmeansConfig config;
+  config.k = 5;
+  config.max_iterations = 6;
+  MachineConfig full = MachineConfig::sw26010(1);
+  full.cgs_per_node = 2;  // keep the thread count reasonable for the test
+  full.validate();
+  const KmeansResult tiny_run =
+      run_level(Level::kLevel3, ds, config, MachineConfig::tiny(2, 4, 8192));
+  const KmeansResult full_run = run_level(Level::kLevel3, ds, config, full);
+  EXPECT_EQ(tiny_run.assignments, full_run.assignments);
+}
+
+}  // namespace
+}  // namespace swhkm::core

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "util/error.hpp"
+
+namespace swhkm::core {
+namespace {
+
+data::Dataset two_points() {
+  return data::Dataset("two",
+                       util::Matrix::from_vector(2, 2, {0, 0, 3, 4}));
+}
+
+TEST(Inertia, HandComputed) {
+  const data::Dataset ds = two_points();
+  util::Matrix centroids = util::Matrix::from_vector(1, 2, {0, 0});
+  // distances^2: 0 and 25, mean = 12.5
+  EXPECT_DOUBLE_EQ(inertia(ds, centroids, {0, 0}), 12.5);
+}
+
+TEST(Inertia, PerfectCentroidsGiveZero) {
+  const data::Dataset ds = two_points();
+  util::Matrix centroids = util::Matrix::from_vector(2, 2, {0, 0, 3, 4});
+  EXPECT_DOUBLE_EQ(inertia(ds, centroids, {0, 1}), 0.0);
+}
+
+TEST(Inertia, WrongAssignmentCountRejected) {
+  const data::Dataset ds = two_points();
+  util::Matrix centroids = util::Matrix::from_vector(1, 2, {0, 0});
+  EXPECT_THROW(inertia(ds, centroids, {0}), swhkm::InvalidArgument);
+}
+
+TEST(ClusterSizes, Counts) {
+  const auto sizes = cluster_sizes({0, 1, 1, 2, 1}, 4);
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 3, 1, 0}));
+}
+
+TEST(ClusterSizes, OutOfRangeLabelRejected) {
+  EXPECT_THROW(cluster_sizes({5}, 3), swhkm::InvalidArgument);
+}
+
+TEST(Agreement, IdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(assignment_agreement({1, 2, 3}, {1, 2, 3}), 1.0);
+}
+
+TEST(Agreement, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(assignment_agreement({1, 1}, {2, 2}), 0.0);
+}
+
+TEST(Agreement, PartialFraction) {
+  EXPECT_DOUBLE_EQ(assignment_agreement({1, 2, 3, 4}, {1, 2, 0, 0}), 0.5);
+}
+
+TEST(Agreement, EmptyIsVacuouslyOne) {
+  EXPECT_DOUBLE_EQ(assignment_agreement({}, {}), 1.0);
+}
+
+TEST(Agreement, LengthMismatchRejected) {
+  EXPECT_THROW(assignment_agreement({1}, {1, 2}), swhkm::InvalidArgument);
+}
+
+TEST(CentroidDiff, MaxAbs) {
+  util::Matrix a = util::Matrix::from_vector(1, 3, {1, 2, 3});
+  util::Matrix b = util::Matrix::from_vector(1, 3, {1, 5, 2});
+  EXPECT_DOUBLE_EQ(centroid_max_abs_diff(a, b), 3.0);
+}
+
+TEST(CentroidDiff, ShapeMismatchRejected) {
+  util::Matrix a(1, 2);
+  util::Matrix b(2, 1);
+  EXPECT_THROW(centroid_max_abs_diff(a, b), swhkm::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace swhkm::core

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "core/lloyd.hpp"
+#include "core/metrics.hpp"
+#include "core/minibatch.hpp"
+#include "data/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace swhkm::core {
+namespace {
+
+TEST(MiniBatch, RecoversSeparatedBlobs) {
+  const data::Dataset ds = data::make_blobs(3000, 8, 5, 11);
+  MiniBatchConfig config;
+  config.k = 5;
+  config.batch_size = 128;
+  config.iterations = 200;
+  config.init = InitMethod::kPlusPlus;  // spread seeds across the blobs
+  config.seed = 3;
+  const KmeansResult result = minibatch_kmeans(ds, config);
+  // Ground-truth memberships are round-robin (i % 5).
+  std::vector<std::uint32_t> truth(ds.n());
+  for (std::size_t i = 0; i < ds.n(); ++i) {
+    truth[i] = static_cast<std::uint32_t>(i % 5);
+  }
+  EXPECT_GT(adjusted_rand_index(result.assignments, truth), 0.98);
+}
+
+TEST(MiniBatch, InertiaApproachesLloyd) {
+  const data::Dataset ds = data::make_blobs(2000, 6, 4, 5);
+  KmeansConfig exact_config;
+  exact_config.k = 4;
+  exact_config.max_iterations = 50;
+  exact_config.init = InitMethod::kRandom;
+  const double exact = lloyd_serial(ds, exact_config).inertia;
+
+  MiniBatchConfig config;
+  config.k = 4;
+  config.batch_size = 256;
+  config.iterations = 300;
+  const double approx = minibatch_kmeans(ds, config).inertia;
+  EXPECT_LT(approx, exact * 1.25 + 1e-9);  // within 25% of exact objective
+}
+
+TEST(MiniBatch, DeterministicForSeed) {
+  const data::Dataset ds = data::make_uniform(500, 5, 9);
+  MiniBatchConfig config;
+  config.k = 6;
+  config.batch_size = 64;
+  config.iterations = 50;
+  config.seed = 42;
+  const KmeansResult a = minibatch_kmeans(ds, config);
+  const KmeansResult b = minibatch_kmeans(ds, config);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(centroid_max_abs_diff(a.centroids, b.centroids), 0.0);
+}
+
+TEST(MiniBatch, EarlyStopWithTolerance) {
+  const data::Dataset ds = data::make_blobs(1000, 4, 3, 2);
+  MiniBatchConfig config;
+  config.k = 3;
+  config.batch_size = 200;
+  config.iterations = 500;
+  config.tolerance = 0.05;  // per-centre steps shrink as 1/count
+  config.patience = 3;
+  const KmeansResult result = minibatch_kmeans(ds, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations, 500u);
+}
+
+TEST(MiniBatch, HistoryHasOneEntryPerIteration) {
+  const data::Dataset ds = data::make_uniform(300, 3, 4);
+  MiniBatchConfig config;
+  config.k = 4;
+  config.iterations = 25;
+  const KmeansResult result = minibatch_kmeans(ds, config);
+  EXPECT_EQ(result.history.size(), result.iterations);
+}
+
+TEST(MiniBatch, BatchLargerThanDatasetClamps) {
+  const data::Dataset ds = data::make_uniform(50, 3, 7);
+  MiniBatchConfig config;
+  config.k = 3;
+  config.batch_size = 10000;
+  config.iterations = 20;
+  const KmeansResult result = minibatch_kmeans(ds, config);
+  EXPECT_EQ(result.assignments.size(), 50u);
+}
+
+TEST(MiniBatch, RejectsBadConfig) {
+  const data::Dataset ds = data::make_uniform(10, 2, 1);
+  MiniBatchConfig config;
+  config.k = 0;
+  EXPECT_THROW(minibatch_kmeans(ds, config), swhkm::InvalidArgument);
+  config.k = 3;
+  config.batch_size = 0;
+  EXPECT_THROW(minibatch_kmeans(ds, config), swhkm::InvalidArgument);
+  config.batch_size = 8;
+  config.k = 11;  // > n
+  EXPECT_THROW(minibatch_kmeans(ds, config), swhkm::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace swhkm::core

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+
+namespace swhkm::core {
+namespace {
+
+using simarch::MachineConfig;
+
+/// Golden pins for the calibrated model at the paper's anchor points.
+/// These are NOT paper values — they are this model's current outputs,
+/// pinned (at 10% tolerance) so that future edits to the cost model or
+/// the planner cannot silently drift the figure reproductions recorded in
+/// EXPERIMENTS.md. If a deliberate model change trips these, re-run the
+/// benches, re-verify EXPERIMENTS.md's claims, and update the pins.
+struct Pin {
+  Level level;
+  std::uint64_t n, k, d;
+  std::size_t nodes;
+  double expected_s;
+};
+
+class ModelRegression : public ::testing::TestWithParam<Pin> {};
+
+TEST_P(ModelRegression, StaysOnCalibration) {
+  const Pin& pin = GetParam();
+  const MachineConfig machine = MachineConfig::sw26010(pin.nodes);
+  const auto choice =
+      best_plan_for_level(pin.level, {pin.n, pin.k, pin.d}, machine);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_NEAR(choice->predicted_s(), pin.expected_s, 0.10 * pin.expected_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Anchors, ModelRegression,
+    ::testing::Values(
+        // Fig. 3: Census, k=64, 1 node.
+        Pin{Level::kLevel1, 2458285, 64, 68, 1, 0.191987},
+        // Fig. 4: Road, k=100000, 256 nodes.
+        Pin{Level::kLevel2, 434874, 100000, 4, 256, 0.054815},
+        // Fig. 7 anchor points (crossover band).
+        Pin{Level::kLevel2, 1265723, 2000, 1536, 128, 0.750809},
+        Pin{Level::kLevel3, 1265723, 2000, 1536, 128, 0.752558},
+        Pin{Level::kLevel2, 1265723, 2000, 4096, 128, 3.669849},
+        Pin{Level::kLevel3, 1265723, 2000, 4096, 128, 1.473814},
+        // Fig. 8 end point.
+        Pin{Level::kLevel2, 1265723, 131072, 4096, 128, 239.120710},
+        Pin{Level::kLevel3, 1265723, 131072, 4096, 128, 97.546467},
+        // Fig. 6b headline.
+        Pin{Level::kLevel3, 1265723, 2000, 196608, 4096, 5.589171},
+        // Table III: Jin et al row.
+        Pin{Level::kLevel2, 140000, 500, 90, 1, 0.107581}),
+    [](const auto& info) {
+      return "L" + std::to_string(static_cast<int>(info.param.level)) + "n" +
+             std::to_string(info.param.nodes) + "k" +
+             std::to_string(info.param.k) + "d" +
+             std::to_string(info.param.d);
+    });
+
+}  // namespace
+}  // namespace swhkm::core

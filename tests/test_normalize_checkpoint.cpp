@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <iterator>
+
+#include "core/checkpoint.hpp"
+#include "core/lloyd.hpp"
+#include "core/metrics.hpp"
+#include "data/normalize.hpp"
+#include "data/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace swhkm {
+namespace {
+
+// -------------------------------------------------------------- normalize
+
+TEST(MinMax, ScalesIntoUnitBox) {
+  data::Dataset ds = data::make_uniform(200, 4, 3, -50.0f, 120.0f);
+  data::minmax_scale(ds);
+  const auto [lo, hi] = ds.bounding_box();
+  for (std::size_t u = 0; u < 4; ++u) {
+    EXPECT_NEAR(lo[u], 0.0f, 1e-5);
+    EXPECT_NEAR(hi[u], 1.0f, 1e-5);
+  }
+}
+
+TEST(MinMax, RoundtripsThroughInversion) {
+  data::Dataset ds = data::make_uniform(100, 3, 7, 5.0f, 9.0f);
+  const data::Dataset original = ds;
+  const data::ScalingParams params = data::minmax_scale(ds);
+  data::invert_scaling(params, ds.samples());
+  for (std::size_t i = 0; i < ds.samples().size(); ++i) {
+    EXPECT_NEAR(ds.samples().flat()[i], original.samples().flat()[i], 1e-4);
+  }
+}
+
+TEST(MinMax, ConstantDimensionMapsToZero) {
+  util::Matrix m = util::Matrix::from_vector(3, 2, {5, 1, 5, 2, 5, 3});
+  data::Dataset ds("x", std::move(m));
+  data::minmax_scale(ds);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ds.sample(i)[0], 0.0f);
+  }
+}
+
+TEST(ZScore, StandardisesMoments) {
+  data::Dataset ds = data::make_blobs(500, 3, 2, 9, 30.0, 2.0);
+  data::zscore_scale(ds);
+  const auto means = ds.dimension_means();
+  for (double m : means) {
+    EXPECT_NEAR(m, 0.0, 1e-4);
+  }
+  // variance ~ 1 per dimension
+  double var = 0;
+  for (std::size_t i = 0; i < ds.n(); ++i) {
+    var += ds.sample(i)[0] * ds.sample(i)[0];
+  }
+  EXPECT_NEAR(var / static_cast<double>(ds.n()), 1.0, 1e-3);
+}
+
+TEST(Scaling, ApplyToQueryMatchesTrainTransform) {
+  data::Dataset train = data::make_uniform(50, 2, 1, 0.0f, 10.0f);
+  util::Matrix query = train.samples();  // copy before scaling
+  const data::ScalingParams params = data::minmax_scale(train);
+  data::apply_scaling(params, query);
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    EXPECT_EQ(query.flat()[i], train.samples().flat()[i]);
+  }
+}
+
+TEST(Scaling, DimensionMismatchRejected) {
+  data::Dataset ds = data::make_uniform(10, 3, 1);
+  const data::ScalingParams params = data::minmax_scale(ds);
+  util::Matrix wrong(2, 4);
+  EXPECT_THROW(data::apply_scaling(params, wrong), InvalidArgument);
+}
+
+TEST(Scaling, ScalingChangesClusteringOfMixedUnits) {
+  // One dimension in thousands dominates unscaled distances; scaling lets
+  // the structured small dimension matter.
+  util::Xoshiro256 rng(5);
+  util::Matrix m(200, 2);
+  for (std::size_t i = 0; i < 200; ++i) {
+    m.at(i, 0) = static_cast<float>(rng.uniform(0, 10000));  // noise, huge
+    m.at(i, 1) = i < 100 ? 0.0f : 1.0f;                      // true structure
+  }
+  data::Dataset ds("mixed", std::move(m));
+  core::KmeansConfig config;
+  config.k = 2;
+  config.max_iterations = 20;
+  config.init = core::InitMethod::kRandom;
+  data::Dataset scaled = ds;
+  data::minmax_scale(scaled);
+  const auto scaled_result = core::lloyd_serial(scaled, config);
+  std::vector<std::uint32_t> truth(200);
+  for (std::size_t i = 100; i < 200; ++i) {
+    truth[i] = 1;
+  }
+  EXPECT_GT(core::adjusted_rand_index(scaled_result.assignments, truth),
+            0.95);
+  const auto raw_result = core::lloyd_serial(ds, config);
+  EXPECT_LT(core::adjusted_rand_index(raw_result.assignments, truth), 0.5);
+}
+
+// ------------------------------------------------------------- checkpoint
+
+TEST(Checkpoint, RoundtripPreservesState) {
+  const data::Dataset ds = data::make_blobs(150, 5, 3, 4);
+  core::KmeansConfig config;
+  config.k = 3;
+  config.max_iterations = 7;
+  config.tolerance = -1;
+  const core::KmeansResult result = core::lloyd_serial(ds, config);
+  const std::string path = ::testing::TempDir() + "/swhkm_ckpt.bin";
+  core::save_checkpoint(result, path);
+  const core::KmeansResult loaded = core::load_checkpoint(path);
+  EXPECT_EQ(loaded.iterations, result.iterations);
+  EXPECT_EQ(loaded.converged, result.converged);
+  EXPECT_EQ(loaded.assignments, result.assignments);
+  EXPECT_DOUBLE_EQ(loaded.inertia, result.inertia);
+  EXPECT_EQ(core::centroid_max_abs_diff(loaded.centroids, result.centroids),
+            0.0);
+}
+
+TEST(Checkpoint, ResumeEqualsUninterruptedRun) {
+  const data::Dataset ds = data::make_uniform(300, 4, 6);
+  core::KmeansConfig first_leg;
+  first_leg.k = 5;
+  first_leg.max_iterations = 3;
+  first_leg.tolerance = -1;
+  const core::KmeansResult partial = core::lloyd_serial(ds, first_leg);
+
+  const std::string path = ::testing::TempDir() + "/swhkm_resume.bin";
+  core::save_checkpoint(partial, path);
+  const core::KmeansResult restored = core::load_checkpoint(path);
+
+  core::KmeansConfig second_leg = first_leg;
+  second_leg.max_iterations = 4;
+  const core::KmeansResult resumed =
+      core::resume_lloyd(ds, second_leg, restored);
+
+  core::KmeansConfig straight = first_leg;
+  straight.max_iterations = 7;
+  const core::KmeansResult uninterrupted = core::lloyd_serial(ds, straight);
+
+  EXPECT_EQ(resumed.iterations, uninterrupted.iterations);
+  EXPECT_EQ(core::assignment_agreement(resumed.assignments,
+                                       uninterrupted.assignments),
+            1.0);
+  EXPECT_LT(core::centroid_max_abs_diff(resumed.centroids,
+                                        uninterrupted.centroids),
+            1e-6);
+}
+
+TEST(Checkpoint, GarbageFileRejected) {
+  const std::string path = ::testing::TempDir() + "/swhkm_bad_ckpt.bin";
+  std::ofstream(path) << "garbage garbage garbage garbage garbage garbage";
+  EXPECT_THROW(core::load_checkpoint(path), InvalidArgument);
+}
+
+TEST(Checkpoint, TruncatedFileRejected) {
+  const data::Dataset ds = data::make_uniform(40, 3, 1);
+  core::KmeansConfig config;
+  config.k = 2;
+  const core::KmeansResult result = core::lloyd_serial(ds, config);
+  const std::string path = ::testing::TempDir() + "/swhkm_trunc_ckpt.bin";
+  core::save_checkpoint(result, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary)
+      << contents.substr(0, contents.size() - 8);
+  EXPECT_THROW(core::load_checkpoint(path), InvalidArgument);
+}
+
+TEST(Checkpoint, ShapeMismatchOnResumeRejected) {
+  const data::Dataset ds = data::make_uniform(40, 3, 1);
+  core::KmeansConfig config;
+  config.k = 2;
+  const core::KmeansResult result = core::lloyd_serial(ds, config);
+  core::KmeansConfig other = config;
+  other.k = 4;
+  EXPECT_THROW(core::resume_lloyd(ds, other, result), InvalidArgument);
+  const data::Dataset wider = data::make_uniform(40, 5, 1);
+  EXPECT_THROW(core::resume_lloyd(wider, config, result), InvalidArgument);
+}
+
+TEST(Checkpoint, EmptyResultRejected) {
+  core::KmeansResult empty;
+  EXPECT_THROW(core::save_checkpoint(empty, "/tmp/x.bin"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace swhkm

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "core/level2.hpp"
+#include "core/lloyd.hpp"
+#include "core/metrics.hpp"
+#include "core/parallel_init.hpp"
+#include "core/partition.hpp"
+#include "data/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace swhkm::core {
+namespace {
+
+TEST(ParallelInit, ProducesKRowsOfD) {
+  const data::Dataset ds = data::make_blobs(400, 6, 4, 3);
+  ParallelInitConfig config;
+  config.k = 4;
+  config.ranks = 3;
+  const util::Matrix centroids = parallel_init(ds, config);
+  EXPECT_EQ(centroids.rows(), 4u);
+  EXPECT_EQ(centroids.cols(), 6u);
+}
+
+TEST(ParallelInit, CentroidsAreActualSamples) {
+  const data::Dataset ds = data::make_uniform(200, 3, 7);
+  ParallelInitConfig config;
+  config.k = 5;
+  config.ranks = 2;
+  const util::Matrix centroids = parallel_init(ds, config);
+  for (std::size_t j = 0; j < 5; ++j) {
+    bool found = false;
+    for (std::size_t i = 0; i < ds.n() && !found; ++i) {
+      found = std::equal(centroids.row(j).begin(), centroids.row(j).end(),
+                         ds.sample(i).begin());
+    }
+    EXPECT_TRUE(found) << "centroid " << j << " is not a sample";
+  }
+}
+
+TEST(ParallelInit, DeterministicForSeedAndRanks) {
+  const data::Dataset ds = data::make_blobs(300, 5, 3, 9);
+  ParallelInitConfig config;
+  config.k = 3;
+  config.ranks = 4;
+  config.seed = 42;
+  const util::Matrix a = parallel_init(ds, config);
+  const util::Matrix b = parallel_init(ds, config);
+  EXPECT_EQ(centroid_max_abs_diff(a, b), 0.0);
+}
+
+TEST(ParallelInit, SeedChangesResult) {
+  const data::Dataset ds = data::make_uniform(300, 5, 9);
+  ParallelInitConfig config;
+  config.k = 6;
+  config.ranks = 2;
+  config.seed = 1;
+  const util::Matrix a = parallel_init(ds, config);
+  config.seed = 2;
+  const util::Matrix b = parallel_init(ds, config);
+  EXPECT_GT(centroid_max_abs_diff(a, b), 0.0);
+}
+
+TEST(ParallelInit, SeedsLandInDistinctBlobs) {
+  // 4 far-apart tight blobs: k-means|| must seed one centroid per blob
+  // (this is exactly where naive random init often collapses).
+  const data::Dataset ds = data::make_blobs(800, 8, 4, 21, 200.0, 0.05);
+  ParallelInitConfig config;
+  config.k = 4;
+  config.ranks = 4;
+  config.rounds = 4;
+  const util::Matrix centroids = parallel_init(ds, config);
+  // All pairwise distances must be blob-scale, not noise-scale.
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a + 1; b < 4; ++b) {
+      double dist = 0;
+      for (std::size_t u = 0; u < 8; ++u) {
+        const double diff = centroids.at(a, u) - centroids.at(b, u);
+        dist += diff * diff;
+      }
+      EXPECT_GT(dist, 100.0) << "centroids " << a << "," << b << " collide";
+    }
+  }
+}
+
+TEST(ParallelInit, ImprovesLloydOverFirstKInit) {
+  // Lloyd from k-means|| seeding must reach an objective no worse than
+  // from the degenerate first-k init on clustered data.
+  const data::Dataset ds = data::make_blobs(600, 6, 6, 77);
+  ParallelInitConfig pconfig;
+  pconfig.k = 6;
+  pconfig.ranks = 3;
+  const util::Matrix seeded = parallel_init(ds, pconfig);
+
+  KmeansConfig config;
+  config.k = 6;
+  config.max_iterations = 30;
+  const double with_parallel =
+      lloyd_serial_from(ds, config, seeded).inertia;
+  config.init = InitMethod::kFirstK;
+  const double with_firstk = lloyd_serial(ds, config).inertia;
+  EXPECT_LE(with_parallel, with_firstk * 1.05 + 1e-9);
+}
+
+TEST(ParallelInit, SingleRankWorks) {
+  const data::Dataset ds = data::make_uniform(100, 4, 5);
+  ParallelInitConfig config;
+  config.k = 3;
+  config.ranks = 1;
+  const util::Matrix centroids = parallel_init(ds, config);
+  EXPECT_EQ(centroids.rows(), 3u);
+}
+
+TEST(ParallelInit, KEqualsOne) {
+  const data::Dataset ds = data::make_uniform(50, 2, 1);
+  ParallelInitConfig config;
+  config.k = 1;
+  config.ranks = 2;
+  EXPECT_EQ(parallel_init(ds, config).rows(), 1u);
+}
+
+TEST(ParallelInit, ZeroRoundsPadsFromData) {
+  // With no oversampling rounds there is only the initial candidate;
+  // the implementation must pad to k with real samples, not zeros.
+  const data::Dataset ds = data::make_uniform(60, 3, 11, 5.0f, 6.0f);
+  ParallelInitConfig config;
+  config.k = 4;
+  config.ranks = 2;
+  config.rounds = 0;
+  const util::Matrix centroids = parallel_init(ds, config);
+  EXPECT_EQ(centroids.rows(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_GE(centroids.at(j, 0), 5.0f);  // inside the data range
+    EXPECT_LT(centroids.at(j, 0), 6.0f);
+  }
+}
+
+TEST(ParallelInit, RejectsBadConfig) {
+  const data::Dataset ds = data::make_uniform(10, 2, 1);
+  ParallelInitConfig config;
+  config.k = 0;
+  EXPECT_THROW(parallel_init(ds, config), swhkm::InvalidArgument);
+  config.k = 20;  // > n
+  EXPECT_THROW(parallel_init(ds, config), swhkm::InvalidArgument);
+  config.k = 2;
+  config.ranks = 0;
+  EXPECT_THROW(parallel_init(ds, config), swhkm::InvalidArgument);
+}
+
+TEST(ParallelInit, FeedsEnginesAsCustomStart) {
+  // End-to-end: k-means|| seeding -> Level 2 engine via run_plan_from.
+  const data::Dataset ds = data::make_blobs(300, 8, 4, 5);
+  ParallelInitConfig pconfig;
+  pconfig.k = 4;
+  pconfig.ranks = 2;
+  util::Matrix seeded = parallel_init(ds, pconfig);
+
+  const auto machine = simarch::MachineConfig::tiny(2, 4, 8192);
+  KmeansConfig config;
+  config.k = 4;
+  config.max_iterations = 20;
+  const ProblemShape shape{ds.n(), 4, ds.d()};
+  const PartitionPlan plan = make_plan(Level::kLevel2, shape, machine);
+  const KmeansResult engine =
+      run_level2(ds, config, machine, plan, seeded);
+  const KmeansResult serial = lloyd_serial_from(ds, config, seeded);
+  EXPECT_EQ(assignment_agreement(engine.assignments, serial.assignments),
+            1.0);
+}
+
+}  // namespace
+}  // namespace swhkm::core

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/lloyd.hpp"
+#include "core/metrics.hpp"
+#include "data/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace swhkm::core {
+namespace {
+
+// ------------------------------------------------------------------- ARI
+
+TEST(Ari, IdenticalPartitionsScoreOne) {
+  const std::vector<std::uint32_t> labels{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(labels, labels), 1.0);
+}
+
+TEST(Ari, RelabelledPartitionStillScoresOne) {
+  const std::vector<std::uint32_t> a{0, 0, 1, 1, 2, 2};
+  const std::vector<std::uint32_t> b{2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), 1.0);
+}
+
+TEST(Ari, IndependentPartitionsScoreNearZero) {
+  // Labels assigned independently of each other.
+  util::Xoshiro256 rng(5);
+  std::vector<std::uint32_t> a(4000);
+  std::vector<std::uint32_t> b(4000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::uint32_t>(rng.below(4));
+    b[i] = static_cast<std::uint32_t>(rng.below(4));
+  }
+  EXPECT_NEAR(adjusted_rand_index(a, b), 0.0, 0.05);
+}
+
+TEST(Ari, PartialOverlapBetweenZeroAndOne) {
+  const std::vector<std::uint32_t> a{0, 0, 0, 1, 1, 1};
+  const std::vector<std::uint32_t> b{0, 0, 1, 1, 1, 1};
+  const double score = adjusted_rand_index(a, b);
+  EXPECT_GT(score, 0.0);
+  EXPECT_LT(score, 1.0);
+}
+
+TEST(Ari, MismatchedLengthsRejected) {
+  EXPECT_THROW(adjusted_rand_index({0}, {0, 1}), swhkm::InvalidArgument);
+}
+
+TEST(Ari, KmeansOnBlobsRecoversTruth) {
+  const data::Dataset ds = data::make_blobs(600, 8, 4, 13);
+  std::vector<std::uint32_t> truth(ds.n());
+  for (std::size_t i = 0; i < ds.n(); ++i) {
+    truth[i] = static_cast<std::uint32_t>(i % 4);
+  }
+  KmeansConfig config;
+  config.k = 4;
+  config.max_iterations = 30;
+  const KmeansResult result = lloyd_serial(ds, config);
+  EXPECT_GT(adjusted_rand_index(result.assignments, truth), 0.99);
+}
+
+// ------------------------------------------------------------- silhouette
+
+TEST(Silhouette, SeparatedBlobsScoreHigh) {
+  const data::Dataset ds = data::make_blobs(300, 6, 3, 21);
+  KmeansConfig config;
+  config.k = 3;
+  config.max_iterations = 20;
+  const KmeansResult result = lloyd_serial(ds, config);
+  EXPECT_GT(silhouette_sampled(ds, result.assignments, 3), 0.7);
+}
+
+TEST(Silhouette, RandomLabelsScoreNearZeroOrBelow) {
+  const data::Dataset ds = data::make_uniform(300, 6, 3);
+  util::Xoshiro256 rng(9);
+  std::vector<std::uint32_t> random_labels(ds.n());
+  for (auto& label : random_labels) {
+    label = static_cast<std::uint32_t>(rng.below(3));
+  }
+  EXPECT_LT(silhouette_sampled(ds, random_labels, 3), 0.1);
+}
+
+TEST(Silhouette, DeterministicForSeed) {
+  const data::Dataset ds = data::make_blobs(400, 5, 3, 2);
+  KmeansConfig config;
+  config.k = 3;
+  const KmeansResult result = lloyd_serial(ds, config);
+  const double a = silhouette_sampled(ds, result.assignments, 3, 128, 7);
+  const double b = silhouette_sampled(ds, result.assignments, 3, 128, 7);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Silhouette, NeedsTwoClusters) {
+  const data::Dataset ds = data::make_uniform(10, 2, 1);
+  EXPECT_THROW(
+      silhouette_sampled(ds, std::vector<std::uint32_t>(10, 0), 1),
+      swhkm::InvalidArgument);
+}
+
+// --------------------------------------------------------- Davies-Bouldin
+
+TEST(DaviesBouldin, TightClustersScoreLow) {
+  const data::Dataset tight = data::make_blobs(300, 6, 3, 5, 50.0, 0.1);
+  const data::Dataset loose = data::make_blobs(300, 6, 3, 5, 50.0, 5.0);
+  KmeansConfig config;
+  config.k = 3;
+  config.max_iterations = 20;
+  const KmeansResult rt = lloyd_serial(tight, config);
+  const KmeansResult rl = lloyd_serial(loose, config);
+  const double db_tight = davies_bouldin(tight, rt.centroids, rt.assignments);
+  const double db_loose = davies_bouldin(loose, rl.centroids, rl.assignments);
+  EXPECT_LT(db_tight, db_loose);
+  EXPECT_GT(db_tight, 0.0);
+}
+
+TEST(DaviesBouldin, NeedsTwoClusters) {
+  const data::Dataset ds = data::make_uniform(10, 2, 1);
+  util::Matrix centroids(1, 2);
+  EXPECT_THROW(
+      davies_bouldin(ds, centroids, std::vector<std::uint32_t>(10, 0)),
+      swhkm::InvalidArgument);
+}
+
+TEST(DaviesBouldin, EmptyClustersIgnored) {
+  const data::Dataset ds = data::make_blobs(100, 4, 2, 8);
+  KmeansConfig config;
+  config.k = 2;
+  const KmeansResult result = lloyd_serial(ds, config);
+  // Add a phantom third centroid nothing is assigned to.
+  util::Matrix padded(3, 4);
+  for (std::size_t j = 0; j < 2; ++j) {
+    for (std::size_t u = 0; u < 4; ++u) {
+      padded.at(j, u) = result.centroids.at(j, u);
+    }
+  }
+  padded.at(2, 0) = 1e6f;
+  const double with_phantom = davies_bouldin(ds, padded, result.assignments);
+  const double without =
+      davies_bouldin(ds, result.centroids, result.assignments);
+  EXPECT_NEAR(with_phantom, without, 1e-9);
+}
+
+}  // namespace
+}  // namespace swhkm::core

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simarch/dma.hpp"
+#include "util/error.hpp"
+
+namespace swhkm::simarch {
+namespace {
+
+class DmaTest : public ::testing::Test {
+ protected:
+  MachineConfig config_;
+  CostTally tally_;
+};
+
+TEST_F(DmaTest, GetCopiesData) {
+  DmaEngine dma(config_, tally_);
+  std::vector<float> src{1, 2, 3, 4};
+  std::vector<float> dst(4, 0);
+  dma.get(dst, src, DmaEngine::Purpose::kSampleRead);
+  EXPECT_EQ(dst, src);
+}
+
+TEST_F(DmaTest, PutCopiesData) {
+  DmaEngine dma(config_, tally_);
+  std::vector<float> src{5, 6};
+  std::vector<float> dst(2, 0);
+  dma.put(dst, src, DmaEngine::Purpose::kWriteback);
+  EXPECT_EQ(dst, src);
+}
+
+TEST_F(DmaTest, MismatchedExtentsThrow) {
+  DmaEngine dma(config_, tally_);
+  std::vector<float> src{1, 2, 3};
+  std::vector<float> dst(2);
+  EXPECT_THROW(dma.get(dst, src, DmaEngine::Purpose::kSampleRead),
+               swhkm::InvalidArgument);
+}
+
+TEST_F(DmaTest, ChargesSampleReadBucket) {
+  DmaEngine dma(config_, tally_);
+  dma.account(1024, DmaEngine::Purpose::kSampleRead);
+  EXPECT_GT(tally_.sample_read_s, 0.0);
+  EXPECT_EQ(tally_.centroid_stream_s, 0.0);
+  EXPECT_EQ(tally_.dma_bytes, 1024u);
+}
+
+TEST_F(DmaTest, ChargesCentroidStreamBucket) {
+  DmaEngine dma(config_, tally_);
+  dma.account(2048, DmaEngine::Purpose::kCentroidStream);
+  EXPECT_GT(tally_.centroid_stream_s, 0.0);
+  EXPECT_EQ(tally_.sample_read_s, 0.0);
+}
+
+TEST_F(DmaTest, ChargesWritebackToUpdate) {
+  DmaEngine dma(config_, tally_);
+  dma.account(100, DmaEngine::Purpose::kWriteback);
+  EXPECT_GT(tally_.update_s, 0.0);
+}
+
+TEST_F(DmaTest, TransferTimeIsLatencyPlusBandwidth) {
+  DmaEngine dma(config_, tally_);
+  const double expected =
+      config_.dma_latency + 32e9 / config_.dma_bandwidth;  // 32 GB at B
+  EXPECT_NEAR(dma.transfer_time(32000000000ull), expected, expected * 1e-9);
+  // zero-byte transfer still pays the issue latency
+  EXPECT_DOUBLE_EQ(dma.transfer_time(0), config_.dma_latency);
+}
+
+TEST_F(DmaTest, TimesAccumulateAcrossTransfers) {
+  DmaEngine dma(config_, tally_);
+  dma.account(1000, DmaEngine::Purpose::kSampleRead);
+  const double after_one = tally_.sample_read_s;
+  dma.account(1000, DmaEngine::Purpose::kSampleRead);
+  EXPECT_NEAR(tally_.sample_read_s, 2 * after_one, 1e-15);
+  EXPECT_EQ(tally_.dma_bytes, 2000u);
+}
+
+TEST(CostTally, TotalSumsComponents) {
+  CostTally t;
+  t.sample_read_s = 1;
+  t.centroid_stream_s = 2;
+  t.compute_s = 3;
+  t.mesh_comm_s = 4;
+  t.net_comm_s = 5;
+  t.update_s = 6;
+  EXPECT_DOUBLE_EQ(t.total_s(), 21.0);
+}
+
+TEST(CostTally, PlusEqualsAddsEverything) {
+  CostTally a;
+  a.compute_s = 1;
+  a.dma_bytes = 10;
+  CostTally b;
+  b.compute_s = 2;
+  b.dma_bytes = 20;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.compute_s, 3.0);
+  EXPECT_EQ(a.dma_bytes, 30u);
+}
+
+TEST(CostTally, MaxInPlaceTakesCriticalPathAndSumsVolumes) {
+  CostTally a;
+  a.compute_s = 1;
+  a.net_comm_s = 9;
+  a.net_bytes = 5;
+  CostTally b;
+  b.compute_s = 4;
+  b.net_comm_s = 2;
+  b.net_bytes = 7;
+  a.max_in_place(b);
+  EXPECT_DOUBLE_EQ(a.compute_s, 4.0);
+  EXPECT_DOUBLE_EQ(a.net_comm_s, 9.0);
+  EXPECT_EQ(a.net_bytes, 12u);
+}
+
+TEST(CostTally, SummaryMentionsTotal) {
+  CostTally t;
+  t.compute_s = 1.5;
+  EXPECT_NE(t.summary().find("total 1.500 s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swhkm::simarch

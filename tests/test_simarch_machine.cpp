@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "simarch/machine_config.hpp"
+#include "util/error.hpp"
+
+namespace swhkm::simarch {
+namespace {
+
+TEST(MachineConfig, DefaultIsValidSw26010Node) {
+  MachineConfig config;
+  config.validate();
+  EXPECT_EQ(config.cpes_per_cg, 64u);
+  EXPECT_EQ(config.cgs_per_node, 4u);
+  EXPECT_EQ(config.ldm_bytes, 64u * 1024u);
+  EXPECT_EQ(config.ldm_elems(), 16384u);  // the paper's LDM element count
+}
+
+TEST(MachineConfig, Sw26010Factories) {
+  for (std::size_t nodes : {1ul, 256ul, 4096ul}) {
+    const MachineConfig config = MachineConfig::sw26010(nodes);
+    EXPECT_EQ(config.nodes, nodes);
+    EXPECT_EQ(config.num_cgs(), nodes * 4);
+    EXPECT_EQ(config.total_cpes(), nodes * 256);
+  }
+}
+
+TEST(MachineConfig, PaperExperimentCoreCounts) {
+  // Level 1 setup: one processor = 256 CPEs in 4 CGs.
+  EXPECT_EQ(MachineConfig::sw26010(1).total_cpes(), 256u);
+  // Level 2 setup: 256 processors = 65,536 CPEs in 1,024 CGs.
+  EXPECT_EQ(MachineConfig::sw26010(256).total_cpes(), 65536u);
+  EXPECT_EQ(MachineConfig::sw26010(256).num_cgs(), 1024u);
+  // Level 3 setup: 4,096 processors = 16,384 CGs.
+  EXPECT_EQ(MachineConfig::sw26010(4096).num_cgs(), 16384u);
+}
+
+TEST(MachineConfig, TinyIsConsistent) {
+  const MachineConfig config = MachineConfig::tiny(2, 4, 4096);
+  config.validate();
+  EXPECT_EQ(config.cpes_per_cg, 4u);
+  EXPECT_EQ(config.mesh_rows * config.mesh_cols, 4u);
+  EXPECT_EQ(config.num_cgs(), 4u);  // 2 nodes x 2 CGs
+}
+
+TEST(MachineConfig, TinyMeshCoversOddCounts) {
+  const MachineConfig config = MachineConfig::tiny(1, 6, 4096);
+  EXPECT_EQ(config.mesh_rows * config.mesh_cols, 6u);
+}
+
+TEST(MachineConfig, ValidateRejectsBadMesh) {
+  MachineConfig config;
+  config.mesh_rows = 7;  // 7*8 != 64
+  EXPECT_THROW(config.validate(), swhkm::InvalidArgument);
+}
+
+TEST(MachineConfig, ValidateRejectsZeroBandwidth) {
+  MachineConfig config;
+  config.dma_bandwidth = 0;
+  EXPECT_THROW(config.validate(), swhkm::InvalidArgument);
+}
+
+TEST(MachineConfig, ValidateRejectsBadEfficiency) {
+  MachineConfig config;
+  config.compute_efficiency = 0.0;
+  EXPECT_THROW(config.validate(), swhkm::InvalidArgument);
+  config.compute_efficiency = 1.5;
+  EXPECT_THROW(config.validate(), swhkm::InvalidArgument);
+}
+
+TEST(MachineConfig, ValidateRejectsFractionalElements) {
+  MachineConfig config;
+  config.ldm_bytes = 65537;  // not divisible by elem_bytes
+  EXPECT_THROW(config.validate(), swhkm::InvalidArgument);
+}
+
+TEST(MachineConfig, SupernodeCount) {
+  EXPECT_EQ(MachineConfig::sw26010(1).num_supernodes(), 1u);
+  EXPECT_EQ(MachineConfig::sw26010(256).num_supernodes(), 1u);
+  EXPECT_EQ(MachineConfig::sw26010(257).num_supernodes(), 2u);
+  EXPECT_EQ(MachineConfig::sw26010(4096).num_supernodes(), 16u);
+}
+
+TEST(MachineConfig, AssignRowSecondsDecomposes) {
+  MachineConfig config;
+  const double wide = config.assign_row_seconds(4096);
+  const double narrow = config.assign_row_seconds(8);
+  EXPECT_GT(wide, narrow);
+  // The fixed overhead dominates narrow rows: per-element cost is far
+  // higher at d_local=8 than at d=4096.
+  EXPECT_GT(narrow / 8.0, wide / 4096.0 * 2.0);
+  // And the pure-arithmetic part matches flops/rate.
+  const double overhead = config.row_overhead_cycles / config.cpe_clock_hz;
+  EXPECT_NEAR(wide - overhead,
+              2.0 * 4096 / (config.cpe_flops() * config.compute_efficiency),
+              1e-12);
+}
+
+TEST(MachineConfig, SummaryMentionsShape) {
+  const std::string s = MachineConfig::sw26010(128).summary();
+  EXPECT_NE(s.find("128 node"), std::string::npos);
+  EXPECT_NE(s.find("64.00 KiB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swhkm::simarch

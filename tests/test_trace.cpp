@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/hkmeans.hpp"
+#include "simarch/trace.hpp"
+
+namespace swhkm::simarch {
+namespace {
+
+CostTally sample_tally() {
+  CostTally t;
+  t.sample_read_s = 0.1;
+  t.compute_s = 0.3;
+  t.net_comm_s = 0.05;
+  return t;
+}
+
+TEST(Trace, RecordsPhasesInOrder) {
+  Trace trace;
+  trace.record_iteration(0, 0, 0.0, sample_tally());
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 3u);  // zero-duration phases skipped
+  EXPECT_EQ(events[0].phase, Phase::kSampleRead);
+  EXPECT_DOUBLE_EQ(events[0].start_s, 0.0);
+  EXPECT_EQ(events[1].phase, Phase::kCompute);
+  EXPECT_DOUBLE_EQ(events[1].start_s, 0.1);
+  EXPECT_EQ(events[2].phase, Phase::kNetComm);
+  EXPECT_DOUBLE_EQ(events[2].start_s, 0.4);
+}
+
+TEST(Trace, MakespanIsLatestEnd) {
+  Trace trace;
+  trace.record_iteration(0, 0, 0.0, sample_tally());
+  trace.record_iteration(1, 0, 0.2, sample_tally());
+  EXPECT_DOUBLE_EQ(trace.makespan(), 0.2 + 0.45);
+}
+
+TEST(Trace, PhaseTotalsSumAcrossRanks) {
+  Trace trace;
+  trace.record_iteration(0, 0, 0.0, sample_tally());
+  trace.record_iteration(1, 0, 0.0, sample_tally());
+  const auto totals = trace.phase_totals();
+  EXPECT_DOUBLE_EQ(totals[static_cast<int>(Phase::kCompute)], 0.6);
+  EXPECT_DOUBLE_EQ(totals[static_cast<int>(Phase::kUpdate)], 0.0);
+}
+
+TEST(Trace, ImbalanceOfUnevenRanks) {
+  Trace trace;
+  CostTally fast;
+  fast.compute_s = 1.0;
+  CostTally slow;
+  slow.compute_s = 3.0;
+  trace.record_iteration(0, 0, 0.0, fast);
+  trace.record_iteration(1, 0, 0.0, slow);
+  EXPECT_DOUBLE_EQ(trace.imbalance(0), 1.5);  // 3 / mean(2)
+  EXPECT_DOUBLE_EQ(trace.imbalance(9), 0.0);  // unknown iteration
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  Trace trace;
+  trace.record_iteration(2, 1, 0.0, sample_tally());
+  const std::string csv = trace.to_csv();
+  EXPECT_NE(csv.find("cg,iteration,phase,start_s,duration_s"),
+            std::string::npos);
+  EXPECT_NE(csv.find("2,1,sample_read"), std::string::npos);
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace trace;
+  trace.record_iteration(0, 0, 0.0, sample_tally());
+  trace.clear();
+  EXPECT_EQ(trace.event_count(), 0u);
+  EXPECT_DOUBLE_EQ(trace.makespan(), 0.0);
+}
+
+TEST(Trace, EngineIntegrationProducesTimeline) {
+  // Run a real engine with a trace sink: every (rank, iteration) must
+  // appear, phases must be non-overlapping per rank, and the makespan
+  // must match the engine's accumulated simulated time (bulk-synchronous
+  // iteration edges make them equal by construction).
+  const auto machine = MachineConfig::tiny(2, 4, 8192);
+  const data::Dataset ds = data::make_blobs(200, 8, 4, 11);
+  core::KmeansConfig config;
+  config.k = 4;
+  config.max_iterations = 3;
+  config.tolerance = -1;
+  Trace trace;
+  config.trace = &trace;
+  const core::KmeansResult result =
+      core::run_level(core::Level::kLevel1, ds, config, machine);
+
+  EXPECT_GT(trace.event_count(), 0u);
+  const auto events = trace.events();
+  // Every rank appears.
+  std::set<std::uint32_t> ranks;
+  std::set<std::uint32_t> iterations;
+  for (const auto& event : events) {
+    ranks.insert(event.cg);
+    iterations.insert(event.iteration);
+  }
+  EXPECT_EQ(ranks.size(), machine.num_cgs());
+  EXPECT_EQ(iterations.size(), 3u);
+  // Per-rank events are non-overlapping and ordered (events() sorts by
+  // (cg, start)).
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i].cg == events[i - 1].cg) {
+      EXPECT_GE(events[i].start_s + 1e-12,
+                events[i - 1].start_s + events[i - 1].duration_s);
+    }
+  }
+  EXPECT_NEAR(trace.makespan(), result.cost.total_s(),
+              1e-9 + 0.01 * result.cost.total_s());
+}
+
+TEST(Trace, AllLevelsFeedTheTrace) {
+  const auto machine = MachineConfig::tiny(2, 4, 8192);
+  const data::Dataset ds = data::make_blobs(120, 6, 3, 5);
+  for (core::Level level : {core::Level::kLevel1, core::Level::kLevel2,
+                            core::Level::kLevel3}) {
+    Trace trace;
+    core::KmeansConfig config;
+    config.k = 3;
+    config.max_iterations = 2;
+    config.tolerance = -1;
+    config.trace = &trace;
+    core::run_level(level, ds, config, machine);
+    EXPECT_GT(trace.event_count(), 0u) << core::level_name(level);
+    EXPECT_GT(trace.phase_totals()[static_cast<int>(Phase::kCompute)], 0.0)
+        << core::level_name(level);
+  }
+}
+
+}  // namespace
+}  // namespace swhkm::simarch

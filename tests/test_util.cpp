@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/units.hpp"
+
+namespace swhkm::util {
+namespace {
+
+// ---------------------------------------------------------------- Xoshiro
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a() == b() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Xoshiro256 rng(99);
+  double sum = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysBelow) {
+  Xoshiro256 rng(3);
+  for (std::uint64_t n : {1ull, 2ull, 7ull, 100ull, 1000003ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(n), n);
+    }
+  }
+}
+
+TEST(Rng, BelowZeroIsZero) {
+  Xoshiro256 rng(3);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowCoversSmallRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(rng.below(5));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsAreStandard) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  double sq = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sq += z * z;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sq / kSamples, 1.0, 0.03);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Xoshiro256 parent(123);
+  Xoshiro256 a = parent.split(0);
+  Xoshiro256 b = parent.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a() == b() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// ------------------------------------------------------------------ units
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1024), "1.00 KiB");
+  EXPECT_EQ(format_bytes(64 * 1024), "64.00 KiB");
+  EXPECT_EQ(format_bytes(3 * kMiB / 2), "1.50 MiB");
+  EXPECT_EQ(format_bytes(kGiB), "1.00 GiB");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(format_seconds(2.0), "2.000 s");
+  EXPECT_EQ(format_seconds(0.0125), "12.500 ms");
+  EXPECT_EQ(format_seconds(42e-6), "42.000 us");
+  EXPECT_EQ(format_seconds(5e-9), "5.0 ns");
+}
+
+TEST(Units, FormatCount) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1064496), "1,064,496");
+  EXPECT_EQ(format_count(1234567890), "1,234,567,890");
+}
+
+TEST(Units, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_EQ(ceil_div(196608, 64), 3072u);
+}
+
+TEST(Units, RoundUp) {
+  EXPECT_EQ(round_up(0, 8), 0u);
+  EXPECT_EQ(round_up(1, 8), 8u);
+  EXPECT_EQ(round_up(16, 8), 16u);
+  EXPECT_EQ(round_up(17, 8), 24u);
+}
+
+TEST(Units, FloorPow2) {
+  EXPECT_EQ(floor_pow2(1), 1u);
+  EXPECT_EQ(floor_pow2(2), 2u);
+  EXPECT_EQ(floor_pow2(3), 2u);
+  EXPECT_EQ(floor_pow2(64), 64u);
+  EXPECT_EQ(floor_pow2(100), 64u);
+}
+
+TEST(Units, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(65));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+}
+
+// ----------------------------------------------------------------- matrix
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(3, 4, 2.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(m.at(r, c), 2.5f);
+    }
+  }
+}
+
+TEST(Matrix, RowSpanAliasesStorage) {
+  Matrix m(2, 3);
+  m.row(1)[2] = 9.0f;
+  EXPECT_EQ(m.at(1, 2), 9.0f);
+  EXPECT_EQ(m.flat()[5], 9.0f);
+}
+
+TEST(Matrix, FromVector) {
+  Matrix m = Matrix::from_vector(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(m.at(0, 1), 2.0f);
+  EXPECT_EQ(m.at(1, 0), 3.0f);
+}
+
+TEST(Matrix, FromVectorRejectsBadSize) {
+  EXPECT_THROW(Matrix::from_vector(2, 2, {1.0f}), InvalidArgument);
+}
+
+TEST(Matrix, FillOverwrites) {
+  Matrix m(2, 2, 1.0f);
+  m.fill(7.0f);
+  EXPECT_EQ(m.at(1, 1), 7.0f);
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(Table, RequiresHeaders) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), InvalidArgument);
+}
+
+TEST(Table, CollectsRows) {
+  Table t({"a", "b"});
+  t.new_row().add("x").add(1);
+  t.new_row().add("y").add(2);
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.rows()[1][0], "y");
+}
+
+TEST(Table, AddWithoutNewRowStartsOne) {
+  Table t({"a"});
+  t.add("first");
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, NumericFormatting) {
+  Table t({"v"});
+  t.new_row().add(3.14159, 2);
+  EXPECT_EQ(t.rows()[0][0], "3.14");
+  t.new_row().add(std::uint64_t{42});
+  EXPECT_EQ(t.rows()[1][0], "42");
+}
+
+TEST(Table, TextRenderingAligns) {
+  Table t({"name", "v"});
+  t.new_row().add("abc").add(1);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("| name | v |"), std::string::npos);
+  EXPECT_NE(text.find("| abc  | 1 |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.new_row().add("x,y").add("he said \"hi\"");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.new_row().add("only");
+  EXPECT_NE(t.to_csv().find("only,,"), std::string::npos);
+}
+
+TEST(Table, WriteCsvRoundtrip) {
+  Table t({"h"});
+  t.new_row().add("v");
+  const std::string path = ::testing::TempDir() + "/swhkm_table.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "h");
+}
+
+// -------------------------------------------------------------------- log
+
+TEST(Log, LevelFilters) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
+}
+
+TEST(Log, OffSilencesEverything) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  log_line(LogLevel::kError, "should not crash");
+  set_log_level(before);
+}
+
+// -------------------------------------------------------------- stopwatch
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + i;
+  }
+  const double first = sw.seconds();
+  const double second = sw.seconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_LE(first, second);  // monotone across calls
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch sw;
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 1.0);
+}
+
+// ------------------------------------------------------------------ error
+
+TEST(Error, HierarchyCatchable) {
+  EXPECT_THROW(throw CapacityError("x"), Error);
+  EXPECT_THROW(throw InfeasibleError("x"), Error);
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw RuntimeFault("x"), Error);
+}
+
+TEST(Error, RequireMacroThrowsWithMessage) {
+  try {
+    SWHKM_REQUIRE(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace swhkm::util

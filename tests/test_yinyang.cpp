@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "core/lloyd.hpp"
+#include "core/metrics.hpp"
+#include "core/yinyang.hpp"
+#include "data/synthetic.hpp"
+
+namespace swhkm::core {
+namespace {
+
+/// Yinyang's contract: same trajectory as Lloyd (on continuous data, where
+/// exact distance ties have probability zero).
+void expect_lloyd_identical(const data::Dataset& ds,
+                            const KmeansConfig& config) {
+  const KmeansResult lloyd = lloyd_serial(ds, config);
+  YinyangStats stats;
+  const KmeansResult yy = yinyang_serial(ds, config, &stats);
+  EXPECT_EQ(yy.iterations, lloyd.iterations);
+  EXPECT_EQ(yy.converged, lloyd.converged);
+  EXPECT_EQ(assignment_agreement(yy.assignments, lloyd.assignments), 1.0);
+  EXPECT_LT(centroid_max_abs_diff(yy.centroids, lloyd.centroids), 1e-5);
+  EXPECT_NEAR(yy.inertia, lloyd.inertia, 1e-6 * (1 + lloyd.inertia));
+}
+
+TEST(Yinyang, MatchesLloydOnBlobs) {
+  const data::Dataset ds = data::make_blobs(500, 10, 6, 42);
+  KmeansConfig config;
+  config.k = 6;
+  config.max_iterations = 25;
+  expect_lloyd_identical(ds, config);
+}
+
+TEST(Yinyang, MatchesLloydOnUniformNoise) {
+  const data::Dataset ds = data::make_uniform(400, 8, 17);
+  KmeansConfig config;
+  config.k = 20;
+  config.max_iterations = 15;
+  config.init = InitMethod::kRandom;
+  config.seed = 3;
+  expect_lloyd_identical(ds, config);
+}
+
+TEST(Yinyang, MatchesLloydWithManyGroups) {
+  // k = 64 -> t = 6 groups: the group filter does real work.
+  const data::Dataset ds = data::make_uniform(600, 6, 23);
+  KmeansConfig config;
+  config.k = 64;
+  config.max_iterations = 12;
+  config.init = InitMethod::kRandom;
+  expect_lloyd_identical(ds, config);
+}
+
+TEST(Yinyang, MatchesLloydOnSurrogates) {
+  for (data::Benchmark bench :
+       {data::Benchmark::kKeggNetwork, data::Benchmark::kRoadNetwork,
+        data::Benchmark::kUsCensus1990}) {
+    const data::Dataset ds = data::make_benchmark_surrogate(bench, 300, 96, 5);
+    KmeansConfig config;
+    config.k = 12;
+    config.max_iterations = 10;
+    config.init = InitMethod::kRandom;
+    expect_lloyd_identical(ds, config);
+  }
+}
+
+TEST(Yinyang, SkipsEverythingAfterBlobsConverge) {
+  // Well-separated blobs converge on the second iteration, whose work the
+  // bounds must filter out entirely: exactly the first pass is paid.
+  const data::Dataset ds = data::make_blobs(2000, 16, 10, 7);
+  KmeansConfig config;
+  config.k = 10;
+  config.max_iterations = 30;
+  YinyangStats stats;
+  const KmeansResult result = yinyang_serial(ds, config, &stats);
+  ASSERT_TRUE(result.converged);
+  ASSERT_GT(result.iterations, 1u);
+  const std::uint64_t first_pass = 2000ull * 10;
+  EXPECT_EQ(stats.distance_computations, first_pass);
+  EXPECT_GE(stats.savings(), 0.5);
+}
+
+TEST(Yinyang, SavesSubstantiallyOnSlowConvergence) {
+  // Uniform noise converges slowly; across many iterations the filters
+  // must still skip a large fraction of Lloyd's distance evaluations.
+  const data::Dataset ds = data::make_uniform(1500, 10, 3);
+  KmeansConfig config;
+  config.k = 40;
+  config.max_iterations = 25;
+  config.init = InitMethod::kRandom;
+  YinyangStats stats;
+  const KmeansResult result = yinyang_serial(ds, config, &stats);
+  ASSERT_GT(result.iterations, 5u);
+  EXPECT_GT(stats.savings(), 0.3);
+}
+
+TEST(Yinyang, StatsCountFirstIterationFully) {
+  const data::Dataset ds = data::make_uniform(100, 4, 1);
+  KmeansConfig config;
+  config.k = 8;
+  config.max_iterations = 1;
+  config.tolerance = -1;
+  YinyangStats stats;
+  yinyang_serial(ds, config, &stats);
+  EXPECT_EQ(stats.distance_computations, 100u * 8u);
+  EXPECT_EQ(stats.lloyd_equivalent, 100u * 8u);
+  EXPECT_DOUBLE_EQ(stats.savings(), 0.0);
+}
+
+TEST(Yinyang, SmallKFallsBackToSingleGroup) {
+  // k < 10 -> t = 1: pure global filter, still exact.
+  const data::Dataset ds = data::make_blobs(200, 5, 3, 9);
+  KmeansConfig config;
+  config.k = 3;
+  config.max_iterations = 20;
+  expect_lloyd_identical(ds, config);
+}
+
+TEST(Yinyang, ExplicitStartMatchesLloydFrom) {
+  const data::Dataset ds = data::make_uniform(150, 6, 31);
+  KmeansConfig config;
+  config.k = 9;
+  config.max_iterations = 8;
+  util::Matrix start(9, 6, 0.5f);
+  for (std::size_t j = 0; j < 9; ++j) {
+    start.at(j, 0) = static_cast<float>(j) * 0.1f;
+  }
+  const KmeansResult lloyd = lloyd_serial_from(ds, config, start);
+  const KmeansResult yy = yinyang_serial_from(ds, config, start);
+  EXPECT_EQ(assignment_agreement(yy.assignments, lloyd.assignments), 1.0);
+}
+
+TEST(Yinyang, HistoryMirrorsLloyd) {
+  const data::Dataset ds = data::make_blobs(200, 6, 4, 3);
+  KmeansConfig config;
+  config.k = 4;
+  config.max_iterations = 10;
+  const KmeansResult lloyd = lloyd_serial(ds, config);
+  const KmeansResult yy = yinyang_serial(ds, config);
+  ASSERT_EQ(yy.history.size(), lloyd.history.size());
+  for (std::size_t i = 0; i < yy.history.size(); ++i) {
+    EXPECT_NEAR(yy.history[i].max_centroid_shift,
+                lloyd.history[i].max_centroid_shift, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace swhkm::core
