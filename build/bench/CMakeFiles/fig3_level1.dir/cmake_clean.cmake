@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_level1.dir/fig3_level1.cpp.o"
+  "CMakeFiles/fig3_level1.dir/fig3_level1.cpp.o.d"
+  "fig3_level1"
+  "fig3_level1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_level1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_level3.dir/fig5_level3.cpp.o"
+  "CMakeFiles/fig5_level3.dir/fig5_level3.cpp.o.d"
+  "fig5_level3"
+  "fig5_level3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_level3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

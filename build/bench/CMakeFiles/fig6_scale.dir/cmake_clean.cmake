@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_scale.dir/fig6_scale.cpp.o"
+  "CMakeFiles/fig6_scale.dir/fig6_scale.cpp.o.d"
+  "fig6_scale"
+  "fig6_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

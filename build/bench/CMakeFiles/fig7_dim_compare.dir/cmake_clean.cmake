@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_dim_compare.dir/fig7_dim_compare.cpp.o"
+  "CMakeFiles/fig7_dim_compare.dir/fig7_dim_compare.cpp.o.d"
+  "fig7_dim_compare"
+  "fig7_dim_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_dim_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_k_compare.dir/fig8_k_compare.cpp.o"
+  "CMakeFiles/fig8_k_compare.dir/fig8_k_compare.cpp.o.d"
+  "fig8_k_compare"
+  "fig8_k_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_k_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

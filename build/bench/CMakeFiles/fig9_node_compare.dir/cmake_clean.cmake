@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_node_compare.dir/fig9_node_compare.cpp.o"
+  "CMakeFiles/fig9_node_compare.dir/fig9_node_compare.cpp.o.d"
+  "fig9_node_compare"
+  "fig9_node_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_node_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

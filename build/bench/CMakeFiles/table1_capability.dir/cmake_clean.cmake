@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_capability.dir/table1_capability.cpp.o"
+  "CMakeFiles/table1_capability.dir/table1_capability.cpp.o.d"
+  "table1_capability"
+  "table1_capability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_capability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_arch_compare.dir/table3_arch_compare.cpp.o"
+  "CMakeFiles/table3_arch_compare.dir/table3_arch_compare.cpp.o.d"
+  "table3_arch_compare"
+  "table3_arch_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_arch_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

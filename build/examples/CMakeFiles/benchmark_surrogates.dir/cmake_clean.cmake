@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_surrogates.dir/benchmark_surrogates.cpp.o"
+  "CMakeFiles/benchmark_surrogates.dir/benchmark_surrogates.cpp.o.d"
+  "benchmark_surrogates"
+  "benchmark_surrogates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_surrogates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

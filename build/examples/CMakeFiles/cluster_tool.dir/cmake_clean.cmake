@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_tool.dir/cluster_tool.cpp.o"
+  "CMakeFiles/cluster_tool.dir/cluster_tool.cpp.o.d"
+  "cluster_tool"
+  "cluster_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/land_cover.dir/land_cover.cpp.o"
+  "CMakeFiles/land_cover.dir/land_cover.cpp.o.d"
+  "land_cover"
+  "land_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/land_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/CMakeFiles/swhkm.dir/core/checkpoint.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/checkpoint.cpp.o.d"
+  "/root/repo/src/core/elkan.cpp" "src/CMakeFiles/swhkm.dir/core/elkan.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/elkan.cpp.o.d"
+  "/root/repo/src/core/engine_common.cpp" "src/CMakeFiles/swhkm.dir/core/engine_common.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/engine_common.cpp.o.d"
+  "/root/repo/src/core/hamerly.cpp" "src/CMakeFiles/swhkm.dir/core/hamerly.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/hamerly.cpp.o.d"
+  "/root/repo/src/core/init.cpp" "src/CMakeFiles/swhkm.dir/core/init.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/init.cpp.o.d"
+  "/root/repo/src/core/kmeans.cpp" "src/CMakeFiles/swhkm.dir/core/kmeans.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/kmeans.cpp.o.d"
+  "/root/repo/src/core/level1.cpp" "src/CMakeFiles/swhkm.dir/core/level1.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/level1.cpp.o.d"
+  "/root/repo/src/core/level2.cpp" "src/CMakeFiles/swhkm.dir/core/level2.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/level2.cpp.o.d"
+  "/root/repo/src/core/level3.cpp" "src/CMakeFiles/swhkm.dir/core/level3.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/level3.cpp.o.d"
+  "/root/repo/src/core/lloyd.cpp" "src/CMakeFiles/swhkm.dir/core/lloyd.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/lloyd.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/swhkm.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/minibatch.cpp" "src/CMakeFiles/swhkm.dir/core/minibatch.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/minibatch.cpp.o.d"
+  "/root/repo/src/core/out_of_core.cpp" "src/CMakeFiles/swhkm.dir/core/out_of_core.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/out_of_core.cpp.o.d"
+  "/root/repo/src/core/parallel_init.cpp" "src/CMakeFiles/swhkm.dir/core/parallel_init.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/parallel_init.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/CMakeFiles/swhkm.dir/core/partition.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/partition.cpp.o.d"
+  "/root/repo/src/core/perf_model.cpp" "src/CMakeFiles/swhkm.dir/core/perf_model.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/perf_model.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/CMakeFiles/swhkm.dir/core/planner.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/planner.cpp.o.d"
+  "/root/repo/src/core/yinyang.cpp" "src/CMakeFiles/swhkm.dir/core/yinyang.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/core/yinyang.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/swhkm.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/image.cpp" "src/CMakeFiles/swhkm.dir/data/image.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/data/image.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/CMakeFiles/swhkm.dir/data/io.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/data/io.cpp.o.d"
+  "/root/repo/src/data/normalize.cpp" "src/CMakeFiles/swhkm.dir/data/normalize.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/data/normalize.cpp.o.d"
+  "/root/repo/src/data/streaming.cpp" "src/CMakeFiles/swhkm.dir/data/streaming.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/data/streaming.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/swhkm.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/simarch/cost.cpp" "src/CMakeFiles/swhkm.dir/simarch/cost.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/simarch/cost.cpp.o.d"
+  "/root/repo/src/simarch/dma.cpp" "src/CMakeFiles/swhkm.dir/simarch/dma.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/simarch/dma.cpp.o.d"
+  "/root/repo/src/simarch/ldm.cpp" "src/CMakeFiles/swhkm.dir/simarch/ldm.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/simarch/ldm.cpp.o.d"
+  "/root/repo/src/simarch/machine_config.cpp" "src/CMakeFiles/swhkm.dir/simarch/machine_config.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/simarch/machine_config.cpp.o.d"
+  "/root/repo/src/simarch/regcomm.cpp" "src/CMakeFiles/swhkm.dir/simarch/regcomm.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/simarch/regcomm.cpp.o.d"
+  "/root/repo/src/simarch/topology.cpp" "src/CMakeFiles/swhkm.dir/simarch/topology.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/simarch/topology.cpp.o.d"
+  "/root/repo/src/simarch/trace.cpp" "src/CMakeFiles/swhkm.dir/simarch/trace.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/simarch/trace.cpp.o.d"
+  "/root/repo/src/swmpi/collectives.cpp" "src/CMakeFiles/swhkm.dir/swmpi/collectives.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/swmpi/collectives.cpp.o.d"
+  "/root/repo/src/swmpi/comm.cpp" "src/CMakeFiles/swhkm.dir/swmpi/comm.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/swmpi/comm.cpp.o.d"
+  "/root/repo/src/swmpi/mailbox.cpp" "src/CMakeFiles/swhkm.dir/swmpi/mailbox.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/swmpi/mailbox.cpp.o.d"
+  "/root/repo/src/swmpi/runtime.cpp" "src/CMakeFiles/swhkm.dir/swmpi/runtime.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/swmpi/runtime.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/swhkm.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/swhkm.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "src/CMakeFiles/swhkm.dir/util/units.cpp.o" "gcc" "src/CMakeFiles/swhkm.dir/util/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accelerated.dir/test_accelerated.cpp.o"
+  "CMakeFiles/test_accelerated.dir/test_accelerated.cpp.o.d"
+  "test_accelerated"
+  "test_accelerated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accelerated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

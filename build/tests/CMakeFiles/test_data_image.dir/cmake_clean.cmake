@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_image.dir/test_data_image.cpp.o"
+  "CMakeFiles/test_data_image.dir/test_data_image.cpp.o.d"
+  "test_data_image"
+  "test_data_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lloyd.dir/test_lloyd.cpp.o"
+  "CMakeFiles/test_lloyd.dir/test_lloyd.cpp.o.d"
+  "test_lloyd"
+  "test_lloyd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lloyd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_invariance.dir/test_machine_invariance.cpp.o"
+  "CMakeFiles/test_machine_invariance.dir/test_machine_invariance.cpp.o.d"
+  "test_machine_invariance"
+  "test_machine_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_normalize_checkpoint.dir/test_normalize_checkpoint.cpp.o"
+  "CMakeFiles/test_normalize_checkpoint.dir/test_normalize_checkpoint.cpp.o.d"
+  "test_normalize_checkpoint"
+  "test_normalize_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_normalize_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

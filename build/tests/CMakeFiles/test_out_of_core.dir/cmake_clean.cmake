@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_out_of_core.dir/test_out_of_core.cpp.o"
+  "CMakeFiles/test_out_of_core.dir/test_out_of_core.cpp.o.d"
+  "test_out_of_core"
+  "test_out_of_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_out_of_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_init.dir/test_parallel_init.cpp.o"
+  "CMakeFiles/test_parallel_init.dir/test_parallel_init.cpp.o.d"
+  "test_parallel_init"
+  "test_parallel_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

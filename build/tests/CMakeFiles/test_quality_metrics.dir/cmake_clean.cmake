@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quality_metrics.dir/test_quality_metrics.cpp.o"
+  "CMakeFiles/test_quality_metrics.dir/test_quality_metrics.cpp.o.d"
+  "test_quality_metrics"
+  "test_quality_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quality_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

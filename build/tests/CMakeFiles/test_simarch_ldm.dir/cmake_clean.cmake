@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simarch_ldm.dir/test_simarch_ldm.cpp.o"
+  "CMakeFiles/test_simarch_ldm.dir/test_simarch_ldm.cpp.o.d"
+  "test_simarch_ldm"
+  "test_simarch_ldm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simarch_ldm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

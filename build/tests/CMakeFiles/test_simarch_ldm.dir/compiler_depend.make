@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_simarch_ldm.
+# This may be replaced when dependencies are built.

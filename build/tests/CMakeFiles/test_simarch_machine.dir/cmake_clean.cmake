@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simarch_machine.dir/test_simarch_machine.cpp.o"
+  "CMakeFiles/test_simarch_machine.dir/test_simarch_machine.cpp.o.d"
+  "test_simarch_machine"
+  "test_simarch_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simarch_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

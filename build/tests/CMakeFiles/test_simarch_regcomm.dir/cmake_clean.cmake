@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simarch_regcomm.dir/test_simarch_regcomm.cpp.o"
+  "CMakeFiles/test_simarch_regcomm.dir/test_simarch_regcomm.cpp.o.d"
+  "test_simarch_regcomm"
+  "test_simarch_regcomm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simarch_regcomm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

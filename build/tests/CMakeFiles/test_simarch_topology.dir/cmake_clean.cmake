@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simarch_topology.dir/test_simarch_topology.cpp.o"
+  "CMakeFiles/test_simarch_topology.dir/test_simarch_topology.cpp.o.d"
+  "test_simarch_topology"
+  "test_simarch_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simarch_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

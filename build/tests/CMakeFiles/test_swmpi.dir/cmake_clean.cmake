@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swmpi.dir/test_swmpi.cpp.o"
+  "CMakeFiles/test_swmpi.dir/test_swmpi.cpp.o.d"
+  "test_swmpi"
+  "test_swmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

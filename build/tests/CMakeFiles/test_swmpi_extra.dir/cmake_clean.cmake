@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swmpi_extra.dir/test_swmpi_extra.cpp.o"
+  "CMakeFiles/test_swmpi_extra.dir/test_swmpi_extra.cpp.o.d"
+  "test_swmpi_extra"
+  "test_swmpi_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swmpi_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

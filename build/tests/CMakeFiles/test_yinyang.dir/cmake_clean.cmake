@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yinyang.dir/test_yinyang.cpp.o"
+  "CMakeFiles/test_yinyang.dir/test_yinyang.cpp.o.d"
+  "test_yinyang"
+  "test_yinyang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yinyang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
