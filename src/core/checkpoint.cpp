@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "core/lloyd.hpp"
+#include "core/metrics.hpp"
 #include "util/error.hpp"
 
 namespace swhkm::core {
@@ -63,14 +64,22 @@ KmeansResult load_checkpoint(const std::string& path) {
     throw InvalidArgument(path + " has unsupported checkpoint version " +
                           std::to_string(header.version));
   }
-  // Shape sanity against the real file size before any allocation.
+  // Shape sanity against the real file size before any allocation. The
+  // per-array bounds come first so the products cannot overflow; the
+  // payload must then match the declared shapes *exactly* — checking the
+  // arrays independently would accept a header whose combined size
+  // exceeds (or undershoots) the file.
   file.seekg(0, std::ios::end);
   const std::uint64_t payload =
       static_cast<std::uint64_t>(file.tellg()) - sizeof(Header);
   file.seekg(sizeof(Header), std::ios::beg);
   if (header.d == 0 || header.k > payload / sizeof(float) / header.d ||
-      header.n > payload / sizeof(std::uint32_t)) {
-    throw InvalidArgument(path + " declares shapes larger than the file");
+      header.n > payload / sizeof(std::uint32_t) ||
+      header.k * header.d * sizeof(float) +
+              header.n * sizeof(std::uint32_t) !=
+          payload) {
+    throw InvalidArgument(path + " declares shapes that do not match the "
+                                 "file size");
   }
   KmeansResult result;
   result.centroids = util::Matrix(header.k, header.d);
@@ -96,9 +105,26 @@ KmeansResult resume_lloyd(const data::Dataset& dataset,
                 "checkpoint k does not match config");
   SWHKM_REQUIRE(checkpoint.centroids.cols() == dataset.d(),
                 "checkpoint dimensionality does not match dataset");
+  // max_iterations is the *total* budget across the interrupted and the
+  // resumed leg: deduct what the checkpoint already spent, so a resumed
+  // run never does more work than an uninterrupted one.
+  const std::size_t spent = checkpoint.iterations;
+  if (spent >= config.max_iterations) {
+    // Budget already exhausted — report the checkpoint state against this
+    // dataset without running further iterations.
+    KmeansResult result;
+    result.centroids = checkpoint.centroids;
+    result.assignments = assign_serial(dataset, result.centroids);
+    result.iterations = spent;
+    result.converged = checkpoint.converged;
+    result.inertia = inertia(dataset, result.centroids, result.assignments);
+    return result;
+  }
+  KmeansConfig remaining = config;
+  remaining.max_iterations = config.max_iterations - spent;
   KmeansResult result =
-      lloyd_serial_from(dataset, config, checkpoint.centroids);
-  result.iterations += checkpoint.iterations;
+      lloyd_serial_from(dataset, remaining, checkpoint.centroids);
+  result.iterations += spent;
   return result;
 }
 

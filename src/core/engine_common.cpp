@@ -20,11 +20,23 @@ simarch::CostTally combine_tallies(swmpi::Comm& comm,
 
 double reduce_and_update(swmpi::Comm& comm, util::Matrix& centroids,
                          UpdateAccumulator& acc) {
-  swmpi::allreduce_sum(comm,
-                       std::span<double>(acc.sums.data(), acc.sums.size()));
-  swmpi::allreduce_sum(
-      comm, std::span<double>(acc.counts.data(), acc.counts.size()));
-  return apply_update(centroids, acc.sums, acc.counts);
+  // Reduce-to-root instead of allreduce: the sums only need to exist where
+  // the single shared snapshot is rewritten. The reduce half is the same
+  // binomial tree allreduce used, so the summation order — and therefore
+  // the centroid bits — are unchanged from the per-rank-copy engines.
+  swmpi::reduce(comm, 0, std::span<double>(acc.sums.data(), acc.sums.size()),
+                swmpi::ops::Plus{});
+  swmpi::reduce(comm, 0,
+                std::span<double>(acc.counts.data(), acc.counts.size()),
+                swmpi::ops::Plus{});
+  double shift = 0;
+  if (comm.rank() == 0) {
+    shift = apply_update(centroids, acc.sums, acc.counts);
+  }
+  // Broadcasting the shift is also the happens-before edge that publishes
+  // the refreshed snapshot to every rank (mailbox transfers synchronise).
+  swmpi::bcast(comm, 0, std::span<double>(&shift, 1));
+  return shift;
 }
 
 void charge_sample_stream(simarch::CostTally& tally,

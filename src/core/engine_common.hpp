@@ -17,10 +17,16 @@ namespace swhkm::core::detail {
 simarch::CostTally combine_tallies(swmpi::Comm& comm,
                                    const simarch::CostTally& mine);
 
-/// Sum accumulators and counts across all ranks and move the (per-rank,
-/// identical) centroid copies to the new means. Returns the largest
-/// centroid shift. Bit-deterministic: the reduction tree is fixed, so all
-/// ranks apply identical updates.
+/// Sum accumulators and counts across all ranks and move the *shared*
+/// centroid snapshot to the new means. Every rank passes a reference to
+/// the same owning Matrix (one copy per run, not per rank); only rank 0
+/// writes it, at the bulk-synchronous iteration edge, and the returned
+/// shift doubles as the release: non-root ranks receive it only after the
+/// update is complete, so their next assign phase reads the refreshed
+/// snapshot, and rank 0 starts writing only after every rank has (at
+/// least transitively) handed over its partials — i.e. finished reading
+/// the previous snapshot. Bit-deterministic: the binomial reduce tree is
+/// the same one the former per-rank allreduce used.
 double reduce_and_update(swmpi::Comm& comm, util::Matrix& centroids,
                          UpdateAccumulator& acc);
 

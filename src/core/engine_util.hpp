@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -7,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "data/dataset.hpp"
 #include "util/matrix.hpp"
 
 namespace swhkm::core::detail {
@@ -53,6 +55,154 @@ inline std::pair<double, std::uint32_t> nearest_in_slice(
     }
   }
   return {best, best_j};
+}
+
+/// Samples per assign-phase tile. A tile is the unit the engines batch
+/// their argmin state over: one collective (Level 3) or one accumulation
+/// sweep per tile instead of per sample. Any value gives bit-identical
+/// results (the tile argmin preserves the left-to-right tie-break); 256
+/// keeps a tile's MinLoc buffer at 4 KiB while amortising the per-batch
+/// synchronisation far past the point of diminishing returns.
+inline constexpr std::size_t kAssignTileSamples = 256;
+
+/// Centroid rows scored per cache block inside a tile sweep: the block
+/// stays hot in L1 while the tile's samples stream past it, and each row
+/// gets an independent accumulation chain (see score_tile) — 16 chains
+/// saturate the FP pipes without spilling vector registers.
+inline constexpr std::size_t kCentroidRowBlock = 16;
+
+/// Local (distance, centroid-index) argmin record. Layout-compatible with
+/// swmpi::MinLoc so Level 3 can hand a tile of these straight to the
+/// batched allreduce; the tile kernels are templated so serial callers do
+/// not need the swmpi headers.
+struct TileScore {
+  double value = 0;
+  std::uint64_t index = 0;
+};
+
+/// Reset a tile's argmin records to "no centroid seen": +inf distance and
+/// a sentinel index that loses every tie (ranks with an empty centroid
+/// slice contribute exactly this to the Level 3 combine).
+template <typename MinLocT>
+inline void clear_scores(std::span<MinLocT> scores) {
+  for (MinLocT& s : scores) {
+    s.value = std::numeric_limits<double>::max();
+    s.index = std::numeric_limits<std::uint64_t>::max();
+  }
+}
+
+/// One sample against one full u-major centroid panel: runs
+/// kCentroidRowBlock independent accumulation chains, each summing
+/// (x[u]-c[u])^2 in ascending u with separate sub/mul/add — the exact
+/// operation sequence of squared_distance, so every distance is
+/// bit-identical to the serial kernel.
+inline void sample_block_chains_generic(const float* __restrict__ x,
+                                        const double* __restrict__ panel,
+                                        std::size_t d,
+                                        double* __restrict__ acc) {
+  // __restrict__ matters: without it the compiler must assume acc aliases
+  // panel, which forces a store per chain step and blocks vectorisation.
+  for (std::size_t u = 0; u < d; ++u) {
+    const double xu = static_cast<double>(x[u]);
+    const double* row = panel + u * kCentroidRowBlock;
+    for (std::size_t jj = 0; jj < kCentroidRowBlock; ++jj) {
+      const double diff = xu - row[jj];
+      acc[jj] += diff * diff;
+    }
+  }
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define SWHKM_KERNEL_DISPATCH 1
+/// AVX2 build of the same source. 4-wide doubles are the same IEEE
+/// operations as scalar, and the avx2 target has no FMA instructions, so
+/// the compiler cannot contract diff*diff into acc (which would change
+/// rounding) — results stay bit-identical to the generic build. Targets
+/// with FMA (avx512f etc.) are deliberately NOT used for this reason.
+__attribute__((target("avx2"))) inline void sample_block_chains_avx2(
+    const float* __restrict__ x, const double* __restrict__ panel,
+    std::size_t d, double* __restrict__ acc) {
+  for (std::size_t u = 0; u < d; ++u) {
+    const double xu = static_cast<double>(x[u]);
+    const double* row = panel + u * kCentroidRowBlock;
+    for (std::size_t jj = 0; jj < kCentroidRowBlock; ++jj) {
+      const double diff = xu - row[jj];
+      acc[jj] += diff * diff;
+    }
+  }
+}
+
+using SampleBlockFn = void (*)(const float*, const double*, std::size_t,
+                               double*);
+inline SampleBlockFn resolve_sample_block_chains() {
+  if (__builtin_cpu_supports("avx2")) {
+    return &sample_block_chains_avx2;
+  }
+  return &sample_block_chains_generic;
+}
+/// Resolved once per process; both candidates are bit-identical.
+inline const SampleBlockFn sample_block_chains = resolve_sample_block_chains();
+#else
+inline constexpr auto sample_block_chains = &sample_block_chains_generic;
+#endif
+
+/// Score centroids [j_begin, j_end) against samples [i_begin, i_end) and
+/// combine into `scores` (one record per sample, caller-initialised — see
+/// clear_scores). Shared by the serial baseline and all three engines.
+///
+/// Structure: centroid rows are processed in blocks of kCentroidRowBlock,
+/// each block transposed into a u-major double panel that stays hot in L1
+/// while the tile's samples stream past it. Per sample the block runs one
+/// independent accumulation chain per centroid (sample_block_chains),
+/// which hides FP add latency — the seed's one-distance-at-a-time loop
+/// was serial-dependency bound, not flop bound.
+///
+/// Bit-exactness: each chain is the exact operation sequence of
+/// squared_distance (see sample_block_chains; float->double conversion is
+/// value-preserving, and no FMA contraction on any dispatched target) —
+/// and blocks visit centroid indices in ascending order with a strict
+/// `<`, resolving ties toward the smaller index like the serial
+/// left-to-right scan in nearest_in_slice. Trajectories therefore cannot
+/// diverge.
+template <typename MinLocT>
+inline void score_tile(const data::Dataset& dataset, std::size_t i_begin,
+                       std::size_t i_end, const util::Matrix& centroids,
+                       std::size_t j_begin, std::size_t j_end,
+                       std::span<MinLocT> scores) {
+  const std::size_t d = centroids.cols();
+  std::vector<double> panel(kCentroidRowBlock * d);
+  for (std::size_t jb = j_begin; jb < j_end; jb += kCentroidRowBlock) {
+    const std::size_t bw = std::min(j_end - jb, kCentroidRowBlock);
+    for (std::size_t u = 0; u < d; ++u) {
+      for (std::size_t jj = 0; jj < bw; ++jj) {
+        panel[u * bw + jj] =
+            static_cast<double>(centroids.at(jb + jj, u));
+      }
+    }
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      const auto x = dataset.sample(i);
+      double acc[kCentroidRowBlock] = {};
+      if (bw == kCentroidRowBlock) {
+        sample_block_chains(x.data(), panel.data(), d, acc);
+      } else {
+        for (std::size_t u = 0; u < d; ++u) {
+          const double xu = static_cast<double>(x[u]);
+          const double* row = panel.data() + u * bw;
+          for (std::size_t jj = 0; jj < bw; ++jj) {
+            const double diff = xu - row[jj];
+            acc[jj] += diff * diff;
+          }
+        }
+      }
+      MinLocT& best = scores[i - i_begin];
+      for (std::size_t jj = 0; jj < bw; ++jj) {
+        if (acc[jj] < best.value) {
+          best.value = acc[jj];
+          best.index = jb + jj;
+        }
+      }
+    }
+  }
 }
 
 /// Flat k x d accumulator plus per-centroid counts, in double.

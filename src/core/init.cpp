@@ -60,7 +60,9 @@ util::Matrix init_plus_plus(const data::Dataset& dataset, std::size_t k,
   util::Xoshiro256 rng(seed);
   std::vector<std::size_t> rows;
   rows.reserve(k);
+  std::vector<char> taken(dataset.n(), 0);
   rows.push_back(rng.below(dataset.n()));
+  taken[rows.back()] = 1;
   std::vector<double> nearest(dataset.n(),
                               std::numeric_limits<double>::max());
   while (rows.size() < k) {
@@ -72,13 +74,35 @@ util::Matrix init_plus_plus(const data::Dataset& dataset, std::size_t k,
       total += nearest[i];
     }
     if (total <= 0) {
-      // Degenerate data (all points already covered): fall back to any row.
-      rows.push_back(rng.below(dataset.n()));
+      // Degenerate data (every point coincides with some seed): fall back
+      // to a row not already chosen, so the k seeds are k distinct rows —
+      // the same guarantee init_random gives — instead of possibly
+      // repeating an index. Terminates because k <= n.
+      std::size_t pick = rng.below(dataset.n());
+      while (taken[pick]) {
+        pick = rng.below(dataset.n());
+      }
+      rows.push_back(pick);
+      taken[pick] = 1;
       continue;
     }
-    double target = rng.uniform() * total;
-    std::size_t chosen = dataset.n() - 1;
+    // Already-chosen rows have nearest == 0 and thus zero selection
+    // weight, but FP edge cases (target exactly 0, or rounding leaving
+    // target positive after the full scan) could still land on one — so
+    // skip taken rows during the scan and keep the last untaken row as
+    // the rounding fallback.
+    std::size_t fallback = 0;
     for (std::size_t i = 0; i < dataset.n(); ++i) {
+      if (!taken[i]) {
+        fallback = i;
+      }
+    }
+    double target = rng.uniform() * total;
+    std::size_t chosen = fallback;
+    for (std::size_t i = 0; i < dataset.n(); ++i) {
+      if (taken[i]) {
+        continue;
+      }
       target -= nearest[i];
       if (target <= 0) {
         chosen = i;
@@ -86,6 +110,7 @@ util::Matrix init_plus_plus(const data::Dataset& dataset, std::size_t k,
       }
     }
     rows.push_back(chosen);
+    taken[chosen] = 1;
   }
   return take_rows(dataset, rows);
 }

@@ -34,8 +34,10 @@ KmeansResult run_level1(const data::Dataset& dataset,
   KmeansResult result;
   result.assignments.assign(dataset.n(), 0);
 
-  // Rank-0 outputs, written only by rank 0 after the loop.
-  util::Matrix final_centroids;
+  // One shared read-only centroid snapshot for all ranks (refreshed only
+  // at the bulk-synchronous iteration edge inside reduce_and_update), so
+  // centroid memory is O(k*d) per run instead of per rank.
+  util::Matrix centroids = std::move(initial_centroids);
   std::size_t iterations = 0;
   bool converged = false;
   simarch::CostTally total_cost;
@@ -44,9 +46,9 @@ KmeansResult run_level1(const data::Dataset& dataset,
 
   swmpi::run_spmd(static_cast<int>(num_cgs), [&](swmpi::Comm& world) {
     const std::size_t cg = static_cast<std::size_t>(world.rank());
-    util::Matrix centroids = initial_centroids;  // per-rank copy
     double rank_clock = 0;
     detail::UpdateAccumulator acc(k, d);
+    std::vector<detail::TileScore> tile(detail::kAssignTileSamples);
     const std::size_t accum_bytes = (k * d + k) * eb;
 
     for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
@@ -59,19 +61,28 @@ KmeansResult run_level1(const data::Dataset& dataset,
           static_cast<double>(cpes * k * d * eb) / machine.dma_bandwidth;
       tally.dma_bytes += cpes * k * d * eb;
 
-      // Assign: each CPE streams its block and scores all k centroids.
+      // Assign: each CPE streams its block and scores all k centroids, a
+      // tile of samples at a time through the shared cache-blocked kernel
+      // (ascending-index scan, so ties and accumulation order match the
+      // per-sample loop it replaces exactly).
       std::uint64_t sample_bytes = 0;
       std::uint64_t max_cpe_samples = 0;
       std::uint64_t rank_samples = 0;
       for (std::size_t cpe = 0; cpe < cpes; ++cpe) {
         const auto [begin, end] =
             detail::block_range(dataset.n(), total_cpes, cg * cpes + cpe);
-        for (std::size_t i = begin; i < end; ++i) {
-          const auto x = dataset.sample(i);
-          const auto [dist, j] = detail::nearest_in_slice(x, centroids, 0, k);
-          (void)dist;
-          result.assignments[i] = j;
-          acc.add_sample(j, x);
+        for (std::size_t t0 = begin; t0 < end;
+             t0 += detail::kAssignTileSamples) {
+          const std::size_t t1 =
+              std::min(end, t0 + detail::kAssignTileSamples);
+          const std::span<detail::TileScore> scores(tile.data(), t1 - t0);
+          detail::clear_scores(scores);
+          detail::score_tile(dataset, t0, t1, centroids, 0, k, scores);
+          for (std::size_t i = t0; i < t1; ++i) {
+            const auto j = static_cast<std::uint32_t>(scores[i - t0].index);
+            result.assignments[i] = j;
+            acc.add_sample(j, dataset.sample(i));
+          }
         }
         const std::uint64_t count = end - begin;
         sample_bytes += count * d * eb;
@@ -117,12 +128,9 @@ KmeansResult run_level1(const data::Dataset& dataset,
         break;
       }
     }
-    if (cg == 0) {
-      final_centroids = std::move(centroids);
-    }
   });
 
-  result.centroids = std::move(final_centroids);
+  result.centroids = std::move(centroids);
   result.iterations = iterations;
   result.converged = converged;
   result.cost = total_cost;

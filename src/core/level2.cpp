@@ -37,7 +37,10 @@ KmeansResult run_level2(const data::Dataset& dataset,
   KmeansResult result;
   result.assignments.assign(dataset.n(), 0);
 
-  util::Matrix final_centroids;
+  // One shared read-only centroid snapshot for all ranks (refreshed only
+  // at the bulk-synchronous iteration edge inside reduce_and_update), so
+  // centroid memory is O(k*d) per run instead of per rank.
+  util::Matrix centroids = std::move(initial_centroids);
   std::size_t iterations = 0;
   bool converged = false;
   simarch::CostTally total_cost;
@@ -46,9 +49,9 @@ KmeansResult run_level2(const data::Dataset& dataset,
 
   swmpi::run_spmd(static_cast<int>(num_cgs), [&](swmpi::Comm& world) {
     const std::size_t cg = static_cast<std::size_t>(world.rank());
-    util::Matrix centroids = initial_centroids;
     double rank_clock = 0;
     detail::UpdateAccumulator acc(k, d);
+    std::vector<detail::TileScore> tile(detail::kAssignTileSamples);
     const std::size_t accum_bytes = (k * d + k) * eb;
 
     for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
@@ -58,8 +61,12 @@ KmeansResult run_level2(const data::Dataset& dataset,
 
       // Assign: each CPE group of this CG takes one flow unit's block;
       // every member CPE reads the whole sample (replication factor g) and
-      // scores its centroid slice; the group's register-bus argmin combine
-      // selects the winner, which the slice owner accumulates.
+      // scores its centroid slice, with the group's register-bus argmin
+      // combine selecting the winner (priced below). The g slices tile
+      // [0, k) contiguously, so functionally the combine is one ascending
+      // scan of all centroids — done here a tile of samples at a time
+      // through the shared cache-blocked kernel; the slice owner
+      // accumulates in the same ascending-i order as before.
       std::uint64_t sample_bytes = 0;
       std::uint64_t max_group_samples = 0;
       std::uint64_t rank_samples = 0;
@@ -67,25 +74,19 @@ KmeansResult run_level2(const data::Dataset& dataset,
         const std::size_t flow_unit = cg * groups_per_cg + grp;
         const auto [begin, end] =
             detail::block_range(dataset.n(), flow_units, flow_unit);
-        for (std::size_t i = begin; i < end; ++i) {
-          const auto x = dataset.sample(i);
-          double best = std::numeric_limits<double>::max();
-          std::uint32_t best_j = 0;
-          for (std::size_t slice = 0; slice < g; ++slice) {
-            const std::size_t j_begin = slice * k_local;
-            if (j_begin >= k) {
-              break;
-            }
-            const std::size_t j_end = std::min(k, j_begin + k_local);
-            const auto [dist, j] =
-                detail::nearest_in_slice(x, centroids, j_begin, j_end);
-            if (dist < best || (dist == best && j < best_j)) {
-              best = dist;
-              best_j = j;
-            }
+        for (std::size_t t0 = begin; t0 < end;
+             t0 += detail::kAssignTileSamples) {
+          const std::size_t t1 =
+              std::min(end, t0 + detail::kAssignTileSamples);
+          const std::span<detail::TileScore> scores(tile.data(), t1 - t0);
+          detail::clear_scores(scores);
+          detail::score_tile(dataset, t0, t1, centroids, 0, k, scores);
+          for (std::size_t i = t0; i < t1; ++i) {
+            const auto best_j =
+                static_cast<std::uint32_t>(scores[i - t0].index);
+            result.assignments[i] = best_j;
+            acc.add_sample(best_j, dataset.sample(i));
           }
-          result.assignments[i] = best_j;
-          acc.add_sample(best_j, x);
         }
         const std::uint64_t count = end - begin;
         sample_bytes += count * d * eb * g;  // replicated reads
@@ -137,12 +138,9 @@ KmeansResult run_level2(const data::Dataset& dataset,
         break;
       }
     }
-    if (cg == 0) {
-      final_centroids = std::move(centroids);
-    }
   });
 
-  result.centroids = std::move(final_centroids);
+  result.centroids = std::move(centroids);
   result.iterations = iterations;
   result.converged = converged;
   result.cost = total_cost;

@@ -38,7 +38,10 @@ KmeansResult run_level3(const data::Dataset& dataset,
   KmeansResult result;
   result.assignments.assign(dataset.n(), 0);
 
-  util::Matrix final_centroids;
+  // One shared read-only centroid snapshot for all ranks (refreshed only
+  // at the bulk-synchronous iteration edge inside reduce_and_update), so
+  // centroid memory is O(k*d) per run instead of per rank.
+  util::Matrix centroids = std::move(initial_centroids);
   std::size_t iterations = 0;
   bool converged = false;
   simarch::CostTally total_cost;
@@ -63,9 +66,13 @@ KmeansResult run_level3(const data::Dataset& dataset,
     const double group_combine_time = topo.allreduce_time(16, group * p, p);
     const std::size_t slice_accum_bytes = (k_local * d + k_local) * eb;
 
-    util::Matrix centroids = initial_centroids;
     double rank_clock = 0;
+    // Full k x d accumulator (rows outside this rank's slice stay zero) so
+    // the world reduce keeps the seed engines' exact summation tree —
+    // shrinking it to k_local rows would change the association order and
+    // with it the centroid bits.
     detail::UpdateAccumulator acc(k, d);
+    std::vector<swmpi::MinLoc> tile(detail::kAssignTileSamples);
 
     for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
       acc.reset();
@@ -77,24 +84,32 @@ KmeansResult run_level3(const data::Dataset& dataset,
       const std::uint64_t count = end - begin;
 
       // Assign: every CG of the group reads each sample (its CPEs taking
-      // d_local dims each), scores its own slice, and joins the group's
-      // argmin combine. The winner's slice owner accumulates.
-      for (std::size_t i = begin; i < end; ++i) {
-        const auto x = dataset.sample(i);
-        swmpi::MinLoc mine{std::numeric_limits<double>::max(),
-                           std::numeric_limits<std::uint64_t>::max()};
+      // d_local dims each) and scores its own slice, a tile of samples at
+      // a time; one batched argmin combine then resolves the whole tile —
+      // one group barrier per tile instead of per sample. The simulated
+      // cost below still prices the paper's per-sample combine; only the
+      // wall-clock synchronisation is batched. The winner's slice owner
+      // accumulates, in the same ascending-i order as before.
+      for (std::size_t t0 = begin; t0 < end;
+           t0 += detail::kAssignTileSamples) {
+        const std::size_t t1 =
+            std::min(end, t0 + detail::kAssignTileSamples);
+        const std::span<swmpi::MinLoc> scores(tile.data(), t1 - t0);
+        detail::clear_scores(scores);
         if (j_begin < j_end) {
-          const auto [dist, j] =
-              detail::nearest_in_slice(x, centroids, j_begin, j_end);
-          mine = {dist, j};
+          detail::score_tile(dataset, t0, t1, centroids, j_begin, j_end,
+                             scores);
         }
-        swmpi::allreduce_minloc(group_comm, std::span<swmpi::MinLoc>(&mine, 1));
-        const auto winner = static_cast<std::uint32_t>(mine.index);
-        if (winner >= j_begin && winner < j_end) {
-          acc.add_sample(winner, x);
-        }
-        if (within == 0) {
-          result.assignments[i] = winner;
+        swmpi::allreduce_minloc(group_comm, scores);
+        for (std::size_t i = t0; i < t1; ++i) {
+          const auto winner =
+              static_cast<std::uint32_t>(scores[i - t0].index);
+          if (winner >= j_begin && winner < j_end) {
+            acc.add_sample(winner, dataset.sample(i));
+          }
+          if (within == 0) {
+            result.assignments[i] = winner;
+          }
         }
       }
 
@@ -144,12 +159,9 @@ KmeansResult run_level3(const data::Dataset& dataset,
         break;
       }
     }
-    if (cg == 0) {
-      final_centroids = std::move(centroids);
-    }
   });
 
-  result.centroids = std::move(final_centroids);
+  result.centroids = std::move(centroids);
   result.iterations = iterations;
   result.converged = converged;
   result.cost = total_cost;

@@ -10,10 +10,18 @@ namespace swhkm::core {
 std::vector<std::uint32_t> assign_serial(const data::Dataset& dataset,
                                          const util::Matrix& centroids) {
   std::vector<std::uint32_t> labels(dataset.n());
-  for (std::size_t i = 0; i < dataset.n(); ++i) {
-    labels[i] = detail::nearest_in_slice(dataset.sample(i), centroids, 0,
-                                         centroids.rows())
-                    .second;
+  std::vector<detail::TileScore> tile(detail::kAssignTileSamples);
+  for (std::size_t t0 = 0; t0 < dataset.n();
+       t0 += detail::kAssignTileSamples) {
+    const std::size_t t1 =
+        std::min(dataset.n(), t0 + detail::kAssignTileSamples);
+    const std::span<detail::TileScore> scores(tile.data(), t1 - t0);
+    detail::clear_scores(scores);
+    detail::score_tile(dataset, t0, t1, centroids, 0, centroids.rows(),
+                       scores);
+    for (std::size_t i = t0; i < t1; ++i) {
+      labels[i] = static_cast<std::uint32_t>(scores[i - t0].index);
+    }
   }
   return labels;
 }
@@ -28,15 +36,24 @@ KmeansResult lloyd_serial_from(const data::Dataset& dataset,
   result.assignments.assign(dataset.n(), 0);
   detail::UpdateAccumulator acc(config.k, dataset.d());
 
+  std::vector<detail::TileScore> tile(detail::kAssignTileSamples);
   for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
     acc.reset();
-    for (std::size_t i = 0; i < dataset.n(); ++i) {
-      const auto x = dataset.sample(i);
-      const auto [dist, j] =
-          detail::nearest_in_slice(x, centroids, 0, config.k);
-      (void)dist;
-      result.assignments[i] = j;
-      acc.add_sample(j, x);
+    // Same cache-blocked tile kernel the engines use; the ascending-index
+    // scan keeps ties and accumulation order identical to the per-sample
+    // loop it replaces.
+    for (std::size_t t0 = 0; t0 < dataset.n();
+         t0 += detail::kAssignTileSamples) {
+      const std::size_t t1 =
+          std::min(dataset.n(), t0 + detail::kAssignTileSamples);
+      const std::span<detail::TileScore> scores(tile.data(), t1 - t0);
+      detail::clear_scores(scores);
+      detail::score_tile(dataset, t0, t1, centroids, 0, config.k, scores);
+      for (std::size_t i = t0; i < t1; ++i) {
+        const auto j = static_cast<std::uint32_t>(scores[i - t0].index);
+        result.assignments[i] = j;
+        acc.add_sample(j, dataset.sample(i));
+      }
     }
     const double shift = detail::apply_update(centroids, acc.sums, acc.counts);
     result.iterations = iter + 1;

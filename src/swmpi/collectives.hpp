@@ -43,7 +43,10 @@ struct Max {
 }  // namespace ops
 
 /// (distance, index) pair with the tie-break-toward-lower-index ordering
-/// that keeps partitioned argmin identical to a serial scan.
+/// that keeps partitioned argmin identical to a serial scan. The ordering
+/// is element-wise, so one vector-shaped allreduce_minloc resolves a whole
+/// tile of samples in a single barrier — the engines batch their assign
+/// phase over this rather than combining per sample.
 struct MinLoc {
   double value = 0;
   std::uint64_t index = 0;
@@ -52,6 +55,9 @@ struct MinLoc {
     return a.value != b.value ? a.value < b.value : a.index < b.index;
   }
 };
+static_assert(std::is_trivially_copyable_v<MinLoc> && sizeof(MinLoc) == 16,
+              "MinLoc must stay a trivially copyable 16-byte record: tiles "
+              "of them are sent through the mailbox byte transport");
 
 namespace detail {
 inline int binomial_parent(int vrank) { return vrank & (vrank - 1); }

@@ -111,6 +111,69 @@ INSTANTIATE_TEST_SUITE_P(AllLevels, DeterminismSweep,
                                   std::to_string(static_cast<int>(info.param));
                          });
 
+/// Cross-slice tie-breaking: centroids at -1 and +1 (seeded from rows 0
+/// and 1 via kFirstK) land in *different* slices for m_group=2 /
+/// m'_group=2, and every sample at 0 is exactly equidistant to both — the
+/// slice argmin combine (MinLoc ordering for Level 3's batched
+/// allreduce) must resolve each tie to the smaller global index, like the
+/// serial left-to-right scan.
+TEST(SliceTieBreak, EqualDistanceAcrossSlicesResolvesToLowerIndex) {
+  util::Matrix m(34, 1);
+  m.at(0, 0) = -1.0f;
+  m.at(1, 0) = 1.0f;  // rows 2..33 stay at exactly 0
+  const data::Dataset ds("cross_slice_ties", std::move(m));
+  KmeansConfig config;
+  config.k = 2;
+  config.max_iterations = 1;
+  config.tolerance = -1;
+  config.init = InitMethod::kFirstK;
+  const MachineConfig machine = MachineConfig::tiny(2, 4, 8192);
+  const KmeansResult ref = lloyd_serial(ds, config);
+
+  // Level 2, two CPEs per slice group: centroid 0 in slice 0, 1 in slice 1.
+  const KmeansResult l2 =
+      run_level(Level::kLevel2, ds, config, machine, 2);
+  EXPECT_EQ(l2.assignments, ref.assignments);
+  // Level 3, two CGs per slice group: the tie crosses the group comm.
+  const KmeansResult l3 =
+      run_level(Level::kLevel3, ds, config, machine, 0, 2);
+  EXPECT_EQ(l3.assignments, ref.assignments);
+  for (std::size_t i = 2; i < ds.n(); ++i) {
+    EXPECT_EQ(l3.assignments[i], 0u) << "tie at sample " << i
+                                     << " broke toward the larger index";
+  }
+}
+
+/// Ragged slices: k smaller than the slice-group size leaves some ranks
+/// holding an empty centroid slice — they must contribute the neutral
+/// MinLoc (and nothing to the accumulator) without perturbing results.
+TEST(RaggedSlices, EmptySliceRanksAreHarmless) {
+  const data::Dataset ds = data::make_uniform(120, 3, 21);
+  KmeansConfig config;
+  config.k = 2;
+  config.max_iterations = 6;
+  config.init = InitMethod::kRandom;
+  config.seed = 9;
+  const MachineConfig machine = MachineConfig::tiny(2, 4, 8192);
+  const KmeansResult ref = lloyd_serial(ds, config);
+  const ProblemShape shape{ds.n(), config.k, ds.d()};
+
+  // Level 3 with m'_group = 4 > k = 2: slices 2 and 3 own no centroids.
+  ASSERT_TRUE(check_level(Level::kLevel3, shape, machine, 0, 4).ok);
+  const KmeansResult l3 =
+      run_level(Level::kLevel3, ds, config, machine, 0, 4);
+  EXPECT_EQ(l3.assignments, ref.assignments);
+  EXPECT_EQ(l3.iterations, ref.iterations);
+  EXPECT_LT(centroid_max_abs_diff(l3.centroids, ref.centroids), 1e-4);
+
+  // Level 2 with m_group = 4 > k = 2: CPE slices 2 and 3 are empty.
+  ASSERT_TRUE(check_level(Level::kLevel2, shape, machine, 4).ok);
+  const KmeansResult l2 =
+      run_level(Level::kLevel2, ds, config, machine, 4);
+  EXPECT_EQ(l2.assignments, ref.assignments);
+  EXPECT_EQ(l2.iterations, ref.iterations);
+}
+
 /// Feasibility properties over random shapes: check_level's verdict and
 /// make_plan must agree, and plans must respect their machine.
 TEST(FeasibilityProperty, CheckAndMakeAgree) {

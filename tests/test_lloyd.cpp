@@ -74,6 +74,35 @@ TEST(Init, PlusPlusSpreadsSeeds) {
   EXPECT_GT(gap, 100.0);
 }
 
+TEST(Init, PlusPlusCoincidentPointsSeedDistinctRows) {
+  // Regression: with coincident points the D^2 weights go to zero once
+  // every position is covered, and the degenerate fallback used to draw
+  // *any* row — including already-chosen ones — so k == n could seed the
+  // same row twice and skip another. With k == n the seeds must be a
+  // permutation of the rows, i.e. the sorted centroid multiset equals the
+  // sorted sample multiset (the duplicate row included exactly twice).
+  util::Matrix m = util::Matrix::from_vector(4, 2,
+                                             {0, 0,    // A
+                                              0, 0,    // A again
+                                              1, 0,    // B
+                                              0, 1});  // C
+  const data::Dataset ds("coincident", std::move(m));
+  KmeansConfig config;
+  config.k = 4;
+  config.init = InitMethod::kPlusPlus;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    config.seed = seed;
+    const util::Matrix c = init_centroids(ds, config);
+    std::multiset<std::pair<float, float>> got;
+    std::multiset<std::pair<float, float>> want;
+    for (std::size_t j = 0; j < 4; ++j) {
+      got.insert({c.at(j, 0), c.at(j, 1)});
+      want.insert({ds.sample(j)[0], ds.sample(j)[1]});
+    }
+    EXPECT_EQ(got, want) << "seed " << seed;
+  }
+}
+
 TEST(Init, KLargerThanNRejected) {
   const data::Dataset ds = data::make_uniform(5, 2, 1);
   KmeansConfig config;

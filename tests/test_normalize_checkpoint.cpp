@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <fstream>
 #include <iterator>
+#include <string>
 
 #include "core/checkpoint.hpp"
 #include "core/lloyd.hpp"
@@ -137,8 +139,11 @@ TEST(Checkpoint, ResumeEqualsUninterruptedRun) {
   core::save_checkpoint(partial, path);
   const core::KmeansResult restored = core::load_checkpoint(path);
 
+  // max_iterations is the TOTAL budget: resuming a 3-iteration checkpoint
+  // with a budget of 7 runs 4 more and lands exactly where an
+  // uninterrupted 7-iteration run does.
   core::KmeansConfig second_leg = first_leg;
-  second_leg.max_iterations = 4;
+  second_leg.max_iterations = 7;
   const core::KmeansResult resumed =
       core::resume_lloyd(ds, second_leg, restored);
 
@@ -153,6 +158,81 @@ TEST(Checkpoint, ResumeEqualsUninterruptedRun) {
   EXPECT_LT(core::centroid_max_abs_diff(resumed.centroids,
                                         uninterrupted.centroids),
             1e-6);
+}
+
+TEST(Checkpoint, ResumeNeverExceedsTotalIterationBudget) {
+  // Regression: resume_lloyd used to run a full max_iterations ON TOP of
+  // the checkpoint's spent iterations, so a resumed run could burn up to
+  // 2x the configured budget.
+  const data::Dataset ds = data::make_uniform(200, 3, 9);
+  core::KmeansConfig config;
+  config.k = 4;
+  config.max_iterations = 3;
+  config.tolerance = -1;
+  const core::KmeansResult partial = core::lloyd_serial(ds, config);
+  ASSERT_EQ(partial.iterations, 3u);
+
+  core::KmeansConfig budget = config;
+  budget.max_iterations = 5;
+  const core::KmeansResult resumed = core::resume_lloyd(ds, budget, partial);
+  EXPECT_EQ(resumed.iterations, 5u);
+}
+
+TEST(Checkpoint, ResumeWithExhaustedBudgetReturnsCheckpointState) {
+  const data::Dataset ds = data::make_uniform(150, 3, 2);
+  core::KmeansConfig config;
+  config.k = 4;
+  config.max_iterations = 4;
+  config.tolerance = -1;
+  const core::KmeansResult partial = core::lloyd_serial(ds, config);
+
+  // Budget smaller than what the checkpoint already spent: no further
+  // iterations, but the result must still be self-consistent (assignments
+  // and inertia recomputed against the checkpoint centroids).
+  core::KmeansConfig smaller = config;
+  smaller.max_iterations = 2;
+  const core::KmeansResult resumed =
+      core::resume_lloyd(ds, smaller, partial);
+  EXPECT_EQ(resumed.iterations, partial.iterations);
+  EXPECT_EQ(core::centroid_max_abs_diff(resumed.centroids,
+                                        partial.centroids),
+            0.0);
+  EXPECT_EQ(resumed.assignments,
+            core::assign_serial(ds, partial.centroids));
+  EXPECT_GT(resumed.inertia, 0.0);
+}
+
+TEST(Checkpoint, OverDeclaredHeaderRejected) {
+  // A header whose per-array shapes each fit the payload but whose
+  // combined size exceeds it must be rejected up front — the old
+  // independent checks let it through to the read stage.
+  const data::Dataset ds = data::make_uniform(40, 3, 5);
+  core::KmeansConfig config;
+  config.k = 2;
+  const core::KmeansResult result = core::lloyd_serial(ds, config);
+  const std::string path = ::testing::TempDir() + "/swhkm_overdecl.bin";
+  core::save_checkpoint(result, path);
+
+  // Payload is k*d*4 + n*4 = 24 + 160 = 184 bytes. Rewrite n to claim 46
+  // assignment rows (46*4 = 184 <= 184 passes the independent check) so
+  // the combined size 24 + 184 = 208 over-declares the file.
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file);
+  const std::uint64_t bogus_n = 46;
+  file.seekp(4 + 4 + 8 + 8, std::ios::beg);  // magic, version, k, d
+  file.write(reinterpret_cast<const char*>(&bogus_n), sizeof(bogus_n));
+  file.close();
+  try {
+    core::load_checkpoint(path);
+    FAIL() << "over-declared checkpoint header was accepted";
+  } catch (const InvalidArgument& error) {
+    // Must be caught by the shape validation, not surface later as a
+    // generic short-read failure.
+    EXPECT_NE(std::string(error.what()).find("do not match the file size"),
+              std::string::npos)
+        << error.what();
+  }
 }
 
 TEST(Checkpoint, GarbageFileRejected) {
