@@ -18,25 +18,122 @@ simarch::CostTally combine_tallies(swmpi::Comm& comm,
   return combined;
 }
 
-double reduce_and_update(swmpi::Comm& comm, util::Matrix& centroids,
-                         UpdateAccumulator& acc) {
-  // Reduce-to-root instead of allreduce: the sums only need to exist where
-  // the single shared snapshot is rewritten. The reduce half is the same
-  // binomial tree allreduce used, so the summation order — and therefore
-  // the centroid bits — are unchanged from the per-rank-copy engines.
-  swmpi::reduce(comm, 0, std::span<double>(acc.sums.data(), acc.sums.size()),
-                swmpi::ops::Plus{});
-  swmpi::reduce(comm, 0,
-                std::span<double>(acc.counts.data(), acc.counts.size()),
-                swmpi::ops::Plus{});
+namespace {
+
+/// One rank's update partials, shared by address. Valid because swmpi
+/// ranks are threads of one process (runtime.hpp): the pointers published
+/// by the entry allgather dereference directly on every rank.
+struct PartialsRef {
+  const double* sums;
+  const double* counts;
+};
+
+/// (max shift, summed empty count) combined in one element-wise allreduce.
+/// The empty count rides as a double: counts are small integers, exactly
+/// representable, and one fused collective beats two scalar ones.
+struct UpdateStats {
   double shift = 0;
-  if (comm.rank() == 0) {
-    shift = apply_update(centroids, acc.sums, acc.counts);
+  double empty = 0;
+};
+struct CombineUpdateStats {
+  void operator()(UpdateStats& inout, const UpdateStats& in) const {
+    inout.shift = inout.shift > in.shift ? inout.shift : in.shift;
+    inout.empty += in.empty;
   }
-  // Broadcasting the shift is also the happens-before edge that publishes
-  // the refreshed snapshot to every rank (mailbox transfers synchronise).
-  swmpi::bcast(comm, 0, std::span<double>(&shift, 1));
-  return shift;
+};
+
+/// Stage-pass binomial fold of one contiguous segment across all ranks'
+/// shared partials: out = fold of peer_slice(0..size-1), combined pair
+/// (r, r+s) for s = 1, 2, 4, … — element for element the association of
+/// swmpi::reduce to rank 0 (and of reduce_scatter_ranges), so the summed
+/// bits match the message-passing path exactly. Stream 0 accumulates
+/// straight into `out`; other surviving streams use `scratch`, whose
+/// capacity persists across segments.
+template <typename PeerSlice>
+void fold_binomial_segment(double* out, std::size_t len, int size,
+                           std::vector<std::vector<double>>& scratch,
+                           PeerSlice peer_slice) {
+  if (size == 1) {
+    const double* own = peer_slice(0);
+    std::copy(own, own + len, out);
+    return;
+  }
+  std::vector<const double*> cur(static_cast<std::size_t>(size), nullptr);
+  for (int s = 1; s < size; s <<= 1) {
+    for (int r = 0; r + s < size; r += 2 * s) {
+      const double* b =
+          cur[r + s] != nullptr ? cur[r + s] : peer_slice(r + s);
+      if (cur[r] == nullptr) {
+        double* target = out;
+        if (r != 0) {
+          scratch[r].resize(len);
+          target = scratch[r].data();
+        }
+        const double* a = peer_slice(r);
+        for (std::size_t i = 0; i < len; ++i) {
+          target[i] = a[i] + b[i];
+        }
+        cur[r] = target;
+      } else {
+        double* target = r == 0 ? out : scratch[r].data();
+        for (std::size_t i = 0; i < len; ++i) {
+          target[i] += b[i];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+UpdateOutcome reduce_and_update(swmpi::Comm& comm, util::Matrix& centroids,
+                                const UpdateAccumulator& acc) {
+  const std::size_t k = acc.k();
+  const std::size_t d = acc.d();
+  const int size = comm.size();
+  const auto rank = static_cast<std::size_t>(comm.rank());
+
+  // Entry barrier + partials exchange: publish each rank's accumulator by
+  // address. The allgather is the happens-before edge from every rank's
+  // assign-phase accumulation to every rank's fold below — nobody reads a
+  // peer's partials before that peer has finished writing them. On the
+  // thread-backed runtime this replaces moving the k*(d+1) payload through
+  // the mailbox with direct loads from shared memory; the simulated
+  // machine still pays the distributed reduce_scatter (charged by the
+  // engines via the topology model).
+  const std::vector<PartialsRef> refs = swmpi::allgather(
+      comm, PartialsRef{acc.sums.data(), acc.counts.data()});
+
+  // Fold this rank's shard — the contiguous sums rows and counts of
+  // block_range(k, size, r) — in the root-0 binomial association, reading
+  // the peers' partials in place.
+  const auto [j_begin, j_end] =
+      block_range(k, static_cast<std::size_t>(size), rank);
+  const std::size_t rows = j_end - j_begin;
+  std::vector<double> shard(rows * d + rows);
+  std::vector<std::vector<double>> scratch(static_cast<std::size_t>(size));
+  fold_binomial_segment(shard.data(), rows * d, size, scratch,
+                        [&](int r) { return refs[r].sums + j_begin * d; });
+  fold_binomial_segment(shard.data() + rows * d, rows, size, scratch,
+                        [&](int r) { return refs[r].counts + j_begin; });
+
+  // Parallel apply: every rank rewrites only its own rows of the shared
+  // snapshot — writes are disjoint by construction.
+  const UpdateOutcome mine = apply_update_rows(
+      centroids, j_begin, j_end,
+      std::span<const double>(shard.data(), rows * d),
+      std::span<const double>(shard.data() + rows * d, rows));
+
+  // Exit barrier + the run's control data: max shift and total
+  // empty-cluster count in one element-wise allreduce. This is also the
+  // happens-before edge that (a) publishes every rank's refreshed rows
+  // before the next assign phase reads the snapshot, and (b) guarantees
+  // every rank has finished reading the peers' partials before any owner
+  // returns and clears its accumulator for the next iteration.
+  UpdateStats stats{mine.shift, static_cast<double>(mine.empty_clusters)};
+  swmpi::allreduce(comm, std::span<UpdateStats>(&stats, 1),
+                   CombineUpdateStats{});
+  return {stats.shift, static_cast<std::size_t>(stats.empty)};
 }
 
 void charge_sample_stream(simarch::CostTally& tally,

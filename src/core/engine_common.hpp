@@ -17,18 +17,39 @@ namespace swhkm::core::detail {
 simarch::CostTally combine_tallies(swmpi::Comm& comm,
                                    const simarch::CostTally& mine);
 
-/// Sum accumulators and counts across all ranks and move the *shared*
-/// centroid snapshot to the new means. Every rank passes a reference to
-/// the same owning Matrix (one copy per run, not per rank); only rank 0
-/// writes it, at the bulk-synchronous iteration edge, and the returned
-/// shift doubles as the release: non-root ranks receive it only after the
-/// update is complete, so their next assign phase reads the refreshed
-/// snapshot, and rank 0 starts writing only after every rank has (at
-/// least transitively) handed over its partials — i.e. finished reading
-/// the previous snapshot. Bit-deterministic: the binomial reduce tree is
-/// the same one the former per-rank allreduce used.
-double reduce_and_update(swmpi::Comm& comm, util::Matrix& centroids,
-                         UpdateAccumulator& acc);
+/// Sharded update phase: sum accumulators and counts across all ranks and
+/// move the *shared* centroid snapshot to the new means, with every rank
+/// doing 1/size of the work. Every rank passes a reference to the same
+/// owning Matrix (one copy per run, not per rank).
+///
+/// Shape: a reduce_scatter of the fused (sums, counts) partials hands rank
+/// r the contiguous centroid-row shard block_range(k, size, r); each rank
+/// applies apply_update_rows to its own rows of the shared snapshot in
+/// parallel; one collective publishes the refreshed rows and the (max
+/// shift, summed empty-cluster) stats.
+///
+/// Realization on the thread-backed runtime: ranks are threads, so the
+/// reduce_scatter is a zero-copy binomial fold — an allgather publishes
+/// each accumulator by address and every rank folds its own shard reading
+/// the peers' partials in place (the same shared-memory idiom the engines
+/// use for the centroid snapshot). A message-passing deployment would call
+/// swmpi::reduce_scatter_ranges + allgatherv instead (same bits — the
+/// collectives are tested bit-identical to the fold); the engines charge
+/// the distributed cost either way through the topology model.
+///
+/// Bit-deterministic AND bit-identical to the former root-serialized
+/// update: the fold combines per element in the root-0 binomial
+/// association — the exact tree the old two-reduce path used — sharding
+/// cannot change any element's association, each row's division is
+/// rank-independent, and max/sqrt commute for the shift.
+///
+/// Publication: rank r writes only its own rows, so the writes are
+/// disjoint; the entry allgather orders every assign-phase write before
+/// any fold read, and the closing stats allreduce orders every row write
+/// before the next assign phase reads the snapshot — and before any owner
+/// reuses its accumulator.
+UpdateOutcome reduce_and_update(swmpi::Comm& comm, util::Matrix& centroids,
+                                const UpdateAccumulator& acc);
 
 /// Charge a per-CG sample stream: `bytes` through the CG's DMA at
 /// bandwidth B, plus `critical_transfers` issue overheads (transfers on

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "util/log.hpp"
 #include "util/matrix.hpp"
 
 namespace swhkm::core::detail {
@@ -241,23 +242,39 @@ struct UpdateAccumulator {
   std::vector<double> counts;
 };
 
-/// Move centroids to the mean of their assigned samples; a centroid with no
-/// samples keeps its position (the empty-cluster rule every level shares).
-/// Returns the largest Euclidean shift of any centroid.
-inline double apply_update(util::Matrix& centroids,
-                           std::span<const double> sums,
-                           std::span<const double> counts) {
-  const std::size_t k = centroids.rows();
+/// What one update pass did: the largest Euclidean centroid shift, plus
+/// how many clusters had no members and were frozen in place. Surfacing
+/// the empty count (instead of silently freezing) is what makes a stalled
+/// run diagnosable.
+struct UpdateOutcome {
+  double shift = 0;
+  std::size_t empty_clusters = 0;
+};
+
+/// Move centroid rows [j_begin, j_end) to the mean of their assigned
+/// samples, where `sums`/`counts` hold *just those rows* ((j_end-j_begin)
+/// x d and (j_end-j_begin) entries) — the per-shard kernel of the sharded
+/// update phase. A row with no samples keeps its position (the
+/// empty-cluster rule every level shares) and is counted. Each row's
+/// arithmetic is independent, and max/sqrt commute, so sharding the rows
+/// over ranks and max-combining the shifts is bit-identical to one full
+/// k-row pass.
+inline UpdateOutcome apply_update_rows(util::Matrix& centroids,
+                                       std::size_t j_begin, std::size_t j_end,
+                                       std::span<const double> sums,
+                                       std::span<const double> counts) {
   const std::size_t d = centroids.cols();
   double worst_shift_sq = 0;
-  for (std::size_t j = 0; j < k; ++j) {
-    if (counts[j] <= 0) {
+  std::size_t empty = 0;
+  for (std::size_t j = j_begin; j < j_end; ++j) {
+    if (counts[j - j_begin] <= 0) {
+      ++empty;
       continue;
     }
     double shift_sq = 0;
-    const double inv = 1.0 / counts[j];
+    const double inv = 1.0 / counts[j - j_begin];
     std::span<float> row = centroids.row(j);
-    const double* sum_row = sums.data() + j * d;
+    const double* sum_row = sums.data() + (j - j_begin) * d;
     for (std::size_t u = 0; u < d; ++u) {
       const float previous = row[u];
       row[u] = static_cast<float>(sum_row[u] * inv);
@@ -270,7 +287,26 @@ inline double apply_update(util::Matrix& centroids,
     }
     worst_shift_sq = worst_shift_sq > shift_sq ? worst_shift_sq : shift_sq;
   }
-  return worst_shift_sq > 0 ? std::sqrt(worst_shift_sq) : 0.0;
+  return {worst_shift_sq > 0 ? std::sqrt(worst_shift_sq) : 0.0, empty};
+}
+
+/// Full-range update over all k rows (serial baselines and single-shard
+/// callers).
+inline UpdateOutcome apply_update(util::Matrix& centroids,
+                                  std::span<const double> sums,
+                                  std::span<const double> counts) {
+  return apply_update_rows(centroids, 0, centroids.rows(), sums, counts);
+}
+
+/// One warning per run (not per iteration) when the final update froze
+/// empty clusters — the classic cause of a k-means run stalling below the
+/// requested k. Callers pass the engine name so logs identify the run.
+inline void warn_empty_clusters(std::size_t count, const char* engine) {
+  if (count > 0) {
+    SWHKM_WARN << engine << ": " << count
+               << " empty cluster(s) kept their previous position in the "
+                  "final iteration; consider k-means|| seeding or smaller k";
+  }
 }
 
 /// Contiguous block [begin, end) of `total` items for worker `index` of

@@ -113,7 +113,10 @@ KmeansResult hamerly_serial_from(const data::Dataset& dataset,
     }
 
     previous = centroids;
-    const double shift = detail::apply_update(centroids, acc.sums, acc.counts);
+    const detail::UpdateOutcome outcome =
+        detail::apply_update(centroids, acc.sums, acc.counts);
+    const double shift = outcome.shift;
+    result.empty_clusters = outcome.empty_clusters;
     for (std::uint32_t j = 0; j < k; ++j) {
       drift[j] = euclidean(previous.row(j), centroids.row(j));
     }
@@ -125,6 +128,7 @@ KmeansResult hamerly_serial_from(const data::Dataset& dataset,
     }
   }
 
+  detail::warn_empty_clusters(result.empty_clusters, "hamerly");
   result.inertia = inertia(dataset, centroids, result.assignments);
   result.centroids = std::move(centroids);
   return result;

@@ -63,6 +63,10 @@ struct KmeansResult {
   std::vector<std::uint32_t> assignments;   ///< per-sample nearest centroid
   std::size_t iterations = 0;
   bool converged = false;
+  /// Clusters that received no members in the final executed iteration
+  /// (their centroids are frozen in place rather than moved). Nonzero
+  /// values are worth a look: the run may be stalled on dead centroids.
+  std::size_t empty_clusters = 0;
   double inertia = 0;  ///< mean squared distance to assigned centroid, O(C)
   /// Simulated machine time accumulated by the engine across all
   /// iterations (zero for the serial baseline).

@@ -40,6 +40,7 @@ KmeansResult run_level1(const data::Dataset& dataset,
   util::Matrix centroids = std::move(initial_centroids);
   std::size_t iterations = 0;
   bool converged = false;
+  std::size_t empty_clusters = 0;
   simarch::CostTally total_cost;
   simarch::CostTally last_cost;
   std::vector<IterationStats> history;
@@ -97,15 +98,25 @@ KmeansResult run_level1(const data::Dataset& dataset,
       tally.flops += rank_samples * 2 * k * d;
 
       // Update: register-comm reduce inside the CG, then the machine-wide
-      // AllReduce (functional via swmpi, time via the topology model).
+      // sharded phase — reduce_scatter of the fused accumulator, every CG
+      // applying its own shard of rows, then one allgather publishing the
+      // refreshed rows with the (shift, empties) stats riding as a 16-byte
+      // per-rank header. The collectives are charged to net_comm_s;
+      // update_s only covers this CG's shard.
       reg.account_allreduce(accum_bytes, cpes);
-      tally.net_comm_s += topo.allreduce_time(accum_bytes, 0, num_cgs);
-      tally.net_bytes += accum_bytes;
-      const double shift = detail::reduce_and_update(world, centroids, acc);
+      const std::size_t publish_bytes = k * d * eb + 16 * num_cgs;
+      tally.net_comm_s += topo.reduce_scatter_time(accum_bytes, 0, num_cgs) +
+                          topo.allgather_time(publish_bytes, 0, num_cgs);
+      tally.net_bytes += accum_bytes + publish_bytes;
+      const detail::UpdateOutcome outcome =
+          detail::reduce_and_update(world, centroids, acc);
+      const double shift = outcome.shift;
+      const auto [u_begin, u_end] = detail::block_range(k, num_cgs, cg);
+      const std::size_t shard_rows = u_end - u_begin;
       tally.update_s +=
-          static_cast<double>(2 * k * d) /
+          static_cast<double>(2 * shard_rows * d) /
               (machine.cg_flops() * machine.compute_efficiency) +
-          static_cast<double>(k * d * eb) / machine.dma_bandwidth;
+          static_cast<double>(shard_rows * d * eb) / machine.dma_bandwidth;
 
       if (config.trace != nullptr) {
         config.trace->record_iteration(static_cast<std::uint32_t>(cg),
@@ -119,6 +130,7 @@ KmeansResult run_level1(const data::Dataset& dataset,
         total_cost += combined;
         last_cost = combined;
         iterations = iter + 1;
+        empty_clusters = outcome.empty_clusters;
         history.push_back({shift, combined.total_s()});
       }
       if (shift <= config.tolerance) {
@@ -130,9 +142,11 @@ KmeansResult run_level1(const data::Dataset& dataset,
     }
   });
 
+  detail::warn_empty_clusters(empty_clusters, "level1");
   result.centroids = std::move(centroids);
   result.iterations = iterations;
   result.converged = converged;
+  result.empty_clusters = empty_clusters;
   result.cost = total_cost;
   result.last_iteration_cost = last_cost;
   result.history = std::move(history);

@@ -43,6 +43,7 @@ KmeansResult run_level2(const data::Dataset& dataset,
   util::Matrix centroids = std::move(initial_centroids);
   std::size_t iterations = 0;
   bool converged = false;
+  std::size_t empty_clusters = 0;
   simarch::CostTally total_cost;
   simarch::CostTally last_cost;
   std::vector<IterationStats> history;
@@ -105,17 +106,26 @@ KmeansResult run_level2(const data::Dataset& dataset,
       // Per-sample argmin combine on the register buses (groups of a CG
       // run in parallel; charge the busiest group), then the update-phase
       // reductions: same-slice CPEs across the CG's groups, and the
-      // machine-wide AllReduce.
+      // machine-wide sharded phase — reduce_scatter of the fused
+      // accumulator, per-CG shard apply, then one allgather publishing the
+      // refreshed rows with the (shift, empties) stats riding as a 16-byte
+      // per-rank header.
       reg.account_allreduce(16, g, max_group_samples);
       reg.account_allreduce(k_local * d * eb, groups_per_cg);
-      tally.net_comm_s += topo.allreduce_time(accum_bytes, 0, num_cgs);
-      tally.net_bytes += accum_bytes;
+      const std::size_t publish_bytes = k * d * eb + 16 * num_cgs;
+      tally.net_comm_s += topo.reduce_scatter_time(accum_bytes, 0, num_cgs) +
+                          topo.allgather_time(publish_bytes, 0, num_cgs);
+      tally.net_bytes += accum_bytes + publish_bytes;
 
-      const double shift = detail::reduce_and_update(world, centroids, acc);
+      const detail::UpdateOutcome outcome =
+          detail::reduce_and_update(world, centroids, acc);
+      const double shift = outcome.shift;
+      const auto [u_begin, u_end] = detail::block_range(k, num_cgs, cg);
+      const std::size_t shard_rows = u_end - u_begin;
       tally.update_s +=
-          static_cast<double>(2 * k_local * d) /
-              (machine.cpe_flops() * machine.compute_efficiency) +
-          static_cast<double>(k * d * eb) / machine.dma_bandwidth;
+          static_cast<double>(2 * shard_rows * d) /
+              (machine.cg_flops() * machine.compute_efficiency) +
+          static_cast<double>(shard_rows * d * eb) / machine.dma_bandwidth;
 
       if (config.trace != nullptr) {
         config.trace->record_iteration(static_cast<std::uint32_t>(cg),
@@ -129,6 +139,7 @@ KmeansResult run_level2(const data::Dataset& dataset,
         total_cost += combined;
         last_cost = combined;
         iterations = iter + 1;
+        empty_clusters = outcome.empty_clusters;
         history.push_back({shift, combined.total_s()});
       }
       if (shift <= config.tolerance) {
@@ -140,9 +151,11 @@ KmeansResult run_level2(const data::Dataset& dataset,
     }
   });
 
+  detail::warn_empty_clusters(empty_clusters, "level2");
   result.centroids = std::move(centroids);
   result.iterations = iterations;
   result.converged = converged;
+  result.empty_clusters = empty_clusters;
   result.cost = total_cost;
   result.last_iteration_cost = last_cost;
   result.history = std::move(history);

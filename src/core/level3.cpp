@@ -44,6 +44,7 @@ KmeansResult run_level3(const data::Dataset& dataset,
   util::Matrix centroids = std::move(initial_centroids);
   std::size_t iterations = 0;
   bool converged = false;
+  std::size_t empty_clusters = 0;
   simarch::CostTally total_cost;
   simarch::CostTally last_cost;
   std::vector<IterationStats> history;
@@ -55,16 +56,11 @@ KmeansResult run_level3(const data::Dataset& dataset,
     swmpi::Comm group_comm =
         world.split(static_cast<int>(group), static_cast<int>(within));
 
-    // This CG's centroid slice [j_begin, j_end) and the CG ranks holding
-    // the same slice in the other groups (for cost accounting).
+    // This CG's centroid slice [j_begin, j_end) for the assign phase.
     const std::size_t j_begin = std::min(within * k_local, k);
     const std::size_t j_end = std::min(k, j_begin + k_local);
-    std::vector<std::size_t> same_slice_cgs(cg_groups);
-    for (std::size_t other = 0; other < cg_groups; ++other) {
-      same_slice_cgs[other] = other * p + within;
-    }
     const double group_combine_time = topo.allreduce_time(16, group * p, p);
-    const std::size_t slice_accum_bytes = (k_local * d + k_local) * eb;
+    const std::size_t accum_bytes = (k * d + k) * eb;
 
     double rank_clock = 0;
     // Full k x d accumulator (rows outside this rank's slice stay zero) so
@@ -126,17 +122,25 @@ KmeansResult run_level3(const data::Dataset& dataset,
       tally.net_comm_s += static_cast<double>(count) * group_combine_time;
       tally.net_bytes += count * 16 * (p - 1);
 
-      // Update: combine slice accumulators across same-slice CGs (cost),
-      // functionally a world AllReduce since each sample was accumulated
-      // exactly once machine-wide.
-      tally.net_comm_s +=
-          topo.allreduce_time(slice_accum_bytes, same_slice_cgs);
-      tally.net_bytes += slice_accum_bytes;
-      const double shift = detail::reduce_and_update(world, centroids, acc);
+      // Update: the machine-wide sharded phase — reduce_scatter of the
+      // fused accumulator (each sample was accumulated exactly once
+      // machine-wide, so the world collective is the functional truth),
+      // per-CG shard apply, then one allgather publishing the refreshed
+      // rows with the (shift, empties) stats riding as a 16-byte per-rank
+      // header.
+      const std::size_t publish_bytes = k * d * eb + 16 * num_cgs;
+      tally.net_comm_s += topo.reduce_scatter_time(accum_bytes, 0, num_cgs) +
+                          topo.allgather_time(publish_bytes, 0, num_cgs);
+      tally.net_bytes += accum_bytes + publish_bytes;
+      const detail::UpdateOutcome outcome =
+          detail::reduce_and_update(world, centroids, acc);
+      const double shift = outcome.shift;
+      const auto [u_begin, u_end] = detail::block_range(k, num_cgs, cg);
+      const std::size_t shard_rows = u_end - u_begin;
       tally.update_s +=
-          static_cast<double>(2 * k_local * d_local) /
-              (machine.cpe_flops() * machine.compute_efficiency) +
-          static_cast<double>(k_local * d * eb) / machine.dma_bandwidth;
+          static_cast<double>(2 * shard_rows * d) /
+              (machine.cg_flops() * machine.compute_efficiency) +
+          static_cast<double>(shard_rows * d * eb) / machine.dma_bandwidth;
 
       if (config.trace != nullptr) {
         config.trace->record_iteration(static_cast<std::uint32_t>(cg),
@@ -150,6 +154,7 @@ KmeansResult run_level3(const data::Dataset& dataset,
         total_cost += combined;
         last_cost = combined;
         iterations = iter + 1;
+        empty_clusters = outcome.empty_clusters;
         history.push_back({shift, combined.total_s()});
       }
       if (shift <= config.tolerance) {
@@ -161,9 +166,11 @@ KmeansResult run_level3(const data::Dataset& dataset,
     }
   });
 
+  detail::warn_empty_clusters(empty_clusters, "level3");
   result.centroids = std::move(centroids);
   result.iterations = iterations;
   result.converged = converged;
+  result.empty_clusters = empty_clusters;
   result.cost = total_cost;
   result.last_iteration_cost = last_cost;
   result.history = std::move(history);

@@ -55,7 +55,10 @@ KmeansResult lloyd_serial_from(const data::Dataset& dataset,
         acc.add_sample(j, dataset.sample(i));
       }
     }
-    const double shift = detail::apply_update(centroids, acc.sums, acc.counts);
+    const detail::UpdateOutcome outcome =
+        detail::apply_update(centroids, acc.sums, acc.counts);
+    const double shift = outcome.shift;
+    result.empty_clusters = outcome.empty_clusters;
     result.iterations = iter + 1;
     result.history.push_back({shift, 0.0});
     if (shift <= config.tolerance) {
@@ -64,6 +67,7 @@ KmeansResult lloyd_serial_from(const data::Dataset& dataset,
     }
   }
 
+  detail::warn_empty_clusters(result.empty_clusters, "lloyd");
   result.inertia = inertia(dataset, centroids, result.assignments);
   result.centroids = std::move(centroids);
   return result;

@@ -144,7 +144,10 @@ KmeansResult lloyd_out_of_core(const data::BinaryDatasetReader& reader,
             acc.add_sample(j, x);
           }
         });
-    const double shift = detail::apply_update(centroids, acc.sums, acc.counts);
+    const detail::UpdateOutcome outcome =
+        detail::apply_update(centroids, acc.sums, acc.counts);
+    const double shift = outcome.shift;
+    result.empty_clusters = outcome.empty_clusters;
     result.iterations = iter + 1;
     result.history.push_back({shift, 0.0});
     if (shift <= config.tolerance) {
@@ -152,6 +155,8 @@ KmeansResult lloyd_out_of_core(const data::BinaryDatasetReader& reader,
       break;
     }
   }
+
+  detail::warn_empty_clusters(result.empty_clusters, "out_of_core");
 
   // Final objective with one more streaming pass.
   double total = 0;

@@ -13,28 +13,37 @@
 
 namespace swhkm::core {
 
-namespace {
+namespace detail {
 
-/// Weighted k-means++ over a small candidate matrix: the standard
-/// reduction step of k-means||. Deterministic in (candidates, weights,
-/// seed).
 util::Matrix weighted_plus_plus(const util::Matrix& candidates,
                                 const std::vector<double>& weights,
                                 std::size_t k, std::uint64_t seed) {
   const std::size_t m = candidates.rows();
   SWHKM_REQUIRE(m >= k, "fewer candidates than centroids");
+  SWHKM_REQUIRE(weights.size() == m, "one weight per candidate");
   util::Xoshiro256 rng(seed);
   std::vector<std::size_t> chosen;
   chosen.reserve(k);
 
-  // First pick: weight-proportional.
+  // First pick: weight-proportional. Zero-weight candidates are skipped
+  // during the scan and excluded from the rounding fallback — FP edge
+  // cases (target exactly 0, or rounding leaving it positive after the
+  // full scan) could otherwise land on a candidate no sample maps to
+  // (mirrors the init_plus_plus fix).
   double total_weight = 0;
-  for (double w : weights) {
-    total_weight += w;
+  std::size_t last_weighted = m - 1;
+  for (std::size_t c = 0; c < m; ++c) {
+    total_weight += weights[c];
+    if (weights[c] > 0) {
+      last_weighted = c;
+    }
   }
   double target = rng.uniform() * total_weight;
-  std::size_t first = m - 1;
+  std::size_t first = last_weighted;
   for (std::size_t c = 0; c < m; ++c) {
+    if (weights[c] <= 0) {
+      continue;
+    }
     target -= weights[c];
     if (target <= 0) {
       first = c;
@@ -47,16 +56,27 @@ util::Matrix weighted_plus_plus(const util::Matrix& candidates,
   while (chosen.size() < k) {
     const auto latest = candidates.row(chosen.back());
     double total = 0;
+    std::size_t last_massed = m - 1;
     for (std::size_t c = 0; c < m; ++c) {
       nearest[c] = std::min(
-          nearest[c], detail::squared_distance(candidates.row(c), latest));
-      total += weights[c] * nearest[c];
+          nearest[c], squared_distance(candidates.row(c), latest));
+      if (weights[c] * nearest[c] > 0) {
+        total += weights[c] * nearest[c];
+        last_massed = c;
+      }
     }
-    std::size_t pick = m - 1;
+    std::size_t pick;
     if (total > 0) {
+      // Same zero-mass skip + last-positive-mass fallback as the first
+      // pick above.
       double thresh = rng.uniform() * total;
+      pick = last_massed;
       for (std::size_t c = 0; c < m; ++c) {
-        thresh -= weights[c] * nearest[c];
+        const double mass = weights[c] * nearest[c];
+        if (mass <= 0) {
+          continue;
+        }
+        thresh -= mass;
         if (thresh <= 0) {
           pick = c;
           break;
@@ -84,7 +104,7 @@ util::Matrix weighted_plus_plus(const util::Matrix& candidates,
   return centroids;
 }
 
-}  // namespace
+}  // namespace detail
 
 util::Matrix parallel_init(const data::Dataset& dataset,
                            const ParallelInitConfig& config) {
@@ -155,26 +175,15 @@ util::Matrix parallel_init(const data::Dataset& dataset,
           picked.push_back(i);
         }
       }
-      // Share the picks: counts via allgather, then rows via the root.
-      const std::vector<int> counts =
-          swmpi::allgather(comm, static_cast<int>(picked.size()));
+      // Share the picks in one variable-length allgather. The result is
+      // the rank-major concatenation of every rank's picks — the same
+      // candidate order the old per-rank point-to-point exchange produced,
+      // in O(log ranks) rounds instead of O(picks x ranks) messages.
+      const std::vector<std::uint64_t> all_picked = swmpi::allgatherv(
+          comm, std::span<const std::uint64_t>(picked.data(), picked.size()));
       const std::size_t before = candidates.size();
-      for (int r = 0; r < comm.size(); ++r) {
-        const int tag = comm.next_collective_tag();
-        if (comm.rank() == r) {
-          for (std::uint64_t i : picked) {
-            for (int q = 0; q < comm.size(); ++q) {
-              if (q != r) {
-                comm.send_value<std::uint64_t>(q, tag, i);
-              }
-            }
-            push_candidate(i);
-          }
-        } else {
-          for (int c = 0; c < counts[static_cast<std::size_t>(r)]; ++c) {
-            push_candidate(comm.recv_value<std::uint64_t>(r, tag));
-          }
-        }
+      for (const std::uint64_t i : all_picked) {
+        push_candidate(static_cast<std::size_t>(i));
       }
       refresh_against(before);
     }
@@ -222,8 +231,8 @@ util::Matrix parallel_init(const data::Dataset& dataset,
     }
     return padded;
   }
-  return weighted_plus_plus(candidates, shared_weights, config.k,
-                            config.seed ^ 0x5851F42D4C957F2DULL);
+  return detail::weighted_plus_plus(candidates, shared_weights, config.k,
+                                    config.seed ^ 0x5851F42D4C957F2DULL);
 }
 
 }  // namespace swhkm::core

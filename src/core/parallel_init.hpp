@@ -30,4 +30,17 @@ struct ParallelInitConfig {
 util::Matrix parallel_init(const data::Dataset& dataset,
                            const ParallelInitConfig& config);
 
+namespace detail {
+
+/// Weighted k-means++ over a small candidate matrix: the reduction step of
+/// k-means|| (weights = per-candidate nearest-sample counts). Deterministic
+/// in (candidates, weights, seed); zero-weight candidates are never
+/// selected, even when FP rounding exhausts the weighted scan. Exposed for
+/// the seeding regression tests.
+util::Matrix weighted_plus_plus(const util::Matrix& candidates,
+                                const std::vector<double>& weights,
+                                std::size_t k, std::uint64_t seed);
+
+}  // namespace detail
+
 }  // namespace swhkm::core

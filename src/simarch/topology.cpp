@@ -80,6 +80,90 @@ double Topology::allreduce_time(std::size_t bytes,
   return total;
 }
 
+namespace {
+
+std::size_t largest_pow2_at_most(std::size_t count) {
+  std::size_t p = 1;
+  while (p * 2 <= count) {
+    p *= 2;
+  }
+  return p;
+}
+
+}  // namespace
+
+double Topology::reduce_scatter_time(std::size_t bytes, std::size_t first_cg,
+                                     std::size_t count) const {
+  SWHKM_REQUIRE(first_cg + count <= num_cgs(), "CG range out of machine");
+  if (count <= 1) {
+    return 0.0;
+  }
+  const std::size_t pow2 = largest_pow2_at_most(count);
+  double total = 0.0;
+  if (pow2 != count) {
+    // Surplus ranks fold their full partials into the nearest power of two.
+    double worst = 0.0;
+    for (std::size_t r = pow2; r < count; ++r) {
+      worst = std::max(
+          worst, message_time(bytes, first_cg + r, first_cg + r - pow2));
+    }
+    total += worst;
+  }
+  // Recursive halving: each stage hands off half of the payload a rank is
+  // still responsible for, so stage payloads shrink bytes/2, bytes/4, ...
+  std::size_t stage_bytes = bytes;
+  for (std::size_t stride = 1; stride < pow2; stride *= 2) {
+    stage_bytes = (stage_bytes + 1) / 2;
+    double worst = 0.0;
+    for (std::size_t r = 0; r < pow2; ++r) {
+      const std::size_t partner = r ^ stride;
+      if (partner < r) {
+        continue;  // pair counted once
+      }
+      worst = std::max(
+          worst, message_time(stage_bytes, first_cg + r, first_cg + partner));
+    }
+    total += worst;
+  }
+  return total;
+}
+
+double Topology::allgather_time(std::size_t bytes, std::size_t first_cg,
+                                std::size_t count) const {
+  SWHKM_REQUIRE(first_cg + count <= num_cgs(), "CG range out of machine");
+  if (count <= 1) {
+    return 0.0;
+  }
+  const std::size_t pow2 = largest_pow2_at_most(count);
+  double total = 0.0;
+  // Recursive doubling: stage payloads grow from one shard up to half the
+  // total — the mirror image of the reduce_scatter above.
+  std::size_t stage_bytes = (bytes + pow2 - 1) / pow2;
+  for (std::size_t stride = 1; stride < pow2; stride *= 2) {
+    double worst = 0.0;
+    for (std::size_t r = 0; r < pow2; ++r) {
+      const std::size_t partner = r ^ stride;
+      if (partner < r) {
+        continue;  // pair counted once
+      }
+      worst = std::max(
+          worst, message_time(stage_bytes, first_cg + r, first_cg + partner));
+    }
+    total += worst;
+    stage_bytes *= 2;
+  }
+  if (pow2 != count) {
+    // Surplus ranks receive the assembled payload in a final fold-out.
+    double worst = 0.0;
+    for (std::size_t r = pow2; r < count; ++r) {
+      worst = std::max(
+          worst, message_time(bytes, first_cg + r - pow2, first_cg + r));
+    }
+    total += worst;
+  }
+  return total;
+}
+
 double Topology::broadcast_time(std::size_t bytes, std::size_t first_cg,
                                 std::size_t count) const {
   SWHKM_REQUIRE(first_cg + count <= num_cgs(), "CG range out of machine");

@@ -56,6 +56,22 @@ class Topology {
   double allreduce_time(std::size_t bytes,
                         const std::vector<std::size_t>& cgs) const;
 
+  /// Seconds for a sum-reduce_scatter of `bytes` payload over the range:
+  /// recursive halving, each stage exchanging half the surviving payload
+  /// with a partner 2^s ranks away; non-powers of two pay an extra fold-in
+  /// exchange of the full payload. This is the first half of the sharded
+  /// update phase (each CG ends up owning its shard of the sums).
+  double reduce_scatter_time(std::size_t bytes, std::size_t first_cg,
+                             std::size_t count) const;
+
+  /// Seconds for an allgather assembling `bytes` total payload over the
+  /// range: recursive doubling, stage payloads growing from one shard to
+  /// half the total; non-powers of two pay an extra full-payload fold-out.
+  /// This is the second half of the sharded update phase (publishing the
+  /// refreshed centroid rows).
+  double allgather_time(std::size_t bytes, std::size_t first_cg,
+                        std::size_t count) const;
+
   /// Seconds for a one-to-all broadcast over the same range (binomial tree;
   /// log2(count) stages of the full payload).
   double broadcast_time(std::size_t bytes, std::size_t first_cg,

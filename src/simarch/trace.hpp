@@ -10,7 +10,11 @@
 namespace swhkm::simarch {
 
 /// Phases of one engine iteration, in execution order — the trace assumes
-/// the non-overlapped phase model the cost ledger uses.
+/// the non-overlapped phase model the cost ledger uses. Since the update
+/// phase was sharded, kNetComm covers its collectives too (reduce_scatter
+/// of the fused accumulator, allgather of the refreshed rows, stats
+/// allreduce) and kUpdate is the per-CG shard apply, not a root-serialized
+/// full pass.
 enum class Phase : int {
   kSampleRead = 0,
   kCentroidStream,

@@ -287,6 +287,206 @@ std::vector<T> reduce_scatter(Comm& comm, std::span<const T> buf,
       work.begin() + static_cast<std::ptrdiff_t>((comm.rank() + 1) * block));
 }
 
+/// Reduce-scatter with ragged ranges and *binomial* summation order.
+/// Element-wise, the combine association is exactly the root-0 binomial
+/// tree of reduce(), so the reduced values are bit-identical to a
+/// reduce-to-root followed by a scatter — unlike the ring reduce_scatter
+/// above, whose rank-sequential combine order changes FP bits. Rank r
+/// receives the sub-range [offsets[r], offsets[r+1]) of the reduction.
+/// `offsets` must be identical on every rank, ascending, with
+/// offsets.size() == size + 1 and covering buf exactly; empty ranges are
+/// allowed (k < ranks).
+///
+/// Power-of-two sizes run a recursive-halving exchange — processing the
+/// lowest rank bit first pairs (0,1),(2,3),… then (0,2),(1,3),…, which is
+/// the binomial tree's own pairing, so each rank moves O(buf/2) bytes and
+/// the combine work spreads over all ranks without changing a single
+/// association. Other sizes fall back to binomial reduce + scatter, which
+/// has the same association by construction.
+///
+/// This overload consumes `buf` as scratch (contents are destroyed) —
+/// callers holding a freshly packed payload avoid a full-buffer copy.
+template <typename T, typename Op>
+std::vector<T> reduce_scatter_ranges(Comm& comm, std::span<T> buf,
+                                     std::span<const std::size_t> offsets,
+                                     Op op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  SWHKM_REQUIRE(offsets.size() == static_cast<std::size_t>(size) + 1,
+                "reduce_scatter_ranges needs size+1 offsets");
+  SWHKM_REQUIRE(offsets.front() == 0 && offsets.back() == buf.size(),
+                "reduce_scatter_ranges offsets must cover the buffer");
+  if (size == 1) {
+    return std::vector<T>(buf.begin(), buf.end());
+  }
+  const bool pow2 = (size & (size - 1)) == 0;
+  if (!pow2) {
+    // Binomial reduce to rank 0, then scatter the ranges. The combine
+    // association is the definition of what the halving path reproduces.
+    reduce(comm, 0, buf, op);
+    const int tag = comm.next_collective_tag();
+    if (rank == 0) {
+      for (int r = 1; r < size; ++r) {
+        comm.send<T>(r, tag,
+                     std::span<const T>(buf.data() + offsets[r],
+                                        offsets[r + 1] - offsets[r]));
+      }
+      return std::vector<T>(buf.begin() + static_cast<std::ptrdiff_t>(
+                                              offsets[0]),
+                            buf.begin() + static_cast<std::ptrdiff_t>(
+                                              offsets[1]));
+    }
+    std::vector<T> mine = comm.recv<T>(0, tag);
+    SWHKM_REQUIRE(mine.size() == offsets[rank + 1] - offsets[rank],
+                  "reduce_scatter_ranges scatter size mismatch");
+    return mine;
+  }
+  // Recursive halving, lowest bit first. Before the step for bit `s`, rank
+  // r holds, for every range b with (b & (s-1)) == (r & (s-1)), the fold
+  // of the 2^(steps done) ranks that share r's processed low bits — the
+  // binomial subtree partial. The step exchanges the halves whose bit s
+  // disagrees and combines with the lower subtree as the inout operand,
+  // exactly reduce()'s operand order.
+  const int tag = comm.next_collective_tag();
+  std::vector<T> pack;
+  for (int s = 1; s < size; s <<= 1) {
+    const int peer = rank ^ s;
+    pack.clear();
+    for (int b = 0; b < size; ++b) {
+      if ((b & (s - 1)) == (rank & (s - 1)) && (b & s) != (rank & s)) {
+        pack.insert(pack.end(), buf.begin() + static_cast<std::ptrdiff_t>(
+                                                  offsets[b]),
+                    buf.begin() + static_cast<std::ptrdiff_t>(
+                                      offsets[b + 1]));
+      }
+    }
+    comm.send<T>(peer, tag, std::span<const T>(pack.data(), pack.size()));
+    const std::vector<T> incoming = comm.recv<T>(peer, tag);
+    std::size_t at = 0;
+    for (int b = 0; b < size; ++b) {
+      if ((b & (s - 1)) != (rank & (s - 1)) || (b & s) != (rank & s)) {
+        continue;  // not a range this rank keeps after the step
+      }
+      T* mine = buf.data() + offsets[b];
+      const std::size_t len = offsets[b + 1] - offsets[b];
+      SWHKM_REQUIRE(at + len <= incoming.size(),
+                    "reduce_scatter_ranges block mismatch");
+      if ((rank & s) == 0) {
+        for (std::size_t i = 0; i < len; ++i) {
+          op(mine[i], incoming[at + i]);
+        }
+      } else {
+        // The peer's subtree is the lower one: it must be the inout
+        // operand so a non-commutative op still matches reduce().
+        for (std::size_t i = 0; i < len; ++i) {
+          T merged = incoming[at + i];
+          op(merged, mine[i]);
+          mine[i] = merged;
+        }
+      }
+      at += len;
+    }
+    SWHKM_REQUIRE(at == incoming.size(),
+                  "reduce_scatter_ranges payload mismatch");
+  }
+  return std::vector<T>(
+      buf.begin() + static_cast<std::ptrdiff_t>(offsets[rank]),
+      buf.begin() + static_cast<std::ptrdiff_t>(offsets[rank + 1]));
+}
+
+/// Non-destructive overload: copies `buf` into scratch and delegates.
+template <typename T, typename Op>
+std::vector<T> reduce_scatter_ranges(Comm& comm, std::span<const T> buf,
+                                     std::span<const std::size_t> offsets,
+                                     Op op) {
+  std::vector<T> work(buf.begin(), buf.end());
+  return reduce_scatter_ranges(comm, std::span<T>(work.data(), work.size()),
+                               offsets, op);
+}
+
+/// Variable-length allgather with caller-known lengths: every rank
+/// contributes `mine` (== counts[rank] elements; zero allowed) and
+/// receives the rank-order concatenation of all contributions. `counts`
+/// must be identical on every rank.
+///
+/// Power-of-two sizes run the recursive-doubling hypercube exchange —
+/// log2(size) rounds, each sending the contiguous aligned group of blocks
+/// the rank has assembled so far — so the latency-critical round count is
+/// logarithmic. Other sizes fall back to a direct exchange (send never
+/// blocks in this runtime, so the all-to-all post is deadlock-free).
+template <typename T>
+std::vector<T> allgatherv(Comm& comm, std::span<const T> mine,
+                          std::span<const std::size_t> counts) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  SWHKM_REQUIRE(counts.size() == static_cast<std::size_t>(size),
+                "allgatherv needs one count per rank");
+  SWHKM_REQUIRE(counts[rank] == mine.size(),
+                "allgatherv counts[rank] must match the contribution");
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(size) + 1, 0);
+  for (int r = 0; r < size; ++r) {
+    offsets[r + 1] = offsets[r] + counts[r];
+  }
+  std::vector<T> all(offsets.back());
+  std::copy(mine.begin(), mine.end(),
+            all.begin() + static_cast<std::ptrdiff_t>(offsets[rank]));
+  if (size == 1) {
+    return all;
+  }
+  const int tag = comm.next_collective_tag();
+  if ((size & (size - 1)) == 0) {
+    // Recursive doubling: before the round for bit `s`, this rank holds
+    // the aligned block group [rank & ~(s-1), +s) — contiguous in `all`,
+    // so rounds send straight out of the output buffer without packing.
+    for (int s = 1; s < size; s <<= 1) {
+      const int peer = rank ^ s;
+      const int base = rank & ~(s - 1);
+      const int pbase = peer & ~(s - 1);
+      comm.send<T>(peer, tag,
+                   std::span<const T>(all.data() + offsets[base],
+                                      offsets[base + s] - offsets[base]));
+      const std::vector<T> incoming = comm.recv<T>(peer, tag);
+      SWHKM_REQUIRE(incoming.size() == offsets[pbase + s] - offsets[pbase],
+                    "allgatherv round length mismatch");
+      std::copy(incoming.begin(), incoming.end(),
+                all.begin() + static_cast<std::ptrdiff_t>(offsets[pbase]));
+    }
+    return all;
+  }
+  for (int q = 0; q < size; ++q) {
+    if (q != rank) {
+      comm.send<T>(q, tag, mine);
+    }
+  }
+  for (int q = 0; q < size; ++q) {
+    if (q == rank) {
+      continue;
+    }
+    const std::vector<T> incoming = comm.recv<T>(q, tag);
+    SWHKM_REQUIRE(incoming.size() == counts[q], "allgatherv length mismatch");
+    std::copy(incoming.begin(), incoming.end(),
+              all.begin() + static_cast<std::ptrdiff_t>(offsets[q]));
+  }
+  return all;
+}
+
+/// Length-discovering overload: one internal allgather of lengths, then
+/// the known-counts exchange above.
+template <typename T>
+std::vector<T> allgatherv(Comm& comm, std::span<const T> mine) {
+  const std::vector<std::uint64_t> lengths =
+      allgather(comm, static_cast<std::uint64_t>(mine.size()));
+  std::vector<std::size_t> counts(lengths.size());
+  for (std::size_t r = 0; r < lengths.size(); ++r) {
+    counts[r] = static_cast<std::size_t>(lengths[r]);
+  }
+  return allgatherv(comm, mine,
+                    std::span<const std::size_t>(counts.data(),
+                                                 counts.size()));
+}
+
 /// Inclusive prefix reduction: rank r receives op-fold of ranks 0..r's
 /// contributions, combined in rank order (deterministic).
 template <typename T, typename Op>

@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "core/level2.hpp"
 #include "core/lloyd.hpp"
 #include "core/metrics.hpp"
 #include "core/parallel_init.hpp"
 #include "core/partition.hpp"
 #include "data/synthetic.hpp"
+#include "swmpi/collectives.hpp"
+#include "swmpi/runtime.hpp"
 #include "util/error.hpp"
 
 namespace swhkm::core {
@@ -145,6 +150,104 @@ TEST(ParallelInit, RejectsBadConfig) {
   config.ranks = 0;
   EXPECT_THROW(parallel_init(ds, config), swhkm::InvalidArgument);
 }
+
+TEST(WeightedPlusPlus, NeverPicksZeroWeightCandidateOnScanExhaustion) {
+  // Two 1e308 weights overflow the total to +inf, so target = u * inf is
+  // +inf (or NaN at u == 0) and the weighted scan deterministically
+  // exhausts without ever reaching <= 0 — the exact FP-edge the fallback
+  // guards. The old fallback picked index m-1, a zero-weight candidate no
+  // sample maps to; the fix must land on positive-weight rows only.
+  util::Matrix candidates(4, 2);
+  for (std::size_t c = 0; c < 4; ++c) {
+    candidates.at(c, 0) = static_cast<float>(c);
+    candidates.at(c, 1) = static_cast<float>(c * c);
+  }
+  const std::vector<double> weights{1e308, 1e308, 0.0, 0.0};
+  const util::Matrix picked =
+      detail::weighted_plus_plus(candidates, weights, 2, 7);
+  for (std::size_t j = 0; j < 2; ++j) {
+    const bool is_row0 = std::equal(picked.row(j).begin(),
+                                    picked.row(j).end(),
+                                    candidates.row(0).begin());
+    const bool is_row1 = std::equal(picked.row(j).begin(),
+                                    picked.row(j).end(),
+                                    candidates.row(1).begin());
+    EXPECT_TRUE(is_row0 || is_row1)
+        << "centroid " << j << " is a zero-weight candidate";
+  }
+}
+
+TEST(WeightedPlusPlus, MatchesPlainScanOnRegularWeights) {
+  // On non-degenerate weights the zero-weight skip must be a no-op: the
+  // scan picks the same candidate a plain cumulative scan would.
+  util::Matrix candidates(6, 3);
+  for (std::size_t c = 0; c < 6; ++c) {
+    for (std::size_t u = 0; u < 3; ++u) {
+      candidates.at(c, u) = static_cast<float>((c * 5 + u * 3) % 7);
+    }
+  }
+  const std::vector<double> weights{3.0, 1.0, 4.0, 1.0, 5.0, 9.0};
+  const util::Matrix a =
+      detail::weighted_plus_plus(candidates, weights, 3, 11);
+  const util::Matrix b =
+      detail::weighted_plus_plus(candidates, weights, 3, 11);
+  EXPECT_EQ(centroid_max_abs_diff(a, b), 0.0);
+  for (std::size_t j = 0; j < 3; ++j) {
+    bool found = false;
+    for (std::size_t c = 0; c < 6 && !found; ++c) {
+      found = std::equal(a.row(j).begin(), a.row(j).end(),
+                         candidates.row(c).begin());
+    }
+    EXPECT_TRUE(found) << "centroid " << j << " is not a candidate";
+  }
+}
+
+class CandidateExchangeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CandidateExchangeTest, AllgathervMatchesOldTagDance) {
+  // Property test of the k-means|| candidate exchange rewrite: the
+  // allgatherv must deliver exactly the candidate sequence the old
+  // O(picks x ranks) point-to-point tag dance produced, for ragged
+  // (including empty) pick lists.
+  const int size = GetParam();
+  swmpi::run_spmd(size, [&](swmpi::Comm& comm) {
+    const auto rank = static_cast<std::size_t>(comm.rank());
+    std::vector<std::uint64_t> picked((rank * 3 + 1) % 5);
+    for (std::size_t i = 0; i < picked.size(); ++i) {
+      picked[i] = rank * 1000 + i * 17;
+    }
+
+    // The seed's exchange, verbatim: per-rank counts, then a tag per
+    // source rank fanning every pick out point-to-point.
+    std::vector<std::uint64_t> old_order;
+    const std::vector<int> counts =
+        swmpi::allgather(comm, static_cast<int>(picked.size()));
+    for (int r = 0; r < comm.size(); ++r) {
+      const int tag = comm.next_collective_tag();
+      if (comm.rank() == r) {
+        for (std::uint64_t i : picked) {
+          for (int q = 0; q < comm.size(); ++q) {
+            if (q != r) {
+              comm.send_value<std::uint64_t>(q, tag, i);
+            }
+          }
+          old_order.push_back(i);
+        }
+      } else {
+        for (int c = 0; c < counts[static_cast<std::size_t>(r)]; ++c) {
+          old_order.push_back(comm.recv_value<std::uint64_t>(r, tag));
+        }
+      }
+    }
+
+    const std::vector<std::uint64_t> new_order = swmpi::allgatherv(
+        comm, std::span<const std::uint64_t>(picked.data(), picked.size()));
+    EXPECT_EQ(new_order, old_order) << "size=" << size << " rank=" << rank;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CandidateExchangeTest,
+                         ::testing::Values(1, 2, 3, 4, 7));
 
 TEST(ParallelInit, FeedsEnginesAsCustomStart) {
   // End-to-end: k-means|| seeding -> Level 2 engine via run_plan_from.
