@@ -29,15 +29,34 @@
 /// reduce scratch vs the new path's payload packing) and produce
 /// bit-identical centroids (verified). Results go to BENCH_wallclock.json
 /// in the working directory so subsequent PRs can track the trajectory.
+///
+/// Third experiment — the bound gate. A full Lloyd run to convergence on
+/// the same (n=8192, k=256, d=128, 4-CG) cell, assign phase two ways:
+///
+///   ungated — every sample sweeps its k-slice every iteration, one
+///             16-byte-record MinLoc collective per tile (the pre-gate
+///             engine structure);
+///   gated   — Hamerly bounds gate every sample before it enters a tile;
+///             survivors sweep and ride a *compacted* 24-byte MinLoc2
+///             collective (runner-up distance keeps the lower bound exact
+///             under the nk slice), fully-pruned tiles skip the collective
+///             outright.
+///
+/// Per-iteration assign wall-clock, prune rate and collective payload go
+/// to the JSON + wallclock_gated_assign.csv; the run asserts both variants
+/// and serial Lloyd converge to bit-identical centroids. `--smoke` runs
+/// only this experiment on a tiny cell (CI-sized, a few hundred ms).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/engine_common.hpp"
 #include "core/engine_util.hpp"
+#include "core/lloyd.hpp"
 #include "swmpi/collectives.hpp"
 #include "swmpi/runtime.hpp"
 
@@ -185,6 +204,270 @@ double update_sharded(
   return clock.seconds();
 }
 
+/// One converging Lloyd run over the 4-rank swmpi runtime with the Level 3
+/// nk slicing (each rank owns a contiguous k-slice, winners resolved by a
+/// per-tile collective), assign phase gated or not.
+struct ConvergeTrace {
+  std::vector<double> assign_s;            ///< per-iteration assign wall
+  std::vector<double> prune_rate;          ///< gated fraction per iteration
+  std::vector<std::uint64_t> collective_bytes;  ///< minloc payload crossing
+  std::vector<std::uint32_t> assignments;
+  util::Matrix centroids;
+  std::size_t iterations = 0;
+};
+
+ConvergeTrace run_converging_assign(const data::Dataset& ds,
+                                    const util::Matrix& init, std::size_t k,
+                                    std::size_t group_cgs, bool gate,
+                                    std::size_t max_iters, double tolerance) {
+  ConvergeTrace out;
+  out.centroids = init;
+  const std::size_t n = ds.n();
+  const std::size_t k_local = (k + group_cgs - 1) / group_cgs;
+  constexpr std::size_t kTile = core::detail::kAssignTileSamples;
+  std::vector<std::uint32_t> winners(n, 0);
+  swmpi::run_spmd(static_cast<int>(group_cgs), [&](swmpi::Comm& comm) {
+    const auto rank = static_cast<std::size_t>(comm.rank());
+    const std::size_t j_begin = std::min(rank * k_local, k);
+    const std::size_t j_end = std::min(k, j_begin + k_local);
+    std::vector<std::uint32_t> local_assign(n, 0);
+    std::vector<double> upper;
+    std::vector<double> lower;
+    std::vector<double> drift;
+    std::vector<double> safe;
+    std::vector<std::uint32_t> ids;
+    if (gate) {
+      upper.assign(n, 0.0);
+      lower.assign(n, 0.0);
+      drift.assign(k, 0.0);
+      ids.reserve(kTile);
+    }
+    std::vector<swmpi::MinLoc> tile1(kTile);
+    std::vector<swmpi::MinLoc2> tile2(kTile);
+    core::detail::UpdateAccumulator acc(k, ds.d());
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+      // Sync so rank 0's stopwatch brackets only the assign phase.
+      double sync = 0;
+      swmpi::allreduce_sum(comm, std::span<double>(&sync, 1));
+      util::Stopwatch clock;
+      const bool gating = gate && iter > 0;
+      core::detail::DriftDigest digest;
+      if (gating) {
+        digest = core::detail::drift_digest(drift);
+        core::detail::compute_safe_radii(out.centroids, safe);
+      }
+      std::uint64_t unresolved = 0;
+      for (std::size_t t0 = 0; t0 < n; t0 += kTile) {
+        const std::size_t t1 = std::min(n, t0 + kTile);
+        if (!gate) {
+          const std::span<swmpi::MinLoc> scores(tile1.data(), t1 - t0);
+          core::detail::clear_scores(scores);
+          if (j_begin < j_end) {
+            core::detail::score_tile(ds, t0, t1, out.centroids, j_begin,
+                                     j_end, scores);
+          }
+          swmpi::allreduce_minloc(comm, scores);
+          for (std::size_t i = t0; i < t1; ++i) {
+            local_assign[i] =
+                static_cast<std::uint32_t>(scores[i - t0].index);
+          }
+          unresolved += t1 - t0;
+          continue;
+        }
+        if (!gating) {
+          // Iteration 0 with the gate on: full sweep, MinLoc2 so the
+          // runner-up distance seeds the lower bound.
+          const std::span<swmpi::MinLoc2> scores(tile2.data(), t1 - t0);
+          core::detail::clear_scores(scores);
+          if (j_begin < j_end) {
+            core::detail::score_tile(ds, t0, t1, out.centroids, j_begin,
+                                     j_end, scores);
+          }
+          swmpi::allreduce_minloc2(comm, scores);
+          for (std::size_t i = t0; i < t1; ++i) {
+            const swmpi::MinLoc2& rec = scores[i - t0];
+            local_assign[i] = static_cast<std::uint32_t>(rec.index);
+            core::detail::refresh_bounds(rec, upper[i], lower[i]);
+          }
+          unresolved += t1 - t0;
+          continue;
+        }
+        // Gate inputs are globally replicated, so every rank builds the
+        // identical compaction and a fully-pruned tile skips its
+        // collective on all ranks at once (Level 3 structure: no tighten —
+        // see gate_tile).
+        ids.clear();
+        core::detail::gate_tile(ds, out.centroids, t0, t1, local_assign,
+                                drift, digest, safe, upper, lower,
+                                /*tighten=*/false, ids);
+        if (!ids.empty()) {
+          const std::span<swmpi::MinLoc2> scores(tile2.data(), ids.size());
+          core::detail::clear_scores(scores);
+          if (j_begin < j_end) {
+            core::detail::score_tile_ids(
+                ds, std::span<const std::uint32_t>(ids.data(), ids.size()),
+                out.centroids, j_begin, j_end, scores);
+          }
+          swmpi::allreduce_minloc2(comm, scores);
+          for (std::size_t t = 0; t < ids.size(); ++t) {
+            const std::size_t i = ids[t];
+            const swmpi::MinLoc2& rec = scores[t];
+            local_assign[i] = static_cast<std::uint32_t>(rec.index);
+            core::detail::refresh_bounds(rec, upper[i], lower[i]);
+          }
+        }
+        unresolved += ids.size();
+      }
+      swmpi::allreduce_sum(comm, std::span<double>(&sync, 1));
+      if (rank == 0) {
+        out.assign_s.push_back(clock.seconds());
+        out.prune_rate.push_back(static_cast<double>(n - unresolved) /
+                                 static_cast<double>(n));
+        out.collective_bytes.push_back(
+            unresolved *
+            (gate ? sizeof(swmpi::MinLoc2) : sizeof(swmpi::MinLoc)) *
+            (group_cgs - 1));
+        out.iterations = iter + 1;
+      }
+      acc.reset();
+      const auto [b_begin, b_end] =
+          core::detail::block_range(n, group_cgs, rank);
+      for (std::size_t i = b_begin; i < b_end; ++i) {
+        acc.add_sample(local_assign[i], ds.sample(i));
+      }
+      const core::detail::UpdateOutcome outcome =
+          core::detail::reduce_and_update(
+              comm, out.centroids, acc,
+              gate ? std::span<double>(drift.data(), drift.size())
+                   : std::span<double>{});
+      if (outcome.shift <= tolerance) {
+        break;
+      }
+    }
+    if (rank == 0) {
+      winners = local_assign;
+    }
+  });
+  out.assignments = std::move(winners);
+  return out;
+}
+
+struct GatedSection {
+  ConvergeTrace gated;
+  ConvergeTrace ungated;
+  double tail_speedup = 0;  ///< assign wall ratio, iterations >= kTailStart
+  bool identical = false;   ///< both variants + serial Lloyd bit-identical
+};
+
+constexpr std::size_t kTailStart = 2;  // "after the first few iterations"
+
+GatedSection run_gated_section(std::size_t n, std::size_t k, std::size_t d,
+                               std::size_t group_cgs,
+                               std::size_t max_iters) {
+  // Clusterable data (what the gate is for): more true modes than k and a
+  // moderate separation keep Lloyd walking for a while before it settles.
+  const data::Dataset ds = data::make_blobs(n, d, k + k / 8, 7177,
+                                            /*separation=*/4.0);
+  core::KmeansConfig config;
+  config.k = k;
+  config.max_iterations = max_iters;
+  config.tolerance = 0;
+  config.init = core::InitMethod::kFirstK;
+  const util::Matrix init = core::init_centroids(ds, config);
+
+  GatedSection out;
+  (void)run_converging_assign(ds, init, k, group_cgs, true, 2, 0);  // warm-up
+  out.gated =
+      run_converging_assign(ds, init, k, group_cgs, true, max_iters, 0);
+  out.ungated =
+      run_converging_assign(ds, init, k, group_cgs, false, max_iters, 0);
+  const core::KmeansResult serial = core::lloyd_serial_from(ds, config, init);
+
+  out.identical =
+      out.gated.iterations == out.ungated.iterations &&
+      out.gated.assignments == out.ungated.assignments &&
+      out.gated.assignments == serial.assignments &&
+      std::memcmp(out.gated.centroids.data(), out.ungated.centroids.data(),
+                  k * d * sizeof(float)) == 0 &&
+      std::memcmp(out.gated.centroids.data(), serial.centroids.data(),
+                  k * d * sizeof(float)) == 0;
+
+  double gated_tail = 0;
+  double ungated_tail = 0;
+  for (std::size_t it = kTailStart; it < out.gated.iterations; ++it) {
+    gated_tail += out.gated.assign_s[it];
+    ungated_tail += out.ungated.assign_s[it];
+  }
+  out.tail_speedup = gated_tail > 0 ? ungated_tail / gated_tail : 0;
+  return out;
+}
+
+void emit_gated(const GatedSection& g, std::ostream& json, bool last) {
+  util::Table table({"iter", "ungated_assign_s", "gated_assign_s",
+                     "prune_rate", "ungated_bytes", "gated_bytes"});
+  for (std::size_t it = 0; it < g.gated.iterations; ++it) {
+    table.new_row()
+        .add(static_cast<std::uint64_t>(it))
+        .add(g.ungated.assign_s[it], 6)
+        .add(g.gated.assign_s[it], 6)
+        .add(g.gated.prune_rate[it], 4)
+        .add(g.ungated.collective_bytes[it])
+        .add(g.gated.collective_bytes[it]);
+  }
+  bench::emit(table, "wallclock_gated_assign");
+
+  const auto dump = [&json](const char* key, const auto& values,
+                            auto format) {
+    json << "    \"" << key << "\": [";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      json << (i > 0 ? ", " : "");
+      format(values[i]);
+    }
+    json << "],\n";
+  };
+  json << "  \"gated_assign\": {\n"
+       << "    \"iterations\": " << g.gated.iterations << ",\n"
+       << "    \"bit_identical_to_serial_lloyd\": "
+       << (g.identical ? "true" : "false") << ",\n";
+  dump("ungated_assign_s", g.ungated.assign_s,
+       [&json](double v) { json << v; });
+  dump("gated_assign_s", g.gated.assign_s, [&json](double v) { json << v; });
+  dump("prune_rate", g.gated.prune_rate, [&json](double v) { json << v; });
+  dump("ungated_collective_bytes", g.ungated.collective_bytes,
+       [&json](std::uint64_t v) { json << v; });
+  dump("gated_collective_bytes", g.gated.collective_bytes,
+       [&json](std::uint64_t v) { json << v; });
+  json << "    \"tail_start_iteration\": " << kTailStart << ",\n"
+       << "    \"assign_tail_speedup\": " << g.tail_speedup << "\n"
+       << "  }" << (last ? "\n" : ",\n");
+  std::printf("gated assign tail speedup (iters >= %zu): %.2fx, "
+              "final prune rate %.3f, bit-identical: %s\n",
+              kTailStart, g.tail_speedup,
+              g.gated.prune_rate.empty() ? 0.0 : g.gated.prune_rate.back(),
+              g.identical ? "yes" : "NO");
+}
+
+int run_smoke() {
+  bench::banner("wallclock_engines --smoke",
+                "CI-sized bound-gate check: gated vs ungated assign to "
+                "convergence (n=1024, k=16, d=8, 4-CG group)");
+  const GatedSection g = run_gated_section(1024, 16, 8, kGroupCgs, 40);
+  std::ofstream json("BENCH_wallclock.json");
+  json << "{\n"
+       << "  \"smoke\": true,\n"
+       << "  \"workload\": {\"n\": 1024, \"k\": 16, \"d\": 8, "
+          "\"group_cgs\": "
+       << kGroupCgs << "},\n";
+  emit_gated(g, json, /*last=*/true);
+  json << "}\n";
+  if (!g.identical) {
+    std::fprintf(stderr,
+                 "FATAL: gated assign diverged from ungated/serial Lloyd\n");
+    return 1;
+  }
+  return 0;
+}
+
 int run() {
   bench::banner("wallclock_engines",
                 "host wall-clock of the Level 3 assign phase, per-sample vs "
@@ -263,6 +546,9 @@ int run() {
       core::Level::kLevel3, ds, config, machine, 0, kGroupCgs);
   const double engine_seconds = engine_clock.seconds();
 
+  // Bound gate: converging gated-vs-ungated comparison on the same cell.
+  const GatedSection gate = run_gated_section(kN, kK, kD, kGroupCgs, 60);
+
   util::Table table({"phase", "wall_s", "collectives", "speedup"});
   const std::size_t tiles =
       (kN + core::detail::kAssignTileSamples - 1) /
@@ -288,6 +574,26 @@ int run() {
       // partials allgather + stats allreduce per round
       .add(static_cast<std::uint64_t>(2 * kUpdateReps))
       .add(update_speedup, 2);
+  double gated_total = 0;
+  double ungated_total = 0;
+  std::uint64_t gated_bytes = 0;
+  std::uint64_t ungated_bytes = 0;
+  for (std::size_t it = 0; it < gate.gated.iterations; ++it) {
+    gated_total += gate.gated.assign_s[it];
+    ungated_total += gate.ungated.assign_s[it];
+    gated_bytes += gate.gated.collective_bytes[it];
+    ungated_bytes += gate.ungated.collective_bytes[it];
+  }
+  table.new_row()
+      .add("assign_ungated_converge")
+      .add(ungated_total, 6)
+      .add(ungated_bytes)
+      .add(1.0, 2);
+  table.new_row()
+      .add("assign_gated_converge")
+      .add(gated_total, 6)
+      .add(gated_bytes)
+      .add(gate.tail_speedup, 2);
   bench::emit(table, "wallclock_engines");
 
   std::ofstream json("BENCH_wallclock.json");
@@ -304,16 +610,31 @@ int run() {
        << "  \"update_speedup\": " << update_speedup << ",\n"
        << "  \"level3_engine_iteration_s\": " << engine_seconds << ",\n"
        << "  \"simulated_iteration_s\": "
-       << engine.last_iteration_cost.total_s() << "\n"
-       << "}\n";
+       << engine.last_iteration_cost.total_s() << ",\n";
+  emit_gated(gate, json, /*last=*/true);
+  json << "}\n";
   std::printf("assign speedup (per-sample / batched): %.2fx\n", speedup);
   std::printf("update speedup (root-serialized / sharded): %.2fx\n",
               update_speedup);
   std::printf("(json: BENCH_wallclock.json)\n");
-  return speedup >= 5.0 && update_speedup > 1.0 ? 0 : 2;
+  if (!gate.identical) {
+    std::fprintf(stderr,
+                 "FATAL: gated assign diverged from ungated/serial Lloyd\n");
+    return 1;
+  }
+  return speedup >= 5.0 && update_speedup > 1.0 && gate.tail_speedup >= 1.5
+             ? 0
+             : 2;
 }
 
 }  // namespace
 }  // namespace swhkm
 
-int main() { return swhkm::run(); }
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      return swhkm::run_smoke();
+    }
+  }
+  return swhkm::run();
+}

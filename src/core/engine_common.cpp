@@ -87,11 +87,14 @@ void fold_binomial_segment(double* out, std::size_t len, int size,
 }  // namespace
 
 UpdateOutcome reduce_and_update(swmpi::Comm& comm, util::Matrix& centroids,
-                                const UpdateAccumulator& acc) {
+                                const UpdateAccumulator& acc,
+                                std::span<double> drift_out) {
   const std::size_t k = acc.k();
   const std::size_t d = acc.d();
   const int size = comm.size();
   const auto rank = static_cast<std::size_t>(comm.rank());
+  SWHKM_REQUIRE(drift_out.empty() || drift_out.size() == k,
+                "drift_out must be empty or hold one entry per centroid");
 
   // Entry barrier + partials exchange: publish each rank's accumulator by
   // address. The allgather is the happens-before edge from every rank's
@@ -118,11 +121,32 @@ UpdateOutcome reduce_and_update(swmpi::Comm& comm, util::Matrix& centroids,
                         [&](int r) { return refs[r].counts + j_begin; });
 
   // Parallel apply: every rank rewrites only its own rows of the shared
-  // snapshot — writes are disjoint by construction.
+  // snapshot — writes are disjoint by construction. The per-row drift (if
+  // requested) falls out of the same pass.
+  std::vector<double> shard_drift(drift_out.empty() ? 0 : rows);
   const UpdateOutcome mine = apply_update_rows(
       centroids, j_begin, j_end,
       std::span<const double>(shard.data(), rows * d),
-      std::span<const double>(shard.data() + rows * d, rows));
+      std::span<const double>(shard.data() + rows * d, rows),
+      drift_out.empty() ? nullptr : shard_drift.data());
+
+  // Assemble the full drift vector on every rank: each shard owner is the
+  // single writer of its rows' drifts, so the allgatherv hands all ranks
+  // bit-identical copies.
+  if (!drift_out.empty()) {
+    std::vector<std::size_t> counts(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) {
+      const auto [rb, re] =
+          block_range(k, static_cast<std::size_t>(size),
+                      static_cast<std::size_t>(r));
+      counts[static_cast<std::size_t>(r)] = re - rb;
+    }
+    const std::vector<double> all = swmpi::allgatherv(
+        comm,
+        std::span<const double>(shard_drift.data(), shard_drift.size()),
+        std::span<const std::size_t>(counts.data(), counts.size()));
+    std::copy(all.begin(), all.end(), drift_out.begin());
+  }
 
   // Exit barrier + the run's control data: max shift and total
   // empty-cluster count in one element-wise allreduce. This is also the

@@ -48,8 +48,18 @@ simarch::CostTally combine_tallies(swmpi::Comm& comm,
 /// any fold read, and the closing stats allreduce orders every row write
 /// before the next assign phase reads the snapshot — and before any owner
 /// reuses its accumulator.
+///
+/// Drift publication: when `drift_out` is non-empty (k entries, same on
+/// every rank — collective discipline), each rank computes the Euclidean
+/// movement of its own shard rows while applying them (0 for frozen empty
+/// rows) and an allgatherv assembles the full per-centroid drift vector on
+/// every rank. Drift is computed exactly once, where the rows are updated,
+/// so all ranks hold bit-identical drifts — the determinism the replicated
+/// bound gate rests on. The engines charge the extra k doubles to the
+/// publish allgather in the topology model.
 UpdateOutcome reduce_and_update(swmpi::Comm& comm, util::Matrix& centroids,
-                                const UpdateAccumulator& acc);
+                                const UpdateAccumulator& acc,
+                                std::span<double> drift_out = {});
 
 /// Charge a per-CG sample stream: `bytes` through the CG's DMA at
 /// bandwidth B, plus `critical_transfers` issue overheads (transfers on

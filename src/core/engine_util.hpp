@@ -81,6 +81,20 @@ struct TileScore {
   std::uint64_t index = 0;
 };
 
+/// Argmin record that also tracks the runner-up distance — the local half
+/// of swmpi::MinLoc2. The bound-gated engines need the exact second-closest
+/// distance to seed the Hamerly lower bound after a full sweep.
+struct TileScore2 {
+  double value = 0;
+  std::uint64_t index = 0;
+  double second = 0;
+};
+
+/// Detects records carrying a runner-up slot (TileScore2 / swmpi::MinLoc2);
+/// the tile kernels stay a single template over both record widths.
+template <typename MinLocT>
+concept HasSecond = requires(MinLocT r) { r.second; };
+
 /// Reset a tile's argmin records to "no centroid seen": +inf distance and
 /// a sentinel index that loses every tie (ranks with an empty centroid
 /// slice contribute exactly this to the Level 3 combine).
@@ -89,6 +103,32 @@ inline void clear_scores(std::span<MinLocT> scores) {
   for (MinLocT& s : scores) {
     s.value = std::numeric_limits<double>::max();
     s.index = std::numeric_limits<std::uint64_t>::max();
+    if constexpr (HasSecond<MinLocT>) {
+      s.second = std::numeric_limits<double>::max();
+    }
+  }
+}
+
+/// Offer one (distance, centroid) candidate to an argmin record. Strict
+/// `<` everywhere: ties resolve toward the smaller index (candidates
+/// arrive in ascending j), and an equal-to-best distance lands in the
+/// runner-up slot — the same top-two semantics as a serial left-to-right
+/// scan.
+template <typename MinLocT>
+inline void offer_score(MinLocT& rec, double value, std::uint64_t index) {
+  if constexpr (HasSecond<MinLocT>) {
+    if (value < rec.value) {
+      rec.second = rec.value;
+      rec.value = value;
+      rec.index = index;
+    } else if (value < rec.second) {
+      rec.second = value;
+    }
+  } else {
+    if (value < rec.value) {
+      rec.value = value;
+      rec.index = index;
+    }
   }
 }
 
@@ -147,9 +187,11 @@ inline const SampleBlockFn sample_block_chains = resolve_sample_block_chains();
 inline constexpr auto sample_block_chains = &sample_block_chains_generic;
 #endif
 
-/// Score centroids [j_begin, j_end) against samples [i_begin, i_end) and
-/// combine into `scores` (one record per sample, caller-initialised — see
-/// clear_scores). Shared by the serial baseline and all three engines.
+/// Score centroids [j_begin, j_end) against `count` samples named by
+/// `sample_index(0..count-1)` and combine into `scores` (one record per
+/// sample, caller-initialised — see clear_scores). Shared by the serial
+/// baseline and all three engines, through the score_tile /
+/// score_tile_ids entry points below.
 ///
 /// Structure: centroid rows are processed in blocks of kCentroidRowBlock,
 /// each block transposed into a u-major double panel that stays hot in L1
@@ -165,11 +207,11 @@ inline constexpr auto sample_block_chains = &sample_block_chains_generic;
 /// `<`, resolving ties toward the smaller index like the serial
 /// left-to-right scan in nearest_in_slice. Trajectories therefore cannot
 /// diverge.
-template <typename MinLocT>
-inline void score_tile(const data::Dataset& dataset, std::size_t i_begin,
-                       std::size_t i_end, const util::Matrix& centroids,
-                       std::size_t j_begin, std::size_t j_end,
-                       std::span<MinLocT> scores) {
+template <typename MinLocT, typename SampleIndexFn>
+inline void score_tile_gen(const data::Dataset& dataset,
+                           SampleIndexFn sample_index, std::size_t count,
+                           const util::Matrix& centroids, std::size_t j_begin,
+                           std::size_t j_end, std::span<MinLocT> scores) {
   const std::size_t d = centroids.cols();
   std::vector<double> panel(kCentroidRowBlock * d);
   for (std::size_t jb = j_begin; jb < j_end; jb += kCentroidRowBlock) {
@@ -180,8 +222,8 @@ inline void score_tile(const data::Dataset& dataset, std::size_t i_begin,
             static_cast<double>(centroids.at(jb + jj, u));
       }
     }
-    for (std::size_t i = i_begin; i < i_end; ++i) {
-      const auto x = dataset.sample(i);
+    for (std::size_t t = 0; t < count; ++t) {
+      const auto x = dataset.sample(sample_index(t));
       double acc[kCentroidRowBlock] = {};
       if (bw == kCentroidRowBlock) {
         sample_block_chains(x.data(), panel.data(), d, acc);
@@ -195,15 +237,153 @@ inline void score_tile(const data::Dataset& dataset, std::size_t i_begin,
           }
         }
       }
-      MinLocT& best = scores[i - i_begin];
+      MinLocT& best = scores[t];
       for (std::size_t jj = 0; jj < bw; ++jj) {
-        if (acc[jj] < best.value) {
-          best.value = acc[jj];
-          best.index = jb + jj;
-        }
+        offer_score(best, acc[jj], jb + jj);
       }
     }
   }
+}
+
+/// Contiguous-range entry point (the seed's signature).
+template <typename MinLocT>
+inline void score_tile(const data::Dataset& dataset, std::size_t i_begin,
+                       std::size_t i_end, const util::Matrix& centroids,
+                       std::size_t j_begin, std::size_t j_end,
+                       std::span<MinLocT> scores) {
+  score_tile_gen(
+      dataset, [i_begin](std::size_t t) { return i_begin + t; },
+      i_end - i_begin, centroids, j_begin, j_end, scores);
+}
+
+/// Compacted entry point: score only the samples listed in `ids` (the
+/// unresolved survivors of the bound gate), scores[t] belonging to
+/// ids[t]. The gather indirection costs one extra load per sample; the
+/// panel-blocked sweep and its bit-exactness argument are unchanged.
+template <typename MinLocT>
+inline void score_tile_ids(const data::Dataset& dataset,
+                           std::span<const std::uint32_t> ids,
+                           const util::Matrix& centroids, std::size_t j_begin,
+                           std::size_t j_end, std::span<MinLocT> scores) {
+  score_tile_gen(
+      dataset, [ids](std::size_t t) { return static_cast<std::size_t>(ids[t]); },
+      ids.size(), centroids, j_begin, j_end, scores);
+}
+
+/// Top-two centroid drifts of one update, with the argmax. What a Hamerly
+/// lower-bound update needs: a sample assigned to the fastest-moving
+/// centroid only has to defend against the *second* fastest mover, every
+/// other sample against the fastest (Hamerly 2010, the "other centroids"
+/// refinement).
+struct DriftDigest {
+  double max1 = 0;          ///< largest drift
+  double max2 = 0;          ///< largest drift over the other centroids
+  std::size_t argmax = 0;   ///< smallest index attaining max1
+};
+
+inline DriftDigest drift_digest(std::span<const double> drift) {
+  DriftDigest digest;
+  for (std::size_t j = 0; j < drift.size(); ++j) {
+    if (drift[j] > digest.max1) {
+      digest.max2 = digest.max1;
+      digest.max1 = drift[j];
+      digest.argmax = j;
+    } else if (drift[j] > digest.max2) {
+      digest.max2 = drift[j];
+    }
+  }
+  return digest;
+}
+
+/// Max drift over centroids other than `j`. On a tie for the maximum the
+/// strict `>` above leaves the duplicate in max2, so the exclusion stays
+/// exact.
+inline double drift_excluding(const DriftDigest& digest, std::size_t j) {
+  return j == digest.argmax ? digest.max2 : digest.max1;
+}
+
+/// Half the distance from each centroid to its nearest other centroid —
+/// Hamerly's "safe radius": a sample strictly closer to its centroid than
+/// this cannot have any other centroid nearer. Depends only on the shared
+/// snapshot every rank already holds (the update phase publishes all
+/// refreshed rows), so every rank computes identical bits with no
+/// exchange. k == 1 leaves the single radius at +inf, like the serial
+/// baseline.
+inline void compute_safe_radii(const util::Matrix& centroids,
+                               std::vector<double>& safe) {
+  const std::size_t k = centroids.rows();
+  safe.assign(k, std::numeric_limits<double>::max());
+  // Each pair once — (a[u]-b[u])^2 == (b[u]-a[u])^2 exactly in IEEE, so
+  // the symmetric reuse is bit-identical to two directed scans and matches
+  // the engines' k(k-1)/2-row charge.
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = a + 1; b < k; ++b) {
+      const double half =
+          std::sqrt(squared_distance(centroids.row(a), centroids.row(b))) / 2;
+      safe[a] = std::min(safe[a], half);
+      safe[b] = std::min(safe[b], half);
+    }
+  }
+}
+
+/// Gate one tile of samples [t0, t1): advance each sample's Hamerly bounds
+/// by this iteration's drift (upper chases the assigned centroid, lower
+/// retreats by the worst *other* mover) and append the ids that remain
+/// unresolved to `ids` (caller-cleared). A sample is resolved — provably
+/// still assigned to its current centroid — only under a strict
+/// upper < max(safe[a], lower): strictness means a skip implies the argmin
+/// is unique and unchanged (upper < safe[a] makes every rival strictly
+/// farther by the triangle inequality; upper < lower beats the true
+/// second-closest), so the left-to-right tie-break — and with it exact
+/// Lloyd bit-identity — survives coincident centroids. When `tighten` is
+/// set, a sample failing the bound test gets one exact distance to its
+/// assigned centroid (replacing the drift-inflated upper) and a second
+/// chance — worth one row where a sweep costs k. Levels 1/2 enable it (the
+/// assigned centroid's full row is local to the slice owner); Level 3
+/// does not (the row is split over the group, so the test would cost the
+/// very exchange it tries to skip). All inputs are deterministic,
+/// globally-consistent quantities (assignments from the replicated argmin,
+/// drift from the published allgather, radii from the shared snapshot), so
+/// every rank gating the same samples builds the identical compaction with
+/// no exchange. Returns the number of tightening distances spent.
+inline std::size_t gate_tile(const data::Dataset& dataset,
+                             const util::Matrix& centroids, std::size_t t0,
+                             std::size_t t1,
+                             std::span<const std::uint32_t> assignments,
+                             std::span<const double> drift,
+                             const DriftDigest& digest,
+                             std::span<const double> safe,
+                             std::span<double> upper, std::span<double> lower,
+                             bool tighten, std::vector<std::uint32_t>& ids) {
+  std::size_t tightened = 0;
+  for (std::size_t i = t0; i < t1; ++i) {
+    const std::uint32_t a = assignments[i];
+    upper[i] += drift[a];
+    lower[i] -= drift_excluding(digest, a);
+    const double threshold = std::max(safe[a], lower[i]);
+    if (upper[i] < threshold) {
+      continue;
+    }
+    if (tighten) {
+      upper[i] =
+          std::sqrt(squared_distance(dataset.sample(i), centroids.row(a)));
+      ++tightened;
+      if (upper[i] < threshold) {
+        continue;
+      }
+    }
+    ids.push_back(static_cast<std::uint32_t>(i));
+  }
+  return tightened;
+}
+
+/// Refresh a sample's bounds from a freshly swept top-two record: both
+/// become exact (sqrt of the squared best / second-best distances).
+template <typename MinLocT>
+  requires HasSecond<MinLocT>
+inline void refresh_bounds(const MinLocT& rec, double& upper, double& lower) {
+  upper = std::sqrt(rec.value);
+  lower = std::sqrt(rec.second);
 }
 
 /// Flat k x d accumulator plus per-centroid counts, in double.
@@ -259,16 +439,26 @@ struct UpdateOutcome {
 /// arithmetic is independent, and max/sqrt commute, so sharding the rows
 /// over ranks and max-combining the shifts is bit-identical to one full
 /// k-row pass.
+/// When `row_drift` is non-null it receives, per row, the Euclidean
+/// distance the stored centroid moved ((j_end - j_begin) entries; 0 for a
+/// frozen empty row). The per-row sum is the ascending-u accumulation of
+/// squared float-position diffs in double — the exact operation sequence
+/// of sqrt(squared_distance(old_row, new_row)) — so published drifts are
+/// bit-identical to a recomputation from a kept copy of the old snapshot.
 inline UpdateOutcome apply_update_rows(util::Matrix& centroids,
                                        std::size_t j_begin, std::size_t j_end,
                                        std::span<const double> sums,
-                                       std::span<const double> counts) {
+                                       std::span<const double> counts,
+                                       double* row_drift = nullptr) {
   const std::size_t d = centroids.cols();
   double worst_shift_sq = 0;
   std::size_t empty = 0;
   for (std::size_t j = j_begin; j < j_end; ++j) {
     if (counts[j - j_begin] <= 0) {
       ++empty;
+      if (row_drift != nullptr) {
+        row_drift[j - j_begin] = 0.0;
+      }
       continue;
     }
     double shift_sq = 0;
@@ -284,6 +474,9 @@ inline UpdateOutcome apply_update_rows(util::Matrix& centroids,
       const double diff =
           static_cast<double>(row[u]) - static_cast<double>(previous);
       shift_sq += diff * diff;
+    }
+    if (row_drift != nullptr) {
+      row_drift[j - j_begin] = shift_sq > 0 ? std::sqrt(shift_sq) : 0.0;
     }
     worst_shift_sq = worst_shift_sq > shift_sq ? worst_shift_sq : shift_sq;
   }

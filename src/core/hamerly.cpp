@@ -87,10 +87,11 @@ KmeansResult hamerly_serial_from(const data::Dataset& dataset,
       safe[0] = std::numeric_limits<double>::max();
     }
 
-    double max_drift = 0;
-    for (double d : drift) {
-      max_drift = std::max(max_drift, d);
-    }
+    // The lower bound tracks the second-closest centroid, which is never
+    // the assigned one — so it only needs to absorb the largest drift
+    // among the *other* centroids. The top-two digest makes that
+    // exclusion O(1) per sample.
+    const detail::DriftDigest digest = detail::drift_digest(drift);
 
     for (std::size_t i = 0; i < n; ++i) {
       if (iter == 0) {
@@ -98,7 +99,7 @@ KmeansResult hamerly_serial_from(const data::Dataset& dataset,
       } else {
         const std::uint32_t a = result.assignments[i];
         upper[i] += drift[a];
-        lower[i] -= max_drift;
+        lower[i] -= detail::drift_excluding(digest, a);
         const double threshold = std::max(safe[a], lower[i]);
         if (upper[i] > threshold) {
           // Tighten the upper bound; rescan only if still unsafe.

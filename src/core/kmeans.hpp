@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/accel_stats.hpp"
 #include "data/dataset.hpp"
 #include "simarch/cost.hpp"
 #include "simarch/machine_config.hpp"
@@ -47,6 +48,17 @@ struct KmeansConfig {
   double tolerance = 1e-6;
   InitMethod init = InitMethod::kFirstK;
   std::uint64_t seed = 1;
+  /// Samples per assign-phase tile in the engines (the unit one batched
+  /// collective resolves). Any value is bit-identical; it trades LDM
+  /// footprint against synchronisation amortisation. Validated against the
+  /// machine by the planner (resolve_tile_samples); serial baselines keep
+  /// the static kAssignTileSamples default and ignore this field.
+  std::size_t tile_samples = 256;
+  /// Bound-gated assign phase: maintain per-sample Hamerly bounds and skip
+  /// the distance sweep + collective for samples provably still assigned
+  /// to their centroid. Exact — trajectories stay bit-identical to serial
+  /// Lloyd; off reproduces the seed engines' every-sample sweep.
+  bool gate_assign = true;
   /// Optional timeline sink: engines record each rank's per-iteration
   /// phase intervals (simulated time) into it. Not owned; may be null.
   simarch::Trace* trace = nullptr;
@@ -56,6 +68,14 @@ struct KmeansConfig {
 struct IterationStats {
   double max_centroid_shift = 0;  ///< largest Euclidean centroid movement
   double simulated_s = 0;         ///< modelled machine time this iteration
+  /// Fraction of samples the bound gate resolved without a sweep (0 for
+  /// the serial baselines and for every first iteration).
+  double prune_rate = 0;
+  /// Machine-wide collective / DMA volumes this iteration — the engines'
+  /// compacted charges, so tests can pin that pruning shrinks the modelled
+  /// traffic, not just the wall clock.
+  std::uint64_t net_bytes = 0;
+  std::uint64_t dma_bytes = 0;
 };
 
 struct KmeansResult {
@@ -76,6 +96,10 @@ struct KmeansResult {
   /// One entry per executed iteration (shift trajectory; simulated time is
   /// zero for the serial baseline).
   std::vector<IterationStats> history;
+  /// Distance-evaluation ledger of the bound-gated assign phase (zero for
+  /// the serial Lloyd baseline; engines fill it whether gating is on or
+  /// off, so savings() reads 0 for an ungated run).
+  AccelStats accel;
 };
 
 }  // namespace swhkm::core

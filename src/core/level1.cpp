@@ -7,6 +7,7 @@
 #include "simarch/regcomm.hpp"
 #include "simarch/topology.hpp"
 #include "simarch/trace.hpp"
+#include "swmpi/collectives.hpp"
 #include "swmpi/runtime.hpp"
 #include "util/error.hpp"
 
@@ -29,6 +30,8 @@ KmeansResult run_level1(const data::Dataset& dataset,
   const std::size_t k = config.k;
   const std::size_t d = dataset.d();
   const std::size_t eb = machine.elem_bytes;
+  const std::size_t tile_samples =
+      resolve_tile_samples(config.tile_samples, plan, machine);
   const simarch::Topology topo(machine);
 
   KmeansResult result;
@@ -49,67 +52,161 @@ KmeansResult run_level1(const data::Dataset& dataset,
     const std::size_t cg = static_cast<std::size_t>(world.rank());
     double rank_clock = 0;
     detail::UpdateAccumulator acc(k, d);
-    std::vector<detail::TileScore> tile(detail::kAssignTileSamples);
+    std::vector<detail::TileScore2> tile(tile_samples);
     const std::size_t accum_bytes = (k * d + k) * eb;
+
+    // Bound-gated assign state (per rank; only this rank's sample block is
+    // ever touched): Hamerly upper/lower bounds per sample, the published
+    // per-centroid drift, and the per-tile compaction scratch.
+    const bool gate = config.gate_assign;
+    std::vector<double> upper;
+    std::vector<double> lower;
+    std::vector<double> drift;
+    std::vector<double> safe;
+    std::vector<std::uint32_t> ids;
+    if (gate) {
+      upper.assign(dataset.n(), 0.0);
+      lower.assign(dataset.n(), 0.0);
+      drift.assign(k, 0.0);
+      ids.reserve(tile_samples);
+    }
+    std::uint64_t distance_comps = 0;
+    std::uint64_t lloyd_equivalent = 0;
 
     for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
       acc.reset();
       simarch::CostTally tally;
       simarch::RegComm reg(machine, tally);
 
-      // Every CPE (re)loads the full centroid set.
-      tally.centroid_stream_s +=
-          static_cast<double>(cpes * k * d * eb) / machine.dma_bandwidth;
-      tally.dma_bytes += cpes * k * d * eb;
+      // Iteration 0 has no bounds yet — every sample sweeps (and the
+      // trajectory stays exact from the very first assignment).
+      const bool gating = gate && iter > 0;
+      const detail::DriftDigest digest =
+          gating ? detail::drift_digest(drift) : detail::DriftDigest{};
+      if (gating) {
+        detail::compute_safe_radii(centroids, safe);
+      }
 
-      // Assign: each CPE streams its block and scores all k centroids, a
-      // tile of samples at a time through the shared cache-blocked kernel
-      // (ascending-index scan, so ties and accumulation order match the
-      // per-sample loop it replaces exactly).
+      // Assign: each CPE streams its block, gates each tile against the
+      // bounds, and scores all k centroids for the unresolved survivors
+      // through the shared cache-blocked kernel. The merge walks the whole
+      // tile in ascending i — resolved samples accumulate under their
+      // stored assignment, swept ones under the fresh argmin — so the
+      // fused sums keep the exact summation order of the ungated sweep
+      // and the centroid bits cannot move.
       std::uint64_t sample_bytes = 0;
       std::uint64_t max_cpe_samples = 0;
+      std::uint64_t max_cpe_work = 0;  // sweep rows + tighten rows, per CPE
       std::uint64_t rank_samples = 0;
+      std::uint64_t rank_unresolved = 0;
+      std::uint64_t rank_tightened = 0;
+      std::size_t cpes_with_sweep = 0;
       for (std::size_t cpe = 0; cpe < cpes; ++cpe) {
         const auto [begin, end] =
             detail::block_range(dataset.n(), total_cpes, cg * cpes + cpe);
-        for (std::size_t t0 = begin; t0 < end;
-             t0 += detail::kAssignTileSamples) {
-          const std::size_t t1 =
-              std::min(end, t0 + detail::kAssignTileSamples);
-          const std::span<detail::TileScore> scores(tile.data(), t1 - t0);
-          detail::clear_scores(scores);
-          detail::score_tile(dataset, t0, t1, centroids, 0, k, scores);
+        std::uint64_t cpe_unresolved = 0;
+        std::uint64_t cpe_tightened = 0;
+        for (std::size_t t0 = begin; t0 < end; t0 += tile_samples) {
+          const std::size_t t1 = std::min(end, t0 + tile_samples);
+          if (!gating) {
+            const std::span<detail::TileScore2> scores(tile.data(), t1 - t0);
+            detail::clear_scores(scores);
+            detail::score_tile(dataset, t0, t1, centroids, 0, k, scores);
+            for (std::size_t i = t0; i < t1; ++i) {
+              const detail::TileScore2& rec = scores[i - t0];
+              const auto j = static_cast<std::uint32_t>(rec.index);
+              result.assignments[i] = j;
+              if (gate) {
+                detail::refresh_bounds(rec, upper[i], lower[i]);
+              }
+              acc.add_sample(j, dataset.sample(i));
+            }
+            cpe_unresolved += t1 - t0;
+            continue;
+          }
+          ids.clear();
+          cpe_tightened += detail::gate_tile(
+              dataset, centroids, t0, t1, result.assignments, drift, digest,
+              safe, upper, lower, /*tighten=*/true, ids);
+          const std::span<detail::TileScore2> scores(tile.data(),
+                                                     ids.size());
+          if (!ids.empty()) {
+            detail::clear_scores(scores);
+            detail::score_tile_ids(
+                dataset,
+                std::span<const std::uint32_t>(ids.data(), ids.size()),
+                centroids, 0, k, scores);
+          }
+          std::size_t pos = 0;
           for (std::size_t i = t0; i < t1; ++i) {
-            const auto j = static_cast<std::uint32_t>(scores[i - t0].index);
-            result.assignments[i] = j;
+            std::uint32_t j;
+            if (pos < ids.size() && ids[pos] == i) {
+              const detail::TileScore2& rec = scores[pos];
+              j = static_cast<std::uint32_t>(rec.index);
+              result.assignments[i] = j;
+              detail::refresh_bounds(rec, upper[i], lower[i]);
+              ++pos;
+            } else {
+              j = result.assignments[i];
+            }
             acc.add_sample(j, dataset.sample(i));
           }
+          cpe_unresolved += ids.size();
         }
         const std::uint64_t count = end - begin;
         sample_bytes += count * d * eb;
         rank_samples += count;
+        rank_unresolved += cpe_unresolved;
+        rank_tightened += cpe_tightened;
         max_cpe_samples = std::max(max_cpe_samples, count);
+        max_cpe_work =
+            std::max(max_cpe_work, cpe_unresolved * k + cpe_tightened);
+        if (cpe_unresolved > 0) {
+          ++cpes_with_sweep;
+        }
       }
+
+      // Only CPEs with unresolved work (re)load the full centroid set; a
+      // fully-gated CPE just accumulates from stored assignments. Every
+      // sample still streams once — the accumulator needs it regardless.
+      const std::size_t loading_cpes = gating ? cpes_with_sweep : cpes;
+      tally.centroid_stream_s +=
+          static_cast<double>(loading_cpes * k * d * eb) /
+          machine.dma_bandwidth;
+      tally.dma_bytes += loading_cpes * k * d * eb;
       detail::charge_sample_stream(tally, machine, sample_bytes,
                                    max_cpe_samples);
-      tally.compute_s += static_cast<double>(max_cpe_samples) *
-                         static_cast<double>(k) *
+      tally.compute_s += static_cast<double>(max_cpe_work) *
                          machine.assign_row_seconds(d);
-      tally.flops += rank_samples * 2 * k * d;
+      tally.flops += (rank_unresolved * k + rank_tightened) * 2 * d;
+      if (gating) {
+        // Safe radii: k(k-1)/2 centroid-pair rows from the shared
+        // snapshot, recomputed by every CG each iteration.
+        tally.compute_s += static_cast<double>(k * (k - 1) / 2) *
+                           machine.assign_row_seconds(d);
+        tally.flops += k * (k - 1) * d;
+      }
+      tally.pruned_samples += rank_samples - rank_unresolved;
+      distance_comps += rank_unresolved * k + rank_tightened;
+      lloyd_equivalent += rank_samples * k;
 
       // Update: register-comm reduce inside the CG, then the machine-wide
       // sharded phase — reduce_scatter of the fused accumulator, every CG
       // applying its own shard of rows, then one allgather publishing the
       // refreshed rows with the (shift, empties) stats riding as a 16-byte
-      // per-rank header. The collectives are charged to net_comm_s;
-      // update_s only covers this CG's shard.
+      // per-rank header (plus the k-double drift vector when gating). The
+      // collectives are charged to net_comm_s; update_s only covers this
+      // CG's shard.
       reg.account_allreduce(accum_bytes, cpes);
-      const std::size_t publish_bytes = k * d * eb + 16 * num_cgs;
+      const std::size_t publish_bytes =
+          k * d * eb + 16 * num_cgs + (gate ? k * sizeof(double) : 0);
       tally.net_comm_s += topo.reduce_scatter_time(accum_bytes, 0, num_cgs) +
                           topo.allgather_time(publish_bytes, 0, num_cgs);
       tally.net_bytes += accum_bytes + publish_bytes;
-      const detail::UpdateOutcome outcome =
-          detail::reduce_and_update(world, centroids, acc);
+      const detail::UpdateOutcome outcome = detail::reduce_and_update(
+          world, centroids, acc,
+          gate ? std::span<double>(drift.data(), drift.size())
+               : std::span<double>{});
       const double shift = outcome.shift;
       const auto [u_begin, u_end] = detail::block_range(k, num_cgs, cg);
       const std::size_t shard_rows = u_end - u_begin;
@@ -131,7 +228,10 @@ KmeansResult run_level1(const data::Dataset& dataset,
         last_cost = combined;
         iterations = iter + 1;
         empty_clusters = outcome.empty_clusters;
-        history.push_back({shift, combined.total_s()});
+        history.push_back({shift, combined.total_s(),
+                           static_cast<double>(combined.pruned_samples) /
+                               static_cast<double>(dataset.n()),
+                           combined.net_bytes, combined.dma_bytes});
       }
       if (shift <= config.tolerance) {
         if (cg == 0) {
@@ -140,12 +240,28 @@ KmeansResult run_level1(const data::Dataset& dataset,
         break;
       }
     }
+
+    // Every rank leaves the loop at the same iteration (shift is
+    // replicated), so one closing collective folds the per-rank distance
+    // ledgers.
+    std::uint64_t counters[2] = {distance_comps, lloyd_equivalent};
+    swmpi::allreduce_sum(world, std::span<std::uint64_t>(counters, 2));
+    if (cg == 0) {
+      result.accel.distance_computations = counters[0];
+      result.accel.lloyd_equivalent = counters[1];
+    }
   });
 
   detail::warn_empty_clusters(empty_clusters, "level1");
   result.centroids = std::move(centroids);
   result.iterations = iterations;
   result.converged = converged;
+  if (config.gate_assign && iterations > 1) {
+    // Safe-radius maintenance: k(k-1)/2 centroid pairs per gated
+    // iteration, counted once (the per-rank copies are replicas).
+    result.accel.centroid_distance_computations =
+        (iterations - 1) * config.k * (config.k - 1) / 2;
+  }
   result.empty_clusters = empty_clusters;
   result.cost = total_cost;
   result.last_iteration_cost = last_cost;

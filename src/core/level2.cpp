@@ -7,6 +7,7 @@
 #include "simarch/regcomm.hpp"
 #include "simarch/topology.hpp"
 #include "simarch/trace.hpp"
+#include "swmpi/collectives.hpp"
 #include "swmpi/runtime.hpp"
 #include "util/error.hpp"
 
@@ -32,6 +33,8 @@ KmeansResult run_level2(const data::Dataset& dataset,
   const std::size_t d = dataset.d();
   const std::size_t k_local = plan.k_local;
   const std::size_t eb = machine.elem_bytes;
+  const std::size_t tile_samples =
+      resolve_tile_samples(config.tile_samples, plan, machine);
   const simarch::Topology topo(machine);
 
   KmeansResult result;
@@ -52,13 +55,37 @@ KmeansResult run_level2(const data::Dataset& dataset,
     const std::size_t cg = static_cast<std::size_t>(world.rank());
     double rank_clock = 0;
     detail::UpdateAccumulator acc(k, d);
-    std::vector<detail::TileScore> tile(detail::kAssignTileSamples);
+    std::vector<detail::TileScore2> tile(tile_samples);
     const std::size_t accum_bytes = (k * d + k) * eb;
+
+    // Bound-gated assign state (per rank; only this rank's flow units'
+    // blocks are ever touched) — see level1.cpp.
+    const bool gate = config.gate_assign;
+    std::vector<double> upper;
+    std::vector<double> lower;
+    std::vector<double> drift;
+    std::vector<double> safe;
+    std::vector<std::uint32_t> ids;
+    if (gate) {
+      upper.assign(dataset.n(), 0.0);
+      lower.assign(dataset.n(), 0.0);
+      drift.assign(k, 0.0);
+      ids.reserve(tile_samples);
+    }
+    std::uint64_t distance_comps = 0;
+    std::uint64_t lloyd_equivalent = 0;
 
     for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
       acc.reset();
       simarch::CostTally tally;
       simarch::RegComm reg(machine, tally);
+
+      const bool gating = gate && iter > 0;
+      const detail::DriftDigest digest =
+          gating ? detail::drift_digest(drift) : detail::DriftDigest{};
+      if (gating) {
+        detail::compute_safe_radii(centroids, safe);
+      }
 
       // Assign: each CPE group of this CG takes one flow unit's block;
       // every member CPE reads the whole sample (replication factor g) and
@@ -66,59 +93,137 @@ KmeansResult run_level2(const data::Dataset& dataset,
       // combine selecting the winner (priced below). The g slices tile
       // [0, k) contiguously, so functionally the combine is one ascending
       // scan of all centroids — done here a tile of samples at a time
-      // through the shared cache-blocked kernel; the slice owner
-      // accumulates in the same ascending-i order as before.
+      // through the shared cache-blocked kernel. The bound gate compacts
+      // each tile first: a gated sample skips the replicated read, the
+      // slice sweep and the register combine, and is accumulated by its
+      // stored assignment's owner from a single read. The merge walks the
+      // tile in ascending i, so the fused sums keep the exact summation
+      // order of the ungated sweep.
       std::uint64_t sample_bytes = 0;
       std::uint64_t max_group_samples = 0;
+      std::uint64_t max_group_unresolved = 0;
+      std::uint64_t max_group_tightened = 0;
       std::uint64_t rank_samples = 0;
+      std::uint64_t rank_unresolved = 0;
+      std::uint64_t rank_tightened = 0;
       for (std::size_t grp = 0; grp < groups_per_cg; ++grp) {
         const std::size_t flow_unit = cg * groups_per_cg + grp;
         const auto [begin, end] =
             detail::block_range(dataset.n(), flow_units, flow_unit);
-        for (std::size_t t0 = begin; t0 < end;
-             t0 += detail::kAssignTileSamples) {
-          const std::size_t t1 =
-              std::min(end, t0 + detail::kAssignTileSamples);
-          const std::span<detail::TileScore> scores(tile.data(), t1 - t0);
-          detail::clear_scores(scores);
-          detail::score_tile(dataset, t0, t1, centroids, 0, k, scores);
+        std::uint64_t group_unresolved = 0;
+        std::uint64_t group_tightened = 0;
+        for (std::size_t t0 = begin; t0 < end; t0 += tile_samples) {
+          const std::size_t t1 = std::min(end, t0 + tile_samples);
+          if (!gating) {
+            const std::span<detail::TileScore2> scores(tile.data(), t1 - t0);
+            detail::clear_scores(scores);
+            detail::score_tile(dataset, t0, t1, centroids, 0, k, scores);
+            for (std::size_t i = t0; i < t1; ++i) {
+              const detail::TileScore2& rec = scores[i - t0];
+              const auto best_j = static_cast<std::uint32_t>(rec.index);
+              result.assignments[i] = best_j;
+              if (gate) {
+                detail::refresh_bounds(rec, upper[i], lower[i]);
+              }
+              acc.add_sample(best_j, dataset.sample(i));
+            }
+            group_unresolved += t1 - t0;
+            continue;
+          }
+          ids.clear();
+          // Tightening is local here: the sample is already replicated to
+          // the group and the assigned centroid's full row lives in one
+          // member's slice; the verdict rides the register bus.
+          group_tightened += detail::gate_tile(
+              dataset, centroids, t0, t1, result.assignments, drift, digest,
+              safe, upper, lower, /*tighten=*/true, ids);
+          const std::span<detail::TileScore2> scores(tile.data(),
+                                                     ids.size());
+          if (!ids.empty()) {
+            detail::clear_scores(scores);
+            detail::score_tile_ids(
+                dataset,
+                std::span<const std::uint32_t>(ids.data(), ids.size()),
+                centroids, 0, k, scores);
+          }
+          std::size_t pos = 0;
           for (std::size_t i = t0; i < t1; ++i) {
-            const auto best_j =
-                static_cast<std::uint32_t>(scores[i - t0].index);
-            result.assignments[i] = best_j;
+            std::uint32_t best_j;
+            if (pos < ids.size() && ids[pos] == i) {
+              const detail::TileScore2& rec = scores[pos];
+              best_j = static_cast<std::uint32_t>(rec.index);
+              result.assignments[i] = best_j;
+              detail::refresh_bounds(rec, upper[i], lower[i]);
+              ++pos;
+            } else {
+              best_j = result.assignments[i];
+            }
             acc.add_sample(best_j, dataset.sample(i));
           }
+          group_unresolved += ids.size();
         }
         const std::uint64_t count = end - begin;
-        sample_bytes += count * d * eb * g;  // replicated reads
+        // Unresolved samples pay the replicated read (every member CPE of
+        // the group needs the vector to score its slice); gated ones are
+        // read once by the accumulating owner.
+        sample_bytes += gating ? group_unresolved * d * eb * g +
+                                     (count - group_unresolved) * d * eb
+                               : count * d * eb * g;
         rank_samples += count;
+        rank_unresolved += group_unresolved;
+        rank_tightened += group_tightened;
         max_group_samples = std::max(max_group_samples, count);
+        max_group_unresolved =
+            std::max(max_group_unresolved, group_unresolved);
+        max_group_tightened =
+            std::max(max_group_tightened, group_tightened);
       }
       detail::charge_sample_stream(tally, machine, sample_bytes,
                                    max_group_samples);
-      detail::charge_centroid_traffic(tally, machine, plan,
-                                      max_group_samples);
-      tally.compute_s += static_cast<double>(max_group_samples) *
-                         static_cast<double>(k_local) *
+      if (!gating || max_group_unresolved > 0) {
+        detail::charge_centroid_traffic(tally, machine, plan,
+                                        max_group_unresolved);
+      }
+      tally.compute_s += static_cast<double>(max_group_unresolved * k_local +
+                                             max_group_tightened) *
                          machine.assign_row_seconds(d);
-      tally.flops += rank_samples * 2 * k * d;
+      tally.flops += (rank_unresolved * k + rank_tightened) * 2 * d;
+      if (gating) {
+        // Safe radii: k(k-1)/2 centroid-pair rows from the shared
+        // snapshot, recomputed by every CG each iteration.
+        tally.compute_s += static_cast<double>(k * (k - 1) / 2) *
+                           machine.assign_row_seconds(d);
+        tally.flops += k * (k - 1) * d;
+      }
+      tally.pruned_samples += rank_samples - rank_unresolved;
+      distance_comps += rank_unresolved * k + rank_tightened;
+      lloyd_equivalent += rank_samples * k;
 
       // Per-sample argmin combine on the register buses (groups of a CG
-      // run in parallel; charge the busiest group), then the update-phase
-      // reductions: same-slice CPEs across the CG's groups, and the
-      // machine-wide sharded phase — reduce_scatter of the fused
-      // accumulator, per-CG shard apply, then one allgather publishing the
-      // refreshed rows with the (shift, empties) stats riding as a 16-byte
-      // per-rank header.
-      reg.account_allreduce(16, g, max_group_samples);
+      // run in parallel; charge the busiest group) — compacted to the
+      // unresolved samples — then the update-phase reductions: same-slice
+      // CPEs across the CG's groups, and the machine-wide sharded phase —
+      // reduce_scatter of the fused accumulator, per-CG shard apply, then
+      // one allgather publishing the refreshed rows with the (shift,
+      // empties) stats riding as a 16-byte per-rank header (plus the
+      // k-double drift vector when gating).
+      // Gated runs combine the 24-byte top-two record (the runner-up must
+      // survive the slice combine to seed the lower bound); ungated runs
+      // keep the seed's 16-byte argmin. Each tightening distance is one
+      // double broadcast from the slice owner over the same bus.
+      reg.account_allreduce(gate ? 24 : 16, g, max_group_unresolved);
+      reg.account_allreduce(8, g, max_group_tightened);
       reg.account_allreduce(k_local * d * eb, groups_per_cg);
-      const std::size_t publish_bytes = k * d * eb + 16 * num_cgs;
+      const std::size_t publish_bytes =
+          k * d * eb + 16 * num_cgs + (gate ? k * sizeof(double) : 0);
       tally.net_comm_s += topo.reduce_scatter_time(accum_bytes, 0, num_cgs) +
                           topo.allgather_time(publish_bytes, 0, num_cgs);
       tally.net_bytes += accum_bytes + publish_bytes;
 
-      const detail::UpdateOutcome outcome =
-          detail::reduce_and_update(world, centroids, acc);
+      const detail::UpdateOutcome outcome = detail::reduce_and_update(
+          world, centroids, acc,
+          gate ? std::span<double>(drift.data(), drift.size())
+               : std::span<double>{});
       const double shift = outcome.shift;
       const auto [u_begin, u_end] = detail::block_range(k, num_cgs, cg);
       const std::size_t shard_rows = u_end - u_begin;
@@ -140,7 +245,10 @@ KmeansResult run_level2(const data::Dataset& dataset,
         last_cost = combined;
         iterations = iter + 1;
         empty_clusters = outcome.empty_clusters;
-        history.push_back({shift, combined.total_s()});
+        history.push_back({shift, combined.total_s(),
+                           static_cast<double>(combined.pruned_samples) /
+                               static_cast<double>(dataset.n()),
+                           combined.net_bytes, combined.dma_bytes});
       }
       if (shift <= config.tolerance) {
         if (cg == 0) {
@@ -149,12 +257,28 @@ KmeansResult run_level2(const data::Dataset& dataset,
         break;
       }
     }
+
+    // Every rank leaves the loop at the same iteration (shift is
+    // replicated), so one closing collective folds the per-rank distance
+    // ledgers.
+    std::uint64_t counters[2] = {distance_comps, lloyd_equivalent};
+    swmpi::allreduce_sum(world, std::span<std::uint64_t>(counters, 2));
+    if (cg == 0) {
+      result.accel.distance_computations = counters[0];
+      result.accel.lloyd_equivalent = counters[1];
+    }
   });
 
   detail::warn_empty_clusters(empty_clusters, "level2");
   result.centroids = std::move(centroids);
   result.iterations = iterations;
   result.converged = converged;
+  if (config.gate_assign && iterations > 1) {
+    // Safe-radius maintenance: k(k-1)/2 centroid pairs per gated
+    // iteration, counted once (the per-rank copies are replicas).
+    result.accel.centroid_distance_computations =
+        (iterations - 1) * config.k * (config.k - 1) / 2;
+  }
   result.empty_clusters = empty_clusters;
   result.cost = total_cost;
   result.last_iteration_cost = last_cost;

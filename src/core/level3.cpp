@@ -33,6 +33,8 @@ KmeansResult run_level3(const data::Dataset& dataset,
   const std::size_t k_local = plan.k_local;
   const std::size_t d_local = plan.d_local;
   const std::size_t eb = machine.elem_bytes;
+  const std::size_t tile_samples =
+      resolve_tile_samples(config.tile_samples, plan, machine);
   const simarch::Topology topo(machine);
 
   KmeansResult result;
@@ -60,6 +62,10 @@ KmeansResult run_level3(const data::Dataset& dataset,
     const std::size_t j_begin = std::min(within * k_local, k);
     const std::size_t j_end = std::min(k, j_begin + k_local);
     const double group_combine_time = topo.allreduce_time(16, group * p, p);
+    // Gated tiles carry MinLoc2 records — 8 bytes per sample more than the
+    // plain argmin, the price of the exact global runner-up distance.
+    const double group_combine_time2 =
+        topo.allreduce_time(sizeof(swmpi::MinLoc2), group * p, p);
     const std::size_t accum_bytes = (k * d + k) * eb;
 
     double rank_clock = 0;
@@ -68,7 +74,31 @@ KmeansResult run_level3(const data::Dataset& dataset,
     // shrinking it to k_local rows would change the association order and
     // with it the centroid bits.
     detail::UpdateAccumulator acc(k, d);
-    std::vector<swmpi::MinLoc> tile(detail::kAssignTileSamples);
+    const bool gate = config.gate_assign;
+    std::vector<swmpi::MinLoc> tile(gate ? 0 : tile_samples);
+    std::vector<swmpi::MinLoc2> tile2(gate ? tile_samples : 0);
+
+    // Bound-gated assign state. Every rank of the group keeps a *private*
+    // replica of the bounds and assignments for the group's samples: the
+    // gate inputs (combined MinLoc2 records, published drift) are
+    // replicated bit-identically, so the replicas never diverge and every
+    // rank computes the same tile compaction with no extra exchange — and
+    // no rank ever reads a vector another rank writes.
+    std::vector<double> upper;
+    std::vector<double> lower;
+    std::vector<double> drift;
+    std::vector<double> safe;
+    std::vector<std::uint32_t> local_assign;
+    std::vector<std::uint32_t> ids;
+    if (gate) {
+      upper.assign(dataset.n(), 0.0);
+      lower.assign(dataset.n(), 0.0);
+      drift.assign(k, 0.0);
+      local_assign.assign(dataset.n(), 0);
+      ids.reserve(tile_samples);
+    }
+    std::uint64_t distance_comps = 0;
+    std::uint64_t lloyd_equivalent = 0;
 
     for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
       acc.reset();
@@ -78,62 +108,153 @@ KmeansResult run_level3(const data::Dataset& dataset,
       const auto [begin, end] =
           detail::block_range(dataset.n(), cg_groups, group);
       const std::uint64_t count = end - begin;
+      const bool gating = gate && iter > 0;
+      const detail::DriftDigest digest =
+          gating ? detail::drift_digest(drift) : detail::DriftDigest{};
+      if (gating) {
+        detail::compute_safe_radii(centroids, safe);
+      }
 
-      // Assign: every CG of the group reads each sample (its CPEs taking
-      // d_local dims each) and scores its own slice, a tile of samples at
-      // a time; one batched argmin combine then resolves the whole tile —
-      // one group barrier per tile instead of per sample. The simulated
-      // cost below still prices the paper's per-sample combine; only the
-      // wall-clock synchronisation is batched. The winner's slice owner
-      // accumulates, in the same ascending-i order as before.
-      for (std::size_t t0 = begin; t0 < end;
-           t0 += detail::kAssignTileSamples) {
-        const std::size_t t1 =
-            std::min(end, t0 + detail::kAssignTileSamples);
-        const std::span<swmpi::MinLoc> scores(tile.data(), t1 - t0);
-        detail::clear_scores(scores);
-        if (j_begin < j_end) {
-          detail::score_tile(dataset, t0, t1, centroids, j_begin, j_end,
-                             scores);
+      // Assign: every CG of the group reads each unresolved sample (its
+      // CPEs taking d_local dims each) and scores its own slice, a tile of
+      // samples at a time; one batched argmin combine then resolves the
+      // whole compacted tile — and a fully-gated tile skips the collective
+      // outright (every rank computed the same empty compaction, so the
+      // collective discipline holds). The simulated cost below still
+      // prices the paper's per-sample combine; only the wall-clock
+      // synchronisation is batched. The winner's slice owner accumulates,
+      // in the same ascending-i order as before — resolved samples under
+      // their stored assignment — so the fused sums keep the exact
+      // summation order of the ungated sweep.
+      std::uint64_t unresolved = 0;
+      std::uint64_t owned_resolved = 0;
+      for (std::size_t t0 = begin; t0 < end; t0 += tile_samples) {
+        const std::size_t t1 = std::min(end, t0 + tile_samples);
+        if (!gate) {
+          const std::span<swmpi::MinLoc> scores(tile.data(), t1 - t0);
+          detail::clear_scores(scores);
+          if (j_begin < j_end) {
+            detail::score_tile(dataset, t0, t1, centroids, j_begin, j_end,
+                               scores);
+          }
+          swmpi::allreduce_minloc(group_comm, scores);
+          for (std::size_t i = t0; i < t1; ++i) {
+            const auto winner =
+                static_cast<std::uint32_t>(scores[i - t0].index);
+            if (winner >= j_begin && winner < j_end) {
+              acc.add_sample(winner, dataset.sample(i));
+            }
+            if (within == 0) {
+              result.assignments[i] = winner;
+            }
+          }
+          unresolved += t1 - t0;
+          continue;
         }
-        swmpi::allreduce_minloc(group_comm, scores);
+        ids.clear();
+        if (!gating) {
+          for (std::size_t i = t0; i < t1; ++i) {
+            ids.push_back(static_cast<std::uint32_t>(i));
+          }
+        } else {
+          // No tightening at this level: the assigned centroid's row is
+          // dimension-split across the group's CPEs and slice-split across
+          // its CGs, so one exact distance would cost the combine the gate
+          // exists to skip. Bounds + safe radii only.
+          detail::gate_tile(dataset, centroids, t0, t1, local_assign, drift,
+                            digest, safe, upper, lower, /*tighten=*/false,
+                            ids);
+        }
+        const std::span<swmpi::MinLoc2> scores(tile2.data(), ids.size());
+        if (!ids.empty()) {
+          detail::clear_scores(scores);
+          if (j_begin < j_end) {
+            detail::score_tile_ids(
+                dataset,
+                std::span<const std::uint32_t>(ids.data(), ids.size()),
+                centroids, j_begin, j_end, scores);
+          }
+          swmpi::allreduce_minloc2(group_comm, scores);
+        }
+        std::size_t pos = 0;
         for (std::size_t i = t0; i < t1; ++i) {
-          const auto winner =
-              static_cast<std::uint32_t>(scores[i - t0].index);
+          std::uint32_t winner;
+          if (pos < ids.size() && ids[pos] == i) {
+            const swmpi::MinLoc2& rec = scores[pos];
+            winner = static_cast<std::uint32_t>(rec.index);
+            local_assign[i] = winner;
+            detail::refresh_bounds(rec, upper[i], lower[i]);
+            if (within == 0) {
+              result.assignments[i] = winner;
+            }
+            ++pos;
+          } else {
+            winner = local_assign[i];
+            if (winner >= j_begin && winner < j_end) {
+              ++owned_resolved;
+            }
+          }
           if (winner >= j_begin && winner < j_end) {
             acc.add_sample(winner, dataset.sample(i));
           }
-          if (within == 0) {
-            result.assignments[i] = winner;
-          }
         }
+        unresolved += ids.size();
       }
 
-      detail::charge_sample_stream(tally, machine, count * d * eb, count);
-      detail::charge_centroid_traffic(tally, machine, plan, count);
-      tally.compute_s += static_cast<double>(count) *
+      // DMA: unresolved samples stream into every CG of the group; a
+      // resolved sample is read only by the CG owning its assigned slice
+      // (for the accumulator).
+      const std::uint64_t streamed = gate ? unresolved + owned_resolved
+                                          : count;
+      detail::charge_sample_stream(tally, machine, streamed * d * eb,
+                                   streamed);
+      if (!gate || unresolved > 0) {
+        detail::charge_centroid_traffic(tally, machine, plan, unresolved);
+      }
+      tally.compute_s += static_cast<double>(unresolved) *
                          static_cast<double>(k_local) *
                          machine.assign_row_seconds(d_local);
-      tally.flops += count * 2 * (j_end - j_begin) * d;
+      tally.flops += unresolved * 2 * (j_end - j_begin) * d;
+      if (gating) {
+        // Safe radii: k(k-1)/2 centroid-pair rows from the shared
+        // snapshot, recomputed by every CG each iteration.
+        tally.compute_s += static_cast<double>(k * (k - 1) / 2) *
+                           machine.assign_row_seconds(d);
+        tally.flops += k * (k - 1) * d;
+      }
+      // The group's ranks gate the same samples, so only the slice-0 rank
+      // reports the prune count (volume counters sum across ranks).
+      if (within == 0) {
+        tally.pruned_samples += count - unresolved;
+      }
+      distance_comps += unresolved * (j_end - j_begin);
+      lloyd_equivalent += count * (j_end - j_begin);
 
       // Per-sample mesh reduce of the CPEs' distance partials, then the
-      // per-sample network argmin across the CG group.
-      reg.account_allreduce(k_local * eb, cpes, count);
-      tally.net_comm_s += static_cast<double>(count) * group_combine_time;
-      tally.net_bytes += count * 16 * (p - 1);
+      // per-sample network argmin across the CG group — both compacted to
+      // the unresolved samples.
+      reg.account_allreduce(k_local * eb, cpes, unresolved);
+      tally.net_comm_s += static_cast<double>(unresolved) *
+                          (gate ? group_combine_time2 : group_combine_time);
+      tally.net_bytes +=
+          unresolved * (gate ? sizeof(swmpi::MinLoc2) : sizeof(swmpi::MinLoc)) *
+          (p - 1);
 
       // Update: the machine-wide sharded phase — reduce_scatter of the
       // fused accumulator (each sample was accumulated exactly once
       // machine-wide, so the world collective is the functional truth),
       // per-CG shard apply, then one allgather publishing the refreshed
       // rows with the (shift, empties) stats riding as a 16-byte per-rank
-      // header.
-      const std::size_t publish_bytes = k * d * eb + 16 * num_cgs;
+      // header (plus the k-double drift vector when gating).
+      const std::size_t publish_bytes =
+          k * d * eb + 16 * num_cgs + (gate ? k * sizeof(double) : 0);
       tally.net_comm_s += topo.reduce_scatter_time(accum_bytes, 0, num_cgs) +
                           topo.allgather_time(publish_bytes, 0, num_cgs);
       tally.net_bytes += accum_bytes + publish_bytes;
-      const detail::UpdateOutcome outcome =
-          detail::reduce_and_update(world, centroids, acc);
+      const detail::UpdateOutcome outcome = detail::reduce_and_update(
+          world, centroids, acc,
+          gate ? std::span<double>(drift.data(), drift.size())
+               : std::span<double>{});
       const double shift = outcome.shift;
       const auto [u_begin, u_end] = detail::block_range(k, num_cgs, cg);
       const std::size_t shard_rows = u_end - u_begin;
@@ -155,7 +276,10 @@ KmeansResult run_level3(const data::Dataset& dataset,
         last_cost = combined;
         iterations = iter + 1;
         empty_clusters = outcome.empty_clusters;
-        history.push_back({shift, combined.total_s()});
+        history.push_back({shift, combined.total_s(),
+                           static_cast<double>(combined.pruned_samples) /
+                               static_cast<double>(dataset.n()),
+                           combined.net_bytes, combined.dma_bytes});
       }
       if (shift <= config.tolerance) {
         if (cg == 0) {
@@ -164,12 +288,29 @@ KmeansResult run_level3(const data::Dataset& dataset,
         break;
       }
     }
+
+    // Every rank leaves the loop at the same iteration (shift is
+    // replicated), so one closing collective folds the per-rank distance
+    // ledgers. Slice widths tile [0, k) within each group, so the sum is
+    // exactly swept-samples x k.
+    std::uint64_t counters[2] = {distance_comps, lloyd_equivalent};
+    swmpi::allreduce_sum(world, std::span<std::uint64_t>(counters, 2));
+    if (cg == 0) {
+      result.accel.distance_computations = counters[0];
+      result.accel.lloyd_equivalent = counters[1];
+    }
   });
 
   detail::warn_empty_clusters(empty_clusters, "level3");
   result.centroids = std::move(centroids);
   result.iterations = iterations;
   result.converged = converged;
+  if (config.gate_assign && iterations > 1) {
+    // Safe-radius maintenance: k(k-1)/2 centroid pairs per gated
+    // iteration, counted once (the per-rank copies are replicas).
+    result.accel.centroid_distance_computations =
+        (iterations - 1) * config.k * (config.k - 1) / 2;
+  }
   result.empty_clusters = empty_clusters;
   result.cost = total_cost;
   result.last_iteration_cost = last_cost;

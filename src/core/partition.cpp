@@ -454,6 +454,23 @@ std::string PartitionPlan::describe() const {
   return out.str();
 }
 
+std::size_t resolve_tile_samples(std::size_t requested,
+                                 const PartitionPlan& plan,
+                                 const simarch::MachineConfig& machine) {
+  constexpr std::size_t kScoreBytes = 24;  // sizeof(swmpi::MinLoc2)
+  const std::size_t budget = plan.cpes_per_cg * machine.ldm_bytes;
+  if (requested == 0 || requested * kScoreBytes > budget) {
+    throw InfeasibleError(
+        "tile_samples=" + std::to_string(requested) + " needs " +
+        std::to_string(requested * kScoreBytes) +
+        " bytes of argmin records, but the CG's aggregate LDM holds " +
+        std::to_string(budget) + " bytes (" +
+        std::to_string(plan.cpes_per_cg) + " CPE x " +
+        std::to_string(machine.ldm_bytes) + "); request a smaller tile");
+  }
+  return requested;
+}
+
 std::uint64_t max_k_for_level(Level level, std::uint64_t d,
                               const simarch::MachineConfig& machine) {
   std::uint64_t lo = 0;

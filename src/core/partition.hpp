@@ -105,6 +105,17 @@ std::vector<std::size_t> candidate_m_groups(
 std::vector<std::size_t> candidate_mprime_groups(
     const simarch::MachineConfig& machine);
 
+/// Validate a requested assign-phase tile size against the machine: a
+/// tile's argmin records (24 bytes each — the top-two MinLoc2 width, the
+/// larger of the two record kinds the engines batch) must fit the CG's
+/// aggregate scratchpad, where they time-share with the plan's per-CPE
+/// stream buffers. Throws InfeasibleError (the planner's rejection path —
+/// callers get a diagnosable error, not an assert) for zero or oversized
+/// requests; returns the validated value otherwise.
+std::size_t resolve_tile_samples(std::size_t requested,
+                                 const PartitionPlan& plan,
+                                 const simarch::MachineConfig& machine);
+
 /// Largest k (resp. d) the level can handle on `machine` with the other
 /// two shape parameters fixed — powers Table I and the capability bench.
 std::uint64_t max_k_for_level(Level level, std::uint64_t d,

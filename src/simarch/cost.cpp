@@ -19,6 +19,9 @@ std::string CostTally::summary() const {
       << util::format_bytes(reg_bytes) << ", net "
       << util::format_bytes(net_bytes) << ", flops "
       << util::format_count(flops);
+  if (pruned_samples > 0) {
+    out << ", pruned " << util::format_count(pruned_samples);
+  }
   return out.str();
 }
 

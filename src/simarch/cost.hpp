@@ -26,6 +26,9 @@ struct CostTally {
   std::uint64_t reg_bytes = 0;
   std::uint64_t net_bytes = 0;
   std::uint64_t flops = 0;
+  /// Samples the bound gate resolved without a distance sweep this
+  /// iteration (0 when gating is off or on the exact first iteration).
+  std::uint64_t pruned_samples = 0;
 
   double total_s() const {
     return sample_read_s + centroid_stream_s + compute_s + mesh_comm_s +
@@ -43,6 +46,7 @@ struct CostTally {
     reg_bytes += other.reg_bytes;
     net_bytes += other.net_bytes;
     flops += other.flops;
+    pruned_samples += other.pruned_samples;
     return *this;
   }
 
@@ -64,6 +68,7 @@ struct CostTally {
     reg_bytes += other.reg_bytes;
     net_bytes += other.net_bytes;
     flops += other.flops;
+    pruned_samples += other.pruned_samples;
     return *this;
   }
 

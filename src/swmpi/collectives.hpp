@@ -59,6 +59,42 @@ static_assert(std::is_trivially_copyable_v<MinLoc> && sizeof(MinLoc) == 16,
               "MinLoc must stay a trivially copyable 16-byte record: tiles "
               "of them are sent through the mailbox byte transport");
 
+/// MinLoc extended with the runner-up distance: the smallest (value, index)
+/// wins as in MinLoc, and `second` tracks the smallest distance over every
+/// *other* candidate seen so far. With each rank contributing the top two
+/// distances of its disjoint centroid slice, the combined record holds the
+/// exact global best and global second-best — which is what a Hamerly
+/// lower bound needs to stay exact under the nk/nkd centroid slicing.
+struct MinLoc2 {
+  double value = 0;
+  std::uint64_t index = 0;
+  double second = 0;
+};
+static_assert(std::is_trivially_copyable_v<MinLoc2> && sizeof(MinLoc2) == 24,
+              "MinLoc2 must stay a trivially copyable 24-byte record: tiles "
+              "of them are sent through the mailbox byte transport");
+
+/// Combine for MinLoc2: select the best (value, index) and keep `second` as
+/// the minimum over every distance that is not the selected best. Pure
+/// selection over the union multiset of candidates — no FP arithmetic — so
+/// the operation is exact and associative; any combine tree yields the
+/// same bits.
+struct CombineMinLoc2 {
+  void operator()(MinLoc2& inout, const MinLoc2& in) const {
+    const bool in_wins = in.value != inout.value ? in.value < inout.value
+                                                 : in.index < inout.index;
+    if (in_wins) {
+      const double runner =
+          inout.value < in.second ? inout.value : in.second;
+      inout.value = in.value;
+      inout.index = in.index;
+      inout.second = runner;
+    } else if (in.value < inout.second) {
+      inout.second = in.value;
+    }
+  }
+};
+
 namespace detail {
 inline int binomial_parent(int vrank) { return vrank & (vrank - 1); }
 }  // namespace detail
@@ -145,6 +181,12 @@ void allreduce_sum(Comm& comm, std::span<T> buf) {
 /// the smallest (value, index) contribution across ranks.
 inline void allreduce_minloc(Comm& comm, std::span<MinLoc> buf) {
   allreduce(comm, buf, ops::Min{});
+}
+
+/// AllReduce of MinLoc2 records: per element, every rank ends up with the
+/// global best (value, index) and the exact global second-best distance.
+inline void allreduce_minloc2(Comm& comm, std::span<MinLoc2> buf) {
+  allreduce(comm, buf, CombineMinLoc2{});
 }
 
 /// Gather one value per rank; every rank receives the vector indexed by
