@@ -46,6 +46,14 @@
 /// to the JSON + wallclock_gated_assign.csv; the run asserts both variants
 /// and serial Lloyd converge to bit-identical centroids. `--smoke` runs
 /// only this experiment on a tiny cell (CI-sized, a few hundred ms).
+///
+/// `--faults` is a separate CI-sized cell for the fault story: each engine
+/// level runs once clean and once under the RecoveryDriver with a
+/// deterministic mid-run crash injected (rank 1 dies entering the update
+/// phase of iteration 5, past the first checkpoint boundary so the reload
+/// path is exercised). Time-to-recover and the recovery report go to
+/// BENCH_faults.json; the cell fails if the recovered run is not
+/// bit-identical to the clean one.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -58,6 +66,7 @@
 #include "core/engine_util.hpp"
 #include "core/lloyd.hpp"
 #include "swmpi/collectives.hpp"
+#include "swmpi/fault.hpp"
 #include "swmpi/runtime.hpp"
 
 namespace swhkm {
@@ -447,6 +456,113 @@ void emit_gated(const GatedSection& g, std::ostream& json, bool last) {
               g.identical ? "yes" : "NO");
 }
 
+/// One fault cell: run `level` clean, then again under the RecoveryDriver
+/// with a deterministic crash (rank 1, update phase of global iteration 5 —
+/// one past the second checkpoint boundary at cadence 4, so the retry goes
+/// through the reload path rather than a from-scratch restart).
+struct FaultCell {
+  double clean_wall_s = 0;
+  double faulted_wall_s = 0;
+  core::RecoveryReport report;
+  bool identical = false;
+};
+
+FaultCell run_fault_cell(core::Level level, const data::Dataset& ds,
+                         const simarch::MachineConfig& machine) {
+  core::KmeansConfig config;
+  config.k = 8;
+  config.max_iterations = 10;
+  config.tolerance = -1;  // fixed-iteration run: both variants do 10 rounds
+  config.init = core::InitMethod::kFirstK;
+  config.checkpoint_every = 4;
+
+  FaultCell cell;
+  util::Stopwatch clean_clock;
+  const core::KmeansResult clean =
+      core::HierarchicalKmeans(machine).fit_level(level, ds, config);
+  cell.clean_wall_s = clean_clock.seconds();
+
+  swmpi::FaultPlan plan;
+  plan.crash(/*rank=*/1, /*iteration=*/5, swmpi::FaultSite::kUpdate);
+  config.fault_plan = &plan;
+  core::RecoveryOptions options;
+  options.checkpoint_path = "BENCH_faults.ckpt";
+  core::RecoveryDriver driver(machine, options);
+  util::Stopwatch faulted_clock;
+  const core::KmeansResult recovered = driver.run(level, ds, config);
+  cell.faulted_wall_s = faulted_clock.seconds();
+  cell.report = driver.report();
+  std::remove(options.checkpoint_path.c_str());
+
+  cell.identical =
+      clean.iterations == recovered.iterations &&
+      clean.assignments == recovered.assignments &&
+      std::memcmp(clean.centroids.data(), recovered.centroids.data(),
+                  config.k * ds.d() * sizeof(float)) == 0;
+  return cell;
+}
+
+int run_faults() {
+  bench::banner("wallclock_engines --faults",
+                "CI-sized recovery check: every engine level, clean vs "
+                "crash-injected RecoveryDriver run (n=2048, k=8, d=6, 4 CGs)");
+  const data::Dataset ds = data::make_blobs(2048, 6, 10, 4242);
+  const simarch::MachineConfig machine =
+      simarch::MachineConfig::tiny(2, 4, 8192);
+
+  constexpr core::Level kLevels[] = {core::Level::kLevel1,
+                                     core::Level::kLevel2,
+                                     core::Level::kLevel3};
+  util::Table table({"level", "clean_wall_s", "faulted_wall_s",
+                     "time_to_recover_s", "retries", "resumed_from_ckpt",
+                     "bit_identical"});
+  std::ofstream json("BENCH_faults.json");
+  json << "{\n"
+       << "  \"workload\": {\"n\": 2048, \"k\": 8, \"d\": 6, \"cgs\": "
+       << machine.num_cgs() << "},\n"
+       << "  \"fault\": \"crash rank 1, update phase, iteration 5\",\n"
+       << "  \"checkpoint_every\": 4,\n"
+       << "  \"levels\": [\n";
+  bool all_identical = true;
+  for (std::size_t li = 0; li < 3; ++li) {
+    const core::Level level = kLevels[li];
+    const FaultCell cell = run_fault_cell(level, ds, machine);
+    all_identical = all_identical && cell.identical;
+    table.new_row()
+        .add(core::level_name(level))
+        .add(cell.clean_wall_s, 6)
+        .add(cell.faulted_wall_s, 6)
+        .add(cell.report.recover_wall_s, 6)
+        .add(static_cast<std::uint64_t>(cell.report.retries))
+        .add(cell.report.resumed_from_checkpoint ? "yes" : "no")
+        .add(cell.identical ? "yes" : "NO");
+    json << "    {\n"
+         << "      \"level\": " << static_cast<int>(level) << ",\n"
+         << "      \"clean_wall_s\": " << cell.clean_wall_s << ",\n"
+         << "      \"faulted_wall_s\": " << cell.faulted_wall_s << ",\n"
+         << "      \"time_to_recover_s\": " << cell.report.recover_wall_s
+         << ",\n"
+         << "      \"faults\": " << cell.report.faults << ",\n"
+         << "      \"retries\": " << cell.report.retries << ",\n"
+         << "      \"replans\": " << cell.report.replans << ",\n"
+         << "      \"resumed_from_checkpoint\": "
+         << (cell.report.resumed_from_checkpoint ? "true" : "false") << ",\n"
+         << "      \"final_cgs\": " << cell.report.final_cgs << ",\n"
+         << "      \"bit_identical_to_clean_run\": "
+         << (cell.identical ? "true" : "false") << "\n"
+         << "    }" << (li + 1 < 3 ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  bench::emit(table, "wallclock_faults");
+  std::printf("(json: BENCH_faults.json)\n");
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FATAL: a recovered run diverged from its clean run\n");
+    return 1;
+  }
+  return 0;
+}
+
 int run_smoke() {
   bench::banner("wallclock_engines --smoke",
                 "CI-sized bound-gate check: gated vs ungated assign to "
@@ -634,6 +750,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke") {
       return swhkm::run_smoke();
+    }
+    if (std::string(argv[i]) == "--faults") {
+      return swhkm::run_faults();
     }
   }
   return swhkm::run();

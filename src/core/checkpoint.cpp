@@ -5,13 +5,19 @@
 
 #include "core/lloyd.hpp"
 #include "core/metrics.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/fileio.hpp"
 
 namespace swhkm::core {
 
 namespace {
 constexpr char kMagic[4] = {'S', 'W', 'K', 'C'};
-constexpr std::uint32_t kVersion = 1;
+// v2: pad[7] of the v1 header gave way to pad[3] + a CRC-32 over the
+// payload (centroids then assignments), so torn or bit-flipped files are
+// rejected instead of silently resuming from garbage. v1 files (no CRC)
+// are rejected too: a robustness-hardened reader cannot vouch for them.
+constexpr std::uint32_t kVersion = 2;
 
 struct Header {
   char magic[4];
@@ -21,16 +27,22 @@ struct Header {
   std::uint64_t n;
   std::uint64_t iterations;
   std::uint8_t converged;
-  std::uint8_t pad[7];
+  std::uint8_t pad[3];
+  std::uint32_t payload_crc;
   double inertia;
 };
 static_assert(sizeof(Header) == 56);
+
+std::uint32_t result_payload_crc(const KmeansResult& result) {
+  const auto flat = result.centroids.flat();
+  std::uint32_t crc = util::crc32(std::as_bytes(flat));
+  return util::crc32(
+      std::as_bytes(std::span<const std::uint32_t>(result.assignments)), crc);
+}
 }  // namespace
 
 void save_checkpoint(const KmeansResult& result, const std::string& path) {
   SWHKM_REQUIRE(!result.centroids.empty(), "cannot checkpoint empty result");
-  std::ofstream file(path, std::ios::binary);
-  SWHKM_REQUIRE(static_cast<bool>(file), "cannot open " + path + " to write");
   Header header{};
   std::memcpy(header.magic, kMagic, sizeof(kMagic));
   header.version = kVersion;
@@ -39,17 +51,19 @@ void save_checkpoint(const KmeansResult& result, const std::string& path) {
   header.n = result.assignments.size();
   header.iterations = result.iterations;
   header.converged = result.converged ? 1 : 0;
+  header.payload_crc = result_payload_crc(result);
   header.inertia = result.inertia;
-  file.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  const auto flat = result.centroids.flat();
-  file.write(reinterpret_cast<const char*>(flat.data()),
-             static_cast<std::streamsize>(flat.size_bytes()));
-  file.write(reinterpret_cast<const char*>(result.assignments.data()),
-             static_cast<std::streamsize>(result.assignments.size() *
-                                          sizeof(std::uint32_t)));
-  if (!file) {
-    throw Error("short write to " + path);
-  }
+  // Write-to-temp + fsync + atomic rename: a crash mid-write leaves either
+  // the previous checkpoint or none — never a torn file under `path`.
+  util::write_file_atomic(path, std::ios::binary, [&](std::ofstream& file) {
+    file.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    const auto flat = result.centroids.flat();
+    file.write(reinterpret_cast<const char*>(flat.data()),
+               static_cast<std::streamsize>(flat.size_bytes()));
+    file.write(reinterpret_cast<const char*>(result.assignments.data()),
+               static_cast<std::streamsize>(result.assignments.size() *
+                                            sizeof(std::uint32_t)));
+  });
 }
 
 KmeansResult load_checkpoint(const std::string& path) {
@@ -58,11 +72,11 @@ KmeansResult load_checkpoint(const std::string& path) {
   Header header{};
   file.read(reinterpret_cast<char*>(&header), sizeof(header));
   if (!file || std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
-    throw InvalidArgument(path + " is not a SWKC checkpoint");
+    throw CorruptCheckpointError(path + " is not a SWKC checkpoint");
   }
   if (header.version != kVersion) {
-    throw InvalidArgument(path + " has unsupported checkpoint version " +
-                          std::to_string(header.version));
+    throw CorruptCheckpointError(path + " has unsupported checkpoint version " +
+                                 std::to_string(header.version));
   }
   // Shape sanity against the real file size before any allocation. The
   // per-array bounds come first so the products cannot overflow; the
@@ -78,8 +92,8 @@ KmeansResult load_checkpoint(const std::string& path) {
       header.k * header.d * sizeof(float) +
               header.n * sizeof(std::uint32_t) !=
           payload) {
-    throw InvalidArgument(path + " declares shapes that do not match the "
-                                 "file size");
+    throw CorruptCheckpointError(path + " declares shapes that do not match "
+                                        "the file size");
   }
   KmeansResult result;
   result.centroids = util::Matrix(header.k, header.d);
@@ -90,7 +104,11 @@ KmeansResult load_checkpoint(const std::string& path) {
   file.read(reinterpret_cast<char*>(result.assignments.data()),
             static_cast<std::streamsize>(header.n * sizeof(std::uint32_t)));
   if (!file) {
-    throw InvalidArgument(path + " is truncated");
+    throw CorruptCheckpointError(path + " is truncated");
+  }
+  if (result_payload_crc(result) != header.payload_crc) {
+    throw CorruptCheckpointError(path + " failed its payload CRC check — "
+                                        "the checkpoint is corrupt");
   }
   result.iterations = header.iterations;
   result.converged = header.converged != 0;

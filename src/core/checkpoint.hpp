@@ -8,11 +8,16 @@ namespace swhkm::core {
 
 /// Checkpoint a clustering run to disk and resume it later — long
 /// large-scale jobs on a shared machine get preempted, and re-running 50
-/// iterations at 18 s each is real money. Format "SWKC": versioned binary
-/// header, centroid matrix, assignments, iteration counter.
+/// iterations at 18 s each is real money. Format "SWKC" v2: versioned
+/// binary header carrying a CRC-32 over the payload, centroid matrix,
+/// assignments, iteration counter. The file is written to a temp name,
+/// fsync'd, and atomically renamed into place so a crash mid-save cannot
+/// leave a torn checkpoint at `path`.
 void save_checkpoint(const KmeansResult& result, const std::string& path);
 
-/// Load a checkpoint; throws InvalidArgument on malformed files.
+/// Load a checkpoint; throws CorruptCheckpointError on anything malformed
+/// — bad magic, stale version, shape/file-size mismatch, truncation, or a
+/// payload CRC mismatch.
 KmeansResult load_checkpoint(const std::string& path);
 
 /// Continue Lloyd iterations from a checkpoint's centroids for up to

@@ -33,6 +33,7 @@
 #include "core/partition.hpp"
 #include "core/perf_model.hpp"
 #include "core/planner.hpp"
+#include "core/recovery.hpp"
 #include "core/yinyang.hpp"
 #include "data/dataset.hpp"
 #include "data/image.hpp"

@@ -13,6 +13,10 @@ namespace swhkm::simarch {
 class Trace;
 }
 
+namespace swhkm::swmpi {
+class FaultPlan;
+}
+
 namespace swhkm::core {
 
 /// The three partition strategies of the paper (Section III).
@@ -62,6 +66,18 @@ struct KmeansConfig {
   /// Optional timeline sink: engines record each rank's per-iteration
   /// phase intervals (simulated time) into it. Not owned; may be null.
   simarch::Trace* trace = nullptr;
+  /// Deterministic fault-injection schedule threaded into the engines'
+  /// communicator tree (not owned; null = no injection). Crash events are
+  /// matched against `iteration_base + iter`, so schedules keep firing at
+  /// the right global iteration across RecoveryDriver legs.
+  swmpi::FaultPlan* fault_plan = nullptr;
+  /// Global index of this run's first iteration. The RecoveryDriver runs
+  /// engines in short legs; the base keeps fault matching and trace
+  /// iteration numbering contiguous across legs. 0 for standalone runs.
+  std::size_t iteration_base = 0;
+  /// RecoveryDriver checkpoint cadence: a checkpoint lands every this many
+  /// iterations (each leg boundary). Ignored by the engines themselves.
+  std::size_t checkpoint_every = 8;
 };
 
 /// Per-iteration trajectory record (optional diagnostics).
@@ -76,6 +92,12 @@ struct IterationStats {
   /// traffic, not just the wall clock.
   std::uint64_t net_bytes = 0;
   std::uint64_t dma_bytes = 0;
+  /// Fault bookkeeping, stamped by the RecoveryDriver onto the first
+  /// iteration of a leg that followed a failure: how many attempts the
+  /// driver burned before this iteration ran, and the wall-clock seconds
+  /// the failed attempts + checkpoint reload cost. Zero everywhere else.
+  std::uint32_t retries = 0;
+  double recover_s = 0;
 };
 
 struct KmeansResult {

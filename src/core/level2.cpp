@@ -76,6 +76,10 @@ KmeansResult run_level2(const data::Dataset& dataset,
     std::uint64_t lloyd_equivalent = 0;
 
     for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+      // Global iteration index: the RecoveryDriver runs this engine in
+      // legs, and fault schedules / trace rows are addressed globally.
+      const std::uint64_t global_iter = config.iteration_base + iter;
+      world.fault_point(swmpi::FaultSite::kAssign, global_iter);
       acc.reset();
       simarch::CostTally tally;
       simarch::RegComm reg(machine, tally);
@@ -220,6 +224,7 @@ KmeansResult run_level2(const data::Dataset& dataset,
                           topo.allgather_time(publish_bytes, 0, num_cgs);
       tally.net_bytes += accum_bytes + publish_bytes;
 
+      world.fault_point(swmpi::FaultSite::kUpdate, global_iter);
       const detail::UpdateOutcome outcome = detail::reduce_and_update(
           world, centroids, acc,
           gate ? std::span<double>(drift.data(), drift.size())
@@ -234,9 +239,10 @@ KmeansResult run_level2(const data::Dataset& dataset,
 
       if (config.trace != nullptr) {
         config.trace->record_iteration(static_cast<std::uint32_t>(cg),
-                                       static_cast<std::uint32_t>(iter),
+                                       static_cast<std::uint32_t>(global_iter),
                                        rank_clock, tally);
       }
+      world.fault_point(swmpi::FaultSite::kCollective, global_iter);
       const simarch::CostTally combined =
           detail::combine_tallies(world, tally);
       rank_clock += combined.total_s();  // bulk-synchronous iteration edge
@@ -267,7 +273,7 @@ KmeansResult run_level2(const data::Dataset& dataset,
       result.accel.distance_computations = counters[0];
       result.accel.lloyd_equivalent = counters[1];
     }
-  });
+  }, config.fault_plan);
 
   detail::warn_empty_clusters(empty_clusters, "level2");
   result.centroids = std::move(centroids);

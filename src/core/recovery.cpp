@@ -1,0 +1,221 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "core/init.hpp"
+#include "core/level1.hpp"
+#include "core/level2.hpp"
+#include "core/level3.hpp"
+#include "core/planner.hpp"
+#include "simarch/trace.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace swhkm::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// One degradation step: halve the node count, then the CGs per node.
+/// nullopt once the machine is a single core group — nothing left to shed.
+std::optional<simarch::MachineConfig> shrink(
+    const simarch::MachineConfig& machine) {
+  simarch::MachineConfig out = machine;
+  if (out.nodes > 1) {
+    out.nodes = (out.nodes + 1) / 2;
+    return out;
+  }
+  if (out.cgs_per_node > 1) {
+    out.cgs_per_node = (out.cgs_per_node + 1) / 2;
+    return out;
+  }
+  return std::nullopt;
+}
+
+KmeansResult run_leg(Level level, const data::Dataset& dataset,
+                     const KmeansConfig& config,
+                     const simarch::MachineConfig& machine,
+                     const PartitionPlan& plan, util::Matrix centroids) {
+  switch (level) {
+    case Level::kLevel1:
+      return run_level1(dataset, config, machine, plan, std::move(centroids));
+    case Level::kLevel2:
+      return run_level2(dataset, config, machine, plan, std::move(centroids));
+    case Level::kLevel3:
+      return run_level3(dataset, config, machine, plan, std::move(centroids));
+  }
+  throw InvalidArgument("unknown level");
+}
+
+}  // namespace
+
+RecoveryDriver::RecoveryDriver(simarch::MachineConfig machine,
+                               RecoveryOptions options)
+    : machine_(std::move(machine)), options_(std::move(options)) {
+  machine_.validate();
+  SWHKM_REQUIRE(!options_.checkpoint_path.empty(),
+                "RecoveryDriver needs a checkpoint path");
+}
+
+KmeansResult RecoveryDriver::run(Level level, const data::Dataset& dataset,
+                                 const KmeansConfig& config) {
+  report_ = RecoveryReport{};
+  const ProblemShape shape{dataset.n(), config.k, dataset.d()};
+  const std::size_t cadence = std::max<std::size_t>(1, config.checkpoint_every);
+
+  auto plan_on = [&](const simarch::MachineConfig& machine)
+      -> std::optional<PartitionPlan> {
+    const auto choice = best_plan_for_level(level, shape, machine);
+    if (!choice) {
+      return std::nullopt;
+    }
+    return choice->plan;
+  };
+  auto initial_plan = plan_on(machine_);
+  if (!initial_plan) {
+    throw InfeasibleError(std::string(level_name(level)) +
+                          " cannot run this shape on " + machine_.summary());
+  }
+  PartitionPlan plan = *initial_plan;
+
+  util::Matrix centroids = init_centroids(dataset, config);
+  std::size_t done = 0;
+  bool converged = false;
+  bool have_checkpoint = false;
+  std::vector<IterationStats> history;
+  simarch::CostTally total_cost;
+  AccelStats accel;
+  KmeansResult leg;
+  // Failure bookkeeping for the in-flight leg: attempts burned at the
+  // current topology, and the retry count / recovery wall clock to stamp
+  // onto the first IterationStats of the next successful leg.
+  std::size_t failed_attempts = 0;
+  std::uint32_t retries_pending = 0;
+  double recover_pending_s = 0;
+
+  while (!converged && done < config.max_iterations) {
+    KmeansConfig leg_config = config;
+    leg_config.max_iterations = std::min(cadence, config.max_iterations - done);
+    leg_config.iteration_base = done;
+    const auto attempt_start = std::chrono::steady_clock::now();
+    try {
+      leg = run_leg(level, dataset, leg_config, machine_, plan, centroids);
+    } catch (const RuntimeFault& fault) {
+      const double wall = seconds_since(attempt_start);
+      report_.faults += 1;
+      report_.recover_wall_s += wall;
+      report_.events.push_back(
+          FaultEvent{done, fault.what(), wall});
+      recover_pending_s += wall;
+      if (config.trace != nullptr) {
+        config.trace->record_fault(static_cast<std::uint32_t>(done),
+                                   fault.what(), wall);
+      }
+      failed_attempts += 1;
+      if (failed_attempts > options_.max_retries) {
+        // Retries at this topology are exhausted — shed hardware and
+        // re-plan, or concede. Shrinking keeps going until the level is
+        // feasible again (a halved machine can briefly be infeasible for
+        // the chosen group sizes) or the floor is hit.
+        bool replanned = false;
+        if (options_.allow_degradation) {
+          simarch::MachineConfig candidate = machine_;
+          while (auto smaller = shrink(candidate)) {
+            candidate = *smaller;
+            if (candidate.num_cgs() < options_.min_cgs) {
+              break;
+            }
+            if (auto next_plan = plan_on(candidate)) {
+              SWHKM_INFO << "recovery: degrading from "
+                         << machine_.num_cgs() << " to "
+                         << candidate.num_cgs() << " core groups";
+              machine_ = candidate;
+              plan = *next_plan;
+              report_.replans += 1;
+              report_.degraded = true;
+              failed_attempts = 0;
+              replanned = true;
+              break;
+            }
+          }
+        }
+        if (!replanned) {
+          throw;
+        }
+      }
+      report_.retries += 1;
+      retries_pending += 1;
+      // Resume from the last good checkpoint — the durable anchor is the
+      // authoritative state, not whatever the dead attempt left in memory.
+      const auto reload_start = std::chrono::steady_clock::now();
+      if (have_checkpoint) {
+        KmeansResult restored = load_checkpoint(options_.checkpoint_path);
+        centroids = std::move(restored.centroids);
+        done = restored.iterations;
+        report_.resumed_from_checkpoint = true;
+      } else {
+        // Fault before the first checkpoint: re-seed from scratch.
+        centroids = init_centroids(dataset, config);
+        done = 0;
+      }
+      const double reload = seconds_since(reload_start);
+      report_.recover_wall_s += reload;
+      recover_pending_s += reload;
+      if (options_.backoff_s > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            options_.backoff_s * static_cast<double>(failed_attempts + 1)));
+      }
+      continue;
+    }
+
+    // Leg finished: fold it into the run and drop a checkpoint at the
+    // iteration boundary.
+    done += leg.iterations;
+    converged = leg.converged;
+    centroids = leg.centroids;
+    total_cost += leg.cost;
+    accel.distance_computations += leg.accel.distance_computations;
+    accel.lloyd_equivalent += leg.accel.lloyd_equivalent;
+    accel.centroid_distance_computations +=
+        leg.accel.centroid_distance_computations;
+    if (!leg.history.empty() && retries_pending > 0) {
+      leg.history.front().retries = retries_pending;
+      leg.history.front().recover_s = recover_pending_s;
+    }
+    history.insert(history.end(), leg.history.begin(), leg.history.end());
+    retries_pending = 0;
+    recover_pending_s = 0;
+    failed_attempts = 0;
+
+    KmeansResult snapshot;
+    snapshot.centroids = centroids;
+    snapshot.assignments = leg.assignments;
+    snapshot.iterations = done;
+    snapshot.converged = converged;
+    snapshot.inertia = leg.inertia;
+    save_checkpoint(snapshot, options_.checkpoint_path);
+    have_checkpoint = true;
+  }
+
+  KmeansResult result = std::move(leg);
+  result.centroids = std::move(centroids);
+  result.iterations = done;
+  result.converged = converged;
+  result.cost = total_cost;
+  result.history = std::move(history);
+  result.accel = accel;
+  report_.final_cgs = machine_.num_cgs();
+  return result;
+}
+
+}  // namespace swhkm::core

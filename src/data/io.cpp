@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/fileio.hpp"
 
 namespace swhkm::data {
 
@@ -24,20 +25,19 @@ static_assert(sizeof(Header) == 24);
 }  // namespace
 
 void save_binary(const Dataset& dataset, const std::string& path) {
-  std::ofstream file(path, std::ios::binary);
-  SWHKM_REQUIRE(static_cast<bool>(file), "cannot open " + path + " to write");
   Header header{};
   std::memcpy(header.magic, kMagic, sizeof(kMagic));
   header.version = kVersion;
   header.n = dataset.n();
   header.d = dataset.d();
-  file.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  const auto flat = dataset.samples().flat();
-  file.write(reinterpret_cast<const char*>(flat.data()),
-             static_cast<std::streamsize>(flat.size_bytes()));
-  if (!file) {
-    throw Error("short write to " + path);
-  }
+  // Temp-file + fsync + rename: readers never observe a half-written
+  // dataset, even if the writer dies mid-stream.
+  util::write_file_atomic(path, std::ios::binary, [&](std::ofstream& file) {
+    file.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    const auto flat = dataset.samples().flat();
+    file.write(reinterpret_cast<const char*>(flat.data()),
+               static_cast<std::streamsize>(flat.size_bytes()));
+  });
 }
 
 Dataset load_binary(const std::string& path) {
@@ -72,21 +72,18 @@ Dataset load_binary(const std::string& path) {
 }
 
 void save_csv(const Dataset& dataset, const std::string& path) {
-  std::ofstream file(path);
-  SWHKM_REQUIRE(static_cast<bool>(file), "cannot open " + path + " to write");
-  for (std::size_t i = 0; i < dataset.n(); ++i) {
-    const auto row = dataset.sample(i);
-    for (std::size_t u = 0; u < row.size(); ++u) {
-      if (u != 0) {
-        file << ',';
+  util::write_file_atomic(path, std::ios::openmode{}, [&](std::ofstream& file) {
+    for (std::size_t i = 0; i < dataset.n(); ++i) {
+      const auto row = dataset.sample(i);
+      for (std::size_t u = 0; u < row.size(); ++u) {
+        if (u != 0) {
+          file << ',';
+        }
+        file << row[u];
       }
-      file << row[u];
+      file << '\n';
     }
-    file << '\n';
-  }
-  if (!file) {
-    throw Error("short write to " + path);
-  }
+  });
 }
 
 Dataset load_csv(const std::string& path, const std::string& name) {

@@ -43,6 +43,17 @@ void Trace::record_iteration(std::uint32_t cg, std::uint32_t iteration,
   }
 }
 
+void Trace::record_fault(std::uint32_t iteration, const std::string& what,
+                         double wall_s) {
+  std::lock_guard lock(mutex_);
+  faults_.push_back(FaultMarker{iteration, what, wall_s});
+}
+
+std::vector<FaultMarker> Trace::fault_markers() const {
+  std::lock_guard lock(mutex_);
+  return faults_;
+}
+
 std::size_t Trace::event_count() const {
   std::lock_guard lock(mutex_);
   return events_.size();
@@ -124,6 +135,7 @@ std::string Trace::to_csv() const {
 void Trace::clear() {
   std::lock_guard lock(mutex_);
   events_.clear();
+  faults_.clear();
 }
 
 }  // namespace swhkm::simarch

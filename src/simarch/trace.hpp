@@ -35,6 +35,15 @@ struct TraceEvent {
   double duration_s = 0;
 };
 
+/// One fault/recovery event recorded by the RecoveryDriver: which global
+/// iteration the run was at when the fault hit, what it was, and the
+/// wall-clock seconds recovery cost (failed attempts + checkpoint reload).
+struct FaultMarker {
+  std::uint32_t iteration = 0;
+  std::string what;
+  double wall_s = 0;
+};
+
 /// Timeline of an engine run in simulated time: every rank reports its
 /// per-iteration cost split, and the trace lays the phases out as
 /// intervals (per CG, iterations back to back). Thread-safe appends —
@@ -65,6 +74,15 @@ class Trace {
   /// (1.0 = perfectly balanced).
   double imbalance(std::uint32_t iteration) const;
 
+  /// Record a fault/recovery event on the side channel — fault markers do
+  /// not perturb the simulated-time timeline (recovery is wall-clock, not
+  /// modelled machine time), but they ride along with the trace so one
+  /// artifact tells the whole story of a faulty run.
+  void record_fault(std::uint32_t iteration, const std::string& what,
+                    double wall_s);
+
+  std::vector<FaultMarker> fault_markers() const;  ///< copy, append order
+
   /// CSV with header: cg,iteration,phase,start_s,duration_s.
   std::string to_csv() const;
   void clear();
@@ -72,6 +90,7 @@ class Trace {
  private:
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
+  std::vector<FaultMarker> faults_;
 };
 
 }  // namespace swhkm::simarch

@@ -6,7 +6,8 @@ namespace swhkm::swmpi {
 
 namespace detail {
 
-World::World(int world_size) : size(world_size) {
+World::World(int world_size, FaultPlan* faults)
+    : size(world_size), fault_plan(faults) {
   boxes.reserve(static_cast<std::size_t>(world_size));
   for (int r = 0; r < world_size; ++r) {
     boxes.push_back(std::make_unique<Mailbox>());
@@ -22,6 +23,12 @@ void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
   message.source = rank_;
   message.tag = tag;
   message.payload.assign(payload.begin(), payload.end());
+  if (world_->fault_plan != nullptr &&
+      !world_->fault_plan->on_send(
+          global_rank_, std::span<std::byte>(message.payload.data(),
+                                             message.payload.size()))) {
+    return;  // scheduled drop: the peer's watchdog turns this into a fault
+  }
   world_->boxes[static_cast<std::size_t>(dest)]->push(std::move(message));
 }
 
@@ -29,9 +36,29 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
   SWHKM_REQUIRE(valid(), "communicator is empty");
   SWHKM_REQUIRE(source == kAnySource || (source >= 0 && source < size()),
                 "source rank out of range");
-  Message message =
-      world_->boxes[static_cast<std::size_t>(rank_)]->pop_matching(source, tag);
+  Mailbox& box = *world_->boxes[static_cast<std::size_t>(rank_)];
+  const std::chrono::milliseconds timeout =
+      world_->fault_plan != nullptr ? world_->fault_plan->watchdog_timeout()
+                                    : std::chrono::milliseconds{0};
+  if (timeout.count() > 0) {
+    Message message;
+    if (!box.pop_matching_for(source, tag, timeout, message)) {
+      throw WatchdogTimeout(
+          "swmpi: rank " + std::to_string(global_rank_) +
+          " waited longer than " + std::to_string(timeout.count()) +
+          " ms for a message from rank " + std::to_string(source) +
+          " (tag " + std::to_string(tag) + ") — peer stalled or dead");
+    }
+    return std::move(message.payload);
+  }
+  Message message = box.pop_matching(source, tag);
   return std::move(message.payload);
+}
+
+void Comm::fault_point(FaultSite site, std::uint64_t iteration) {
+  if (world_ != nullptr && world_->fault_plan != nullptr) {
+    world_->fault_plan->on_fault_point(global_rank_, site, iteration);
+  }
 }
 
 Comm Comm::split(int color, int key) {
@@ -93,7 +120,8 @@ Comm Comm::split(int color, int key) {
     std::lock_guard lock(world_->splits.mutex);
     auto it = world_->splits.live.find(registry_key);
     if (it == world_->splits.live.end()) {
-      sub = std::make_shared<detail::World>(static_cast<int>(members.size()));
+      sub = std::make_shared<detail::World>(static_cast<int>(members.size()),
+                                            world_->fault_plan);
       sub->pickups_remaining = static_cast<int>(members.size());
       world_->splits.live.emplace(registry_key, sub);
     } else {
@@ -103,20 +131,28 @@ Comm Comm::split(int color, int key) {
       world_->splits.live.erase(registry_key);
     }
   }
+  bool parent_aborted;
   {
     std::lock_guard lock(world_->children_mutex);
     world_->children.push_back(sub);
+    parent_aborted = world_->aborted;
   }
-  return Comm(std::move(sub), new_rank);
+  if (parent_aborted) {
+    // We registered after (or while) an abort sweep snapshotted the child
+    // list — the sweep may never see this sub-world, so poison it here
+    // before anyone can block in its mailboxes.
+    sub->abort_all();
+  }
+  return Comm(std::move(sub), new_rank, global_rank_);
 }
 
-std::vector<Comm> Comm::create_world(int size) {
+std::vector<Comm> Comm::create_world(int size, FaultPlan* faults) {
   SWHKM_REQUIRE(size >= 1, "world needs at least one rank");
-  auto world = std::make_shared<detail::World>(size);
+  auto world = std::make_shared<detail::World>(size, faults);
   std::vector<Comm> comms;
   comms.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) {
-    comms.push_back(Comm(world, r));
+    comms.push_back(Comm(world, r, r));
   }
   return comms;
 }
@@ -131,17 +167,22 @@ void Comm::abort_world() {
 namespace detail {
 
 void World::abort_all() {
-  for (auto& box : boxes) {
-    box->abort();
-  }
+  // Raise the flag and snapshot the children in one critical section: any
+  // split() that registers a child after this point sees `aborted` and
+  // poisons its own sub-world (see Comm::split), so no child can slip
+  // between the snapshot and the sweep.
   std::vector<std::shared_ptr<World>> kids;
   {
     std::lock_guard lock(children_mutex);
+    aborted = true;
     for (auto& weak : children) {
       if (auto strong = weak.lock()) {
         kids.push_back(std::move(strong));
       }
     }
+  }
+  for (auto& box : boxes) {
+    box->abort();
   }
   for (auto& kid : kids) {
     kid->abort_all();

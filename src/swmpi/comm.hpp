@@ -9,6 +9,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "swmpi/fault.hpp"
 #include "swmpi/mailbox.hpp"
 #include "util/error.hpp"
 
@@ -33,20 +34,29 @@ struct SplitRegistry {
 
 /// Shared state of one communicator: one mailbox per member rank.
 struct World {
-  explicit World(int size);
+  explicit World(int size, FaultPlan* faults = nullptr);
 
   int size;
   std::vector<std::unique_ptr<Mailbox>> boxes;
   SplitRegistry splits;
+
+  /// Shared fault-injection schedule (not owned; null = no injection).
+  /// Sub-worlds inherit the pointer so schedules reach split traffic too.
+  FaultPlan* fault_plan = nullptr;
 
   /// How many members still have to pick this world up out of the parent's
   /// split registry (only meaningful while registered there).
   int pickups_remaining = 0;
 
   /// Sub-worlds created by split(); abort_all() must reach ranks blocked in
-  /// a sub-communicator's recv too.
+  /// a sub-communicator's recv too. `aborted` (guarded by children_mutex)
+  /// closes the race where a split registers a child *after* abort_all
+  /// snapshotted the list: the late registrant observes the flag and
+  /// poisons its fresh sub-world itself, so no rank can block forever in a
+  /// mailbox the abort sweep never saw.
   std::mutex children_mutex;
   std::vector<std::weak_ptr<World>> children;
+  bool aborted = false;
 
   /// Poison every mailbox (recursively) so blocked ranks unblock with a
   /// RuntimeFault instead of deadlocking after a peer died.
@@ -68,6 +78,11 @@ class Comm {
   int rank() const { return rank_; }
   int size() const { return world_ ? world_->size : 0; }
   bool valid() const { return world_ != nullptr; }
+
+  /// Rank in the root world this handle descends from. split() preserves
+  /// it, so fault schedules and diagnostics address physical ranks no
+  /// matter which sub-communicator the traffic flows through.
+  int global_rank() const { return global_rank_; }
 
   void send_bytes(int dest, int tag, std::span<const std::byte> payload);
   std::vector<std::byte> recv_bytes(int source, int tag);
@@ -112,9 +127,17 @@ class Comm {
   /// collectives in the same order, so their sequence counters agree.
   int next_collective_tag() { return kReservedTagBase + (op_seq_++ & 0xFFFF); }
 
+  /// Engines call this at iteration boundaries (global iteration
+  /// numbering): if the world carries a FaultPlan that schedules a crash
+  /// for this rank at (site, iteration), it throws InjectedFault here —
+  /// the deterministic stand-in for a node dying between phases. No-op
+  /// without a plan.
+  void fault_point(FaultSite site, std::uint64_t iteration);
+
   /// Create the root communicator for `size` ranks; runtime.cpp hands each
-  /// spawned thread its rank's handle.
-  static std::vector<Comm> create_world(int size);
+  /// spawned thread its rank's handle. `faults` (not owned, may be null)
+  /// arms deterministic fault injection for the whole communicator tree.
+  static std::vector<Comm> create_world(int size, FaultPlan* faults = nullptr);
 
   /// Poison this communicator and all its sub-communicators; any rank
   /// blocked in recv wakes up with RuntimeFault. Called by the SPMD
@@ -122,11 +145,12 @@ class Comm {
   void abort_world();
 
  private:
-  Comm(std::shared_ptr<detail::World> world, int rank)
-      : world_(std::move(world)), rank_(rank) {}
+  Comm(std::shared_ptr<detail::World> world, int rank, int global_rank)
+      : world_(std::move(world)), rank_(rank), global_rank_(global_rank) {}
 
   std::shared_ptr<detail::World> world_;
   int rank_ = -1;
+  int global_rank_ = -1;
   int op_seq_ = 0;
 };
 

@@ -1,0 +1,120 @@
+#include "swmpi/fault.hpp"
+
+#include <cstring>
+
+namespace swhkm::swmpi {
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kAssign:
+      return "assign";
+    case FaultSite::kUpdate:
+      return "update";
+    case FaultSite::kCollective:
+      return "collective";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::crash(int rank, std::uint64_t iteration, FaultSite site,
+                            int fires) {
+  SWHKM_REQUIRE(rank >= 0, "crash rank must be non-negative");
+  SWHKM_REQUIRE(fires == -1 || fires > 0, "fires must be positive or -1");
+  std::lock_guard lock(mutex_);
+  crashes_.push_back({rank, iteration, site, fires});
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt_send(int rank, std::uint64_t nth_send,
+                                   std::uint64_t xor_mask) {
+  SWHKM_REQUIRE(rank >= 0, "corrupt rank must be non-negative");
+  SWHKM_REQUIRE(xor_mask != 0, "a zero XOR mask corrupts nothing");
+  std::lock_guard lock(mutex_);
+  sends_.push_back({rank, nth_send, xor_mask, /*drop=*/false, /*fired=*/false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_send(int rank, std::uint64_t nth_send) {
+  SWHKM_REQUIRE(rank >= 0, "drop rank must be non-negative");
+  std::lock_guard lock(mutex_);
+  sends_.push_back({rank, nth_send, 0, /*drop=*/true, /*fired=*/false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::watchdog(std::chrono::milliseconds timeout) {
+  std::lock_guard lock(mutex_);
+  watchdog_ = timeout;
+  return *this;
+}
+
+std::chrono::milliseconds FaultPlan::watchdog_timeout() const {
+  std::lock_guard lock(mutex_);
+  return watchdog_;
+}
+
+void FaultPlan::on_fault_point(int rank, FaultSite site,
+                               std::uint64_t iteration) {
+  bool fire = false;
+  {
+    std::lock_guard lock(mutex_);
+    for (CrashEvent& event : crashes_) {
+      if (event.rank != rank || event.iteration != iteration ||
+          event.site != site || event.remaining == 0) {
+        continue;
+      }
+      if (event.remaining > 0) {
+        --event.remaining;
+      }
+      ++fired_crashes_;
+      fire = true;
+      break;
+    }
+  }
+  if (fire) {
+    throw InjectedFault("injected fault: rank " + std::to_string(rank) +
+                        " crashed at " + fault_site_name(site) +
+                        " of iteration " + std::to_string(iteration));
+  }
+}
+
+bool FaultPlan::on_send(int rank, std::span<std::byte> payload) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t seq = send_seq_[rank]++;
+  for (SendEvent& event : sends_) {
+    if (event.fired || event.rank != rank || event.nth != seq) {
+      continue;
+    }
+    event.fired = true;
+    if (event.drop) {
+      ++fired_drops_;
+      return false;
+    }
+    // XOR the first word only: deterministic damage with a bounded blast
+    // radius (tests aim it at value fields, not at indices or the
+    // shared-fold pointer exchange).
+    std::uint64_t word = 0;
+    const std::size_t width = std::min(payload.size(), sizeof(word));
+    std::memcpy(&word, payload.data(), width);
+    word ^= event.mask;
+    std::memcpy(payload.data(), &word, width);
+    ++fired_corruptions_;
+  }
+  return true;
+}
+
+std::uint64_t FaultPlan::fired_crashes() const {
+  std::lock_guard lock(mutex_);
+  return fired_crashes_;
+}
+
+std::uint64_t FaultPlan::fired_corruptions() const {
+  std::lock_guard lock(mutex_);
+  return fired_corruptions_;
+}
+
+std::uint64_t FaultPlan::fired_drops() const {
+  std::lock_guard lock(mutex_);
+  return fired_drops_;
+}
+
+}  // namespace swhkm::swmpi

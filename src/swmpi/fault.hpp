@@ -1,0 +1,129 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace swhkm::swmpi {
+
+/// Engine-visible iteration boundaries where a scheduled crash can fire.
+/// The engines call Comm::fault_point at each of them, so a schedule can
+/// name "rank 2 dies entering the update phase of iteration 7" exactly.
+enum class FaultSite : int {
+  kAssign = 0,      ///< start of an iteration, before the assign sweep
+  kUpdate = 1,      ///< before entering the sharded centroid update
+  kCollective = 2,  ///< before the iteration's closing tally collective
+};
+
+const char* fault_site_name(FaultSite site);
+
+/// The exception a scheduled crash raises — a deliberately induced
+/// RuntimeFault, distinguishable from organic runtime bugs so run_spmd's
+/// error preference and the tests can tell them apart.
+class InjectedFault : public RuntimeFault {
+ public:
+  explicit InjectedFault(const std::string& what) : RuntimeFault(what) {}
+};
+
+/// Deterministic, seed-free fault-injection schedule for the swmpi
+/// runtime. Every event is an explicit coordinate — no randomness — so any
+/// failure a test provokes reproduces byte-for-byte:
+///
+///   crash(r, i, site)        rank r throws InjectedFault at iteration i's
+///                            `site` boundary (engines report global
+///                            iteration numbers, so schedules survive
+///                            checkpoint/resume legs);
+///   corrupt_send(r, n, mask) the n-th payload rank r sends (counting every
+///                            send the rank issues, on any communicator of
+///                            the world) has its first 8 bytes XORed with
+///                            `mask`;
+///   drop_send(r, n)          the n-th send from rank r is blackholed — the
+///                            deterministic "mailbox stall", which the
+///                            receiving rank's watchdog converts into a
+///                            WatchdogTimeout (a drop schedule without a
+///                            watchdog would deadlock, so pair them);
+///   watchdog(t)              every blocking recv in the world fails with
+///                            WatchdogTimeout after waiting `t`.
+///
+/// Ranks are *world* ranks: a rank keeps its identity inside split()
+/// sub-communicators, so schedules address physical ranks, not per-comm
+/// numbering. All counters and one-shot arming state live in the plan
+/// object itself and persist across run_spmd invocations — an event that
+/// fired during a failed leg stays disarmed when the RecoveryDriver
+/// retries, exactly like a real machine whose faulted node does not fault
+/// again on the re-run. Thread-safe; the same plan may be shared by every
+/// rank of a world.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(const FaultPlan&) = delete;  // armed state is identity
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Schedule rank `rank` to throw InjectedFault at `site` of global
+  /// iteration `iteration`. `fires` bounds how many times the event can
+  /// trigger across retries (-1 = every time the coordinate is reached —
+  /// what the degradation tests use to make a topology permanently toxic).
+  FaultPlan& crash(int rank, std::uint64_t iteration, FaultSite site,
+                   int fires = 1);
+
+  /// XOR the first 8 bytes of rank `rank`'s `nth_send`-th outgoing payload
+  /// (0-based, counted across the rank's whole lifetime) with `xor_mask`.
+  /// One-shot.
+  FaultPlan& corrupt_send(int rank, std::uint64_t nth_send,
+                          std::uint64_t xor_mask);
+
+  /// Blackhole rank `rank`'s `nth_send`-th outgoing payload. One-shot.
+  FaultPlan& drop_send(int rank, std::uint64_t nth_send);
+
+  /// Arm the recv watchdog for every rank of the world (0 disables it).
+  FaultPlan& watchdog(std::chrono::milliseconds timeout);
+  std::chrono::milliseconds watchdog_timeout() const;
+
+  // --- runtime hooks (called by Comm; not for user code) ---
+
+  /// Throws InjectedFault when an armed crash matches (rank, site,
+  /// iteration); otherwise returns.
+  void on_fault_point(int rank, FaultSite site, std::uint64_t iteration);
+
+  /// Counts the send and applies any matching corruption in place.
+  /// Returns false when the message must be dropped.
+  bool on_send(int rank, std::span<std::byte> payload);
+
+  // --- telemetry, for tests and the bench JSON ---
+  std::uint64_t fired_crashes() const;
+  std::uint64_t fired_corruptions() const;
+  std::uint64_t fired_drops() const;
+
+ private:
+  struct CrashEvent {
+    int rank;
+    std::uint64_t iteration;
+    FaultSite site;
+    int remaining;  ///< fires left; -1 = unlimited
+  };
+  struct SendEvent {
+    int rank;
+    std::uint64_t nth;
+    std::uint64_t mask;  ///< 0 with drop=true for blackholes
+    bool drop;
+    bool fired;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<CrashEvent> crashes_;
+  std::vector<SendEvent> sends_;
+  std::map<int, std::uint64_t> send_seq_;  ///< per-world-rank send counter
+  std::chrono::milliseconds watchdog_{0};
+  std::uint64_t fired_crashes_ = 0;
+  std::uint64_t fired_corruptions_ = 0;
+  std::uint64_t fired_drops_ = 0;
+};
+
+}  // namespace swhkm::swmpi

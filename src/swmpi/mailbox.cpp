@@ -41,6 +41,31 @@ Message Mailbox::pop_matching(int source, int tag) {
   }
 }
 
+bool Mailbox::pop_matching_for(int source, int tag,
+                               std::chrono::milliseconds timeout,
+                               Message& out) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [&](const Message& m) {
+                             return matches(m, source, tag);
+                           });
+    if (it != queue_.end()) {
+      out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+    if (aborted_) {
+      throw RuntimeFault("swmpi: communicator aborted while waiting for a "
+                         "message (a peer rank failed)");
+    }
+    if (arrived_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return false;
+    }
+  }
+}
+
 bool Mailbox::try_pop_matching(int source, int tag, Message& out) {
   std::lock_guard lock(mutex_);
   auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
@@ -55,10 +80,18 @@ bool Mailbox::try_pop_matching(int source, int tag, Message& out) {
 }
 
 void Mailbox::abort() {
-  {
-    std::lock_guard lock(mutex_);
-    aborted_ = true;
-  }
+  // Audited ordering: the flag is set and the waiters are notified while
+  // the mutex is held. A rank in pop_matching either (a) holds the mutex
+  // checking its predicate — it will observe aborted_ before it can wait —
+  // or (b) is parked inside wait() having atomically released the mutex,
+  // so this notify_all reaches it. Notifying after unlocking is also
+  // correct for this pair, but keeping the notify inside the critical
+  // section makes the no-lost-wakeup argument local to this function and
+  // leaves nothing for a future refactor to reorder. (The companion race —
+  // sub-communicators created *while* an abort is propagating — is closed
+  // in World::abort_all / Comm::split, not here.)
+  std::lock_guard lock(mutex_);
+  aborted_ = true;
   arrived_.notify_all();
 }
 

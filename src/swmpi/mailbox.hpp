@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -34,6 +35,12 @@ class Mailbox {
 
   /// Non-blocking variant; returns false when nothing matches right now.
   bool try_pop_matching(int source, int tag, Message& out);
+
+  /// Watchdog variant: block like pop_matching but give up after `timeout`
+  /// and return false — the caller turns that into a WatchdogTimeout. Still
+  /// throws RuntimeFault immediately if the mailbox is aborted.
+  bool pop_matching_for(int source, int tag,
+                        std::chrono::milliseconds timeout, Message& out);
 
   /// Poison the mailbox: current and future pop_matching calls that find no
   /// match throw RuntimeFault instead of blocking. Used when a peer rank

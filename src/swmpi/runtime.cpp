@@ -8,9 +8,10 @@
 
 namespace swhkm::swmpi {
 
-void run_spmd(int nranks, const std::function<void(Comm&)>& body) {
+void run_spmd(int nranks, const std::function<void(Comm&)>& body,
+              FaultPlan* faults) {
   SWHKM_REQUIRE(nranks >= 1, "need at least one rank");
-  std::vector<Comm> comms = Comm::create_world(nranks);
+  std::vector<Comm> comms = Comm::create_world(nranks, faults);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
 
   auto run_rank = [&](int rank) {
@@ -33,8 +34,11 @@ void run_spmd(int nranks, const std::function<void(Comm&)>& body) {
     thread.join();
   }
 
-  // Prefer the original failure over secondary "aborted" faults.
+  // Prefer the failure that explains the run: a real error beats an
+  // injected/watchdog fault (the deliberate root cause of a fault drill),
+  // which beats the secondary "aborted" faults poisoned peers report.
   std::exception_ptr first_real;
+  std::exception_ptr first_primary_fault;
   std::exception_ptr first_any;
   for (const auto& error : errors) {
     if (!error) {
@@ -43,18 +47,29 @@ void run_spmd(int nranks, const std::function<void(Comm&)>& body) {
     if (!first_any) {
       first_any = error;
     }
-    if (!first_real) {
-      try {
-        std::rethrow_exception(error);
-      } catch (const RuntimeFault&) {
-        // likely a secondary abort; keep looking
-      } catch (...) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const InjectedFault&) {
+      if (!first_primary_fault) {
+        first_primary_fault = error;
+      }
+    } catch (const WatchdogTimeout&) {
+      if (!first_primary_fault) {
+        first_primary_fault = error;
+      }
+    } catch (const RuntimeFault&) {
+      // likely a secondary abort; keep looking
+    } catch (...) {
+      if (!first_real) {
         first_real = error;
       }
     }
   }
   if (first_real) {
     std::rethrow_exception(first_real);
+  }
+  if (first_primary_fault) {
+    std::rethrow_exception(first_primary_fault);
   }
   if (first_any) {
     std::rethrow_exception(first_any);

@@ -3,17 +3,24 @@
 #include <functional>
 
 #include "swmpi/comm.hpp"
+#include "swmpi/fault.hpp"
 
 namespace swhkm::swmpi {
 
 /// Launch `body` on `nranks` SPMD ranks (rank 0 on the calling thread,
-/// the rest on fresh std::threads), join them all, and rethrow the
-/// lowest-rank exception if any rank failed.
+/// the rest on fresh std::threads), join them all, and rethrow the most
+/// meaningful failure if any rank failed.
 ///
 /// When a rank throws, the whole communicator tree is poisoned so ranks
-/// blocked in recv fail fast instead of deadlocking; their secondary
-/// "communicator aborted" faults are swallowed in favour of the original
-/// error.
-void run_spmd(int nranks, const std::function<void(Comm&)>& body);
+/// blocked in recv fail fast instead of deadlocking. Error preference when
+/// several ranks fail: a real error (anything outside the RuntimeFault
+/// family) wins over an injected fault or watchdog timeout, which wins
+/// over the secondary "communicator aborted" faults the poisoning causes.
+///
+/// `faults` (not owned, may be null) arms deterministic fault injection:
+/// the plan's schedule is consulted by every Comm of the world tree and by
+/// the engines' fault_point calls.
+void run_spmd(int nranks, const std::function<void(Comm&)>& body,
+              FaultPlan* faults = nullptr);
 
 }  // namespace swhkm::swmpi

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace swhkm::util {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum the
+/// checkpoint format v2 carries over its payload so a torn or bit-flipped
+/// file is rejected instead of loaded as garbage centroids. `seed` chains
+/// incremental updates: crc32(b, crc32(a)) == crc32(a ++ b).
+inline std::uint32_t crc32(std::span<const std::byte> bytes,
+                           std::uint32_t seed = 0) {
+  const auto& table = detail::crc32_table();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (std::byte b : bytes) {
+    crc = table[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace swhkm::util

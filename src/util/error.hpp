@@ -34,11 +34,30 @@ class InvalidArgument : public Error {
   explicit InvalidArgument(const std::string& what) : Error(what) {}
 };
 
+/// A checkpoint file failed validation: bad magic, stale format version,
+/// torn write, payload CRC mismatch. load_checkpoint throws this instead
+/// of ever returning garbage centroids. Derives from InvalidArgument so
+/// callers that only distinguish "bad input" keep working.
+class CorruptCheckpointError : public InvalidArgument {
+ public:
+  explicit CorruptCheckpointError(const std::string& what)
+      : InvalidArgument(what) {}
+};
+
 /// Internal invariant violation in the runtime (mismatched collective
 /// participation, mailbox protocol breach). Indicates a bug, not bad input.
 class RuntimeFault : public Error {
  public:
   explicit RuntimeFault(const std::string& what) : Error(what) {}
+};
+
+/// A blocking receive exceeded the configured watchdog timeout — the
+/// swmpi runtime's "peer rank is stalled or dead" signal. The
+/// RecoveryDriver treats it like any other RuntimeFault: retry the
+/// iteration leg from the last good checkpoint.
+class WatchdogTimeout : public RuntimeFault {
+ public:
+  explicit WatchdogTimeout(const std::string& what) : RuntimeFault(what) {}
 };
 
 namespace detail {

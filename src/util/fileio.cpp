@@ -1,0 +1,88 @@
+#include "util/fileio.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+#if defined(_WIN32)
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace swhkm::util {
+
+namespace {
+
+/// fsync the file (and best-effort its directory after the rename) so the
+/// rename is durable, not just atomic. Failure to sync the directory is
+/// ignored: some filesystems refuse O_RDONLY directory fds, and the rename
+/// itself is already crash-atomic.
+void fsync_path(const std::string& path, bool directory) {
+#if defined(_WIN32)
+  (void)path;
+  (void)directory;
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY | (directory ? O_DIRECTORY : 0));
+  if (fd < 0) {
+    if (!directory) {
+      throw Error("cannot reopen " + path + " for fsync");
+    }
+    return;
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && !directory) {
+    throw Error("fsync failed for " + path);
+  }
+#endif
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::ios::openmode mode,
+                       const std::function<void(std::ofstream&)>& body) {
+  // Unique per process and per call, so two threads checkpointing the same
+  // target never stream into each other's temp file.
+  static std::atomic<std::uint64_t> sequence{0};
+  const std::string tmp =
+      path + ".tmp." +
+#if defined(_WIN32)
+      std::to_string(0) +
+#else
+      std::to_string(static_cast<long>(::getpid())) +
+#endif
+      "." + std::to_string(sequence.fetch_add(1));
+
+  try {
+    {
+      std::ofstream file(tmp, mode | std::ios::trunc);
+      SWHKM_REQUIRE(static_cast<bool>(file),
+                    "cannot open " + tmp + " to write");
+      body(file);
+      file.flush();
+      if (!file) {
+        throw Error("short write to " + tmp);
+      }
+    }
+    fsync_path(tmp, /*directory=*/false);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw Error("cannot rename " + tmp + " over " + path);
+    }
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  fsync_path(parent_dir(path), /*directory=*/true);
+}
+
+}  // namespace swhkm::util

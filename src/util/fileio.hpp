@@ -1,0 +1,20 @@
+#pragma once
+
+#include <fstream>
+#include <functional>
+#include <ios>
+#include <string>
+
+namespace swhkm::util {
+
+/// Write `path` atomically and durably: stream the contents into a
+/// same-directory temp file, flush + fsync it, then rename(2) it over
+/// `path`. A crash at any point leaves either the complete old file or the
+/// complete new file on disk — never a torn mix, which is what lets
+/// load_checkpoint trust that a file that passes its CRC is a real
+/// checkpoint. The callback receives the open stream; if it throws or the
+/// stream fails, the temp file is removed and `path` is untouched.
+void write_file_atomic(const std::string& path, std::ios::openmode mode,
+                       const std::function<void(std::ofstream&)>& body);
+
+}  // namespace swhkm::util

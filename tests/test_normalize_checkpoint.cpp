@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <cstdint>
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <vector>
 
 #include "core/checkpoint.hpp"
 #include "core/lloyd.hpp"
@@ -272,6 +274,107 @@ TEST(Checkpoint, ShapeMismatchOnResumeRejected) {
 TEST(Checkpoint, EmptyResultRejected) {
   core::KmeansResult empty;
   EXPECT_THROW(core::save_checkpoint(empty, "/tmp/x.bin"), InvalidArgument);
+}
+
+// --------------------------------------------- corrupt-checkpoint corpus
+//
+// Format v2 hardening: every torn or bit-damaged file must surface as the
+// typed CorruptCheckpointError — never a crash, a silent wrong load, or an
+// untyped failure the RecoveryDriver couldn't tell from a config mistake.
+
+namespace corpus {
+
+std::string save_sample(const std::string& name, std::string* raw) {
+  const data::Dataset ds = data::make_blobs(60, 4, 3, 21);
+  core::KmeansConfig config;
+  config.k = 3;
+  config.max_iterations = 5;
+  config.tolerance = -1;
+  const core::KmeansResult result = core::lloyd_serial(ds, config);
+  const std::string path = ::testing::TempDir() + "/" + name;
+  core::save_checkpoint(result, path);
+  std::ifstream in(path, std::ios::binary);
+  raw->assign((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  return path;
+}
+
+void rewrite(const std::string& path, const std::string& bytes) {
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace corpus
+
+TEST(CheckpointCorpus, TruncationAtAnyLengthRejected) {
+  std::string raw;
+  const std::string path = corpus::save_sample("swhkm_corpus_trunc.bin", &raw);
+  ASSERT_GT(raw.size(), 57u);
+  for (std::size_t keep :
+       {std::size_t{0}, std::size_t{1}, std::size_t{4}, std::size_t{20},
+        std::size_t{55}, std::size_t{56}, std::size_t{57}, raw.size() - 1}) {
+    SCOPED_TRACE("keep=" + std::to_string(keep));
+    corpus::rewrite(path, raw.substr(0, keep));
+    EXPECT_THROW(core::load_checkpoint(path), CorruptCheckpointError);
+  }
+  corpus::rewrite(path, raw);
+  EXPECT_NO_THROW(core::load_checkpoint(path));
+}
+
+TEST(CheckpointCorpus, BitFlipInPayloadFailsTheCrc) {
+  std::string raw;
+  const std::string path = corpus::save_sample("swhkm_corpus_flip.bin", &raw);
+  constexpr std::size_t kHeaderBytes = 56;
+  // Every 7th payload byte plus the first and the last — a flip anywhere
+  // in the centroids or the assignments must trip the CRC.
+  std::vector<std::size_t> offsets{kHeaderBytes, raw.size() - 1};
+  for (std::size_t at = kHeaderBytes + 7; at < raw.size(); at += 7) {
+    offsets.push_back(at);
+  }
+  for (std::size_t at : offsets) {
+    SCOPED_TRACE("offset=" + std::to_string(at));
+    std::string damaged = raw;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x10);
+    corpus::rewrite(path, damaged);
+    EXPECT_THROW(core::load_checkpoint(path), CorruptCheckpointError);
+  }
+}
+
+TEST(CheckpointCorpus, DamagedHeaderFieldsRejected) {
+  std::string raw;
+  const std::string path = corpus::save_sample("swhkm_corpus_hdr.bin", &raw);
+  // Protected header regions: magic [0,4), version [4,8), k/d/n shape
+  // fields [8,32), payload CRC [44,48).
+  std::vector<std::size_t> offsets;
+  for (std::size_t at = 0; at < 32; ++at) {
+    offsets.push_back(at);
+  }
+  for (std::size_t at = 44; at < 48; ++at) {
+    offsets.push_back(at);
+  }
+  for (std::size_t at : offsets) {
+    SCOPED_TRACE("offset=" + std::to_string(at));
+    std::string damaged = raw;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x04);
+    corpus::rewrite(path, damaged);
+    EXPECT_THROW(core::load_checkpoint(path), CorruptCheckpointError);
+  }
+}
+
+TEST(CheckpointCorpus, StaleVersionRejected) {
+  std::string raw;
+  const std::string path = corpus::save_sample("swhkm_corpus_v1.bin", &raw);
+  std::string stale = raw;
+  const std::uint32_t v1 = 1;  // pre-CRC format: unverifiable, so refused
+  std::memcpy(stale.data() + 4, &v1, sizeof(v1));
+  corpus::rewrite(path, stale);
+  try {
+    core::load_checkpoint(path);
+    FAIL() << "stale v1 checkpoint was accepted";
+  } catch (const CorruptCheckpointError& error) {
+    EXPECT_NE(std::string(error.what()).find("version"), std::string::npos)
+        << error.what();
+  }
 }
 
 }  // namespace
