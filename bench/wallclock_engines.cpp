@@ -65,9 +65,14 @@
 #include "core/engine_common.hpp"
 #include "core/engine_util.hpp"
 #include "core/lloyd.hpp"
+#include "core/planner.hpp"
 #include "swmpi/collectives.hpp"
 #include "swmpi/fault.hpp"
 #include "swmpi/runtime.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/json.hpp"
 
 namespace swhkm {
 namespace {
@@ -411,7 +416,7 @@ GatedSection run_gated_section(std::size_t n, std::size_t k, std::size_t d,
   return out;
 }
 
-void emit_gated(const GatedSection& g, std::ostream& json, bool last) {
+void emit_gated(const GatedSection& g, util::JsonWriter& w) {
   util::Table table({"iter", "ungated_assign_s", "gated_assign_s",
                      "prune_rate", "ungated_bytes", "gated_bytes"});
   for (std::size_t it = 0; it < g.gated.iterations; ++it) {
@@ -425,30 +430,24 @@ void emit_gated(const GatedSection& g, std::ostream& json, bool last) {
   }
   bench::emit(table, "wallclock_gated_assign");
 
-  const auto dump = [&json](const char* key, const auto& values,
-                            auto format) {
-    json << "    \"" << key << "\": [";
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      json << (i > 0 ? ", " : "");
-      format(values[i]);
+  const auto dump = [&w](const char* key, const auto& values) {
+    w.key(key).begin_array();
+    for (const auto& v : values) {
+      w.value(v);
     }
-    json << "],\n";
+    w.end_array();
   };
-  json << "  \"gated_assign\": {\n"
-       << "    \"iterations\": " << g.gated.iterations << ",\n"
-       << "    \"bit_identical_to_serial_lloyd\": "
-       << (g.identical ? "true" : "false") << ",\n";
-  dump("ungated_assign_s", g.ungated.assign_s,
-       [&json](double v) { json << v; });
-  dump("gated_assign_s", g.gated.assign_s, [&json](double v) { json << v; });
-  dump("prune_rate", g.gated.prune_rate, [&json](double v) { json << v; });
-  dump("ungated_collective_bytes", g.ungated.collective_bytes,
-       [&json](std::uint64_t v) { json << v; });
-  dump("gated_collective_bytes", g.gated.collective_bytes,
-       [&json](std::uint64_t v) { json << v; });
-  json << "    \"tail_start_iteration\": " << kTailStart << ",\n"
-       << "    \"assign_tail_speedup\": " << g.tail_speedup << "\n"
-       << "  }" << (last ? "\n" : ",\n");
+  w.key("gated_assign").begin_object();
+  w.kv("iterations", static_cast<std::uint64_t>(g.gated.iterations));
+  w.kv("bit_identical_to_serial_lloyd", g.identical);
+  dump("ungated_assign_s", g.ungated.assign_s);
+  dump("gated_assign_s", g.gated.assign_s);
+  dump("prune_rate", g.gated.prune_rate);
+  dump("ungated_collective_bytes", g.ungated.collective_bytes);
+  dump("gated_collective_bytes", g.gated.collective_bytes);
+  w.kv("tail_start_iteration", static_cast<std::uint64_t>(kTailStart));
+  w.kv("assign_tail_speedup", g.tail_speedup);
+  w.end_object();
   std::printf("gated assign tail speedup (iters >= %zu): %.2fx, "
               "final prune rate %.3f, bit-identical: %s\n",
               kTailStart, g.tail_speedup,
@@ -485,8 +484,17 @@ FaultCell run_fault_cell(core::Level level, const data::Dataset& ds,
   swmpi::FaultPlan plan;
   plan.crash(/*rank=*/1, /*iteration=*/5, swmpi::FaultSite::kUpdate);
   config.fault_plan = &plan;
+  // Telemetry armed on the faulted side only: report_faults.json gets the
+  // full metrics + fault story, and the clean-vs-recovered bit-identity
+  // check below doubles as a telemetry-on/off identity check through the
+  // recovery path.
+  telemetry::Telemetry session;
+  config.telemetry = &session;
   core::RecoveryOptions options;
   options.checkpoint_path = "BENCH_faults.ckpt";
+  // Every level overwrites the same artifact; the one left behind (the
+  // last level's) is what CI validates and uploads.
+  options.report_path = "report_faults.json";
   core::RecoveryDriver driver(machine, options);
   util::Stopwatch faulted_clock;
   const core::KmeansResult recovered = driver.run(level, ds, config);
@@ -517,12 +525,18 @@ int run_faults() {
                      "time_to_recover_s", "retries", "resumed_from_ckpt",
                      "bit_identical"});
   std::ofstream json("BENCH_faults.json");
-  json << "{\n"
-       << "  \"workload\": {\"n\": 2048, \"k\": 8, \"d\": 6, \"cgs\": "
-       << machine.num_cgs() << "},\n"
-       << "  \"fault\": \"crash rank 1, update phase, iteration 5\",\n"
-       << "  \"checkpoint_every\": 4,\n"
-       << "  \"levels\": [\n";
+  util::JsonWriter w(json);
+  w.begin_object();
+  w.key("workload").begin_object();
+  w.kv("n", std::uint64_t{2048});
+  w.kv("k", std::uint64_t{8});
+  w.kv("d", std::uint64_t{6});
+  w.kv("cgs", static_cast<std::uint64_t>(machine.num_cgs()));
+  w.end_object();
+  w.kv("fault", "crash rank 1, update phase, iteration 5");
+  w.kv("checkpoint_every", std::uint64_t{4});
+  w.kv("report", "report_faults.json");
+  w.key("levels").begin_array();
   bool all_identical = true;
   for (std::size_t li = 0; li < 3; ++li) {
     const core::Level level = kLevels[li];
@@ -536,25 +550,24 @@ int run_faults() {
         .add(static_cast<std::uint64_t>(cell.report.retries))
         .add(cell.report.resumed_from_checkpoint ? "yes" : "no")
         .add(cell.identical ? "yes" : "NO");
-    json << "    {\n"
-         << "      \"level\": " << static_cast<int>(level) << ",\n"
-         << "      \"clean_wall_s\": " << cell.clean_wall_s << ",\n"
-         << "      \"faulted_wall_s\": " << cell.faulted_wall_s << ",\n"
-         << "      \"time_to_recover_s\": " << cell.report.recover_wall_s
-         << ",\n"
-         << "      \"faults\": " << cell.report.faults << ",\n"
-         << "      \"retries\": " << cell.report.retries << ",\n"
-         << "      \"replans\": " << cell.report.replans << ",\n"
-         << "      \"resumed_from_checkpoint\": "
-         << (cell.report.resumed_from_checkpoint ? "true" : "false") << ",\n"
-         << "      \"final_cgs\": " << cell.report.final_cgs << ",\n"
-         << "      \"bit_identical_to_clean_run\": "
-         << (cell.identical ? "true" : "false") << "\n"
-         << "    }" << (li + 1 < 3 ? "," : "") << "\n";
+    w.begin_object();
+    w.kv("level", static_cast<std::int64_t>(level));
+    w.kv("clean_wall_s", cell.clean_wall_s);
+    w.kv("faulted_wall_s", cell.faulted_wall_s);
+    w.kv("time_to_recover_s", cell.report.recover_wall_s);
+    w.kv("faults", static_cast<std::uint64_t>(cell.report.faults));
+    w.kv("retries", static_cast<std::uint64_t>(cell.report.retries));
+    w.kv("replans", static_cast<std::uint64_t>(cell.report.replans));
+    w.kv("resumed_from_checkpoint", cell.report.resumed_from_checkpoint);
+    w.kv("final_cgs", static_cast<std::uint64_t>(cell.report.final_cgs));
+    w.kv("bit_identical_to_clean_run", cell.identical);
+    w.end_object();
   }
-  json << "  ]\n}\n";
+  w.end_array();
+  w.end_object();
+  json << "\n";
   bench::emit(table, "wallclock_faults");
-  std::printf("(json: BENCH_faults.json)\n");
+  std::printf("(json: BENCH_faults.json, report_faults.json)\n");
   if (!all_identical) {
     std::fprintf(stderr,
                  "FATAL: a recovered run diverged from its clean run\n");
@@ -563,22 +576,144 @@ int run_faults() {
   return 0;
 }
 
+/// A/B telemetry cell: the same Level 3 run with the telemetry session off
+/// and on (metrics + wall spans + simulated trace), best-of-3 wall clock
+/// each way. On the instrumented side the final repetition's session is
+/// exported as the observability artifact pair (trace.json, report.json).
+struct TelemetryCell {
+  double plain_s = 0;
+  double instrumented_s = 0;
+  double overhead_frac = 0;
+  bool identical = false;   ///< results bit-identical, telemetry on vs off
+  bool reconciled = false;  ///< report metrics agree with iteration history
+};
+
+TelemetryCell run_telemetry_cell() {
+  // Big enough that compute dominates thread spawn and clock reads — the
+  // overhead fraction means something; still well under a second for CI.
+  const data::Dataset ds = data::make_blobs(8192, 64, 40, 515);
+  const simarch::MachineConfig machine =
+      simarch::MachineConfig::tiny(2, 4, 8192);
+  core::KmeansConfig config;
+  config.k = 64;
+  config.max_iterations = 10;
+  config.tolerance = -1;
+  config.init = core::InitMethod::kFirstK;
+  // Best-of-5 per side: the minimum of a handful of interleaved runs is
+  // the scheduler-noise-free estimate on a shared CI host.
+  constexpr int kReps = 5;
+
+  TelemetryCell cell;
+  (void)core::run_level(core::Level::kLevel3, ds, config, machine);  // warm-up
+  core::KmeansResult plain;
+  // Interleave the A and B repetitions so cache/thermal drift over the
+  // measurement hits both sides equally; keep the best of each.
+  for (int rep = 0; rep < kReps; ++rep) {
+    util::Stopwatch plain_clock;
+    core::KmeansResult r =
+        core::run_level(core::Level::kLevel3, ds, config, machine);
+    const double plain_s = plain_clock.seconds();
+    if (rep == 0 || plain_s < cell.plain_s) {
+      cell.plain_s = plain_s;
+    }
+    plain = std::move(r);
+
+    telemetry::Telemetry session;
+    simarch::Trace trace;
+    core::KmeansConfig instrumented_config = config;
+    instrumented_config.telemetry = &session;
+    instrumented_config.trace = &trace;
+    util::Stopwatch clock;
+    const core::KmeansResult instrumented = core::run_level(
+        core::Level::kLevel3, ds, instrumented_config, machine);
+    const double s = clock.seconds();
+    if (rep == 0 || s < cell.instrumented_s) {
+      cell.instrumented_s = s;
+    }
+    if (rep + 1 < kReps) {
+      continue;
+    }
+    // Last repetition: check identity and export the artifacts.
+    cell.identical =
+        plain.iterations == instrumented.iterations &&
+        plain.assignments == instrumented.assignments &&
+        std::memcmp(plain.centroids.data(), instrumented.centroids.data(),
+                    plain.centroids.size() * sizeof(float)) == 0;
+
+    telemetry::RunReport report;
+    report.run_id = "smoke-level3";
+    report.shape = core::ProblemShape{ds.n(), config.k, ds.d()};
+    report.level = core::Level::kLevel3;
+    report.config = config;
+    report.machine_summary = machine.summary();
+    if (const auto choice = core::best_plan_for_level(
+            core::Level::kLevel3, report.shape, machine)) {
+      report.plan_summary = choice->plan.describe();
+    }
+    report.set_result(instrumented);
+    report.metrics = session.metrics().merged();
+    cell.reconciled = telemetry::reconciles(report);
+
+    std::ofstream report_out("report.json");
+    report.write_json(report_out);
+    std::ofstream trace_out("trace.json");
+    telemetry::write_chrome_trace(trace_out, &trace, &session.spans());
+  }
+  cell.overhead_frac =
+      cell.plain_s > 0 ? (cell.instrumented_s - cell.plain_s) / cell.plain_s
+                       : 0;
+  return cell;
+}
+
 int run_smoke() {
   bench::banner("wallclock_engines --smoke",
                 "CI-sized bound-gate check: gated vs ungated assign to "
                 "convergence (n=1024, k=16, d=8, 4-CG group)");
   const GatedSection g = run_gated_section(1024, 16, 8, kGroupCgs, 40);
-  std::ofstream json("BENCH_wallclock.json");
-  json << "{\n"
-       << "  \"smoke\": true,\n"
-       << "  \"workload\": {\"n\": 1024, \"k\": 16, \"d\": 8, "
-          "\"group_cgs\": "
-       << kGroupCgs << "},\n";
-  emit_gated(g, json, /*last=*/true);
-  json << "}\n";
+  const TelemetryCell tel = run_telemetry_cell();
+  {
+    std::ofstream json("BENCH_wallclock.json");
+    util::JsonWriter w(json);
+    w.begin_object();
+    w.kv("smoke", true);
+    w.key("workload").begin_object();
+    w.kv("n", std::uint64_t{1024});
+    w.kv("k", std::uint64_t{16});
+    w.kv("d", std::uint64_t{8});
+    w.kv("group_cgs", static_cast<std::uint64_t>(kGroupCgs));
+    w.end_object();
+    emit_gated(g, w);
+    w.key("telemetry").begin_object();
+    w.kv("plain_s", tel.plain_s);
+    w.kv("instrumented_s", tel.instrumented_s);
+    w.kv("overhead_frac", tel.overhead_frac);
+    w.kv("bit_identical", tel.identical);
+    w.kv("metrics_reconcile_with_history", tel.reconciled);
+    w.kv("trace", "trace.json");
+    w.kv("report", "report.json");
+    w.end_object();
+    w.end_object();
+    json << "\n";
+  }
+  std::printf("telemetry overhead: %.2f%% (plain %.6fs, instrumented %.6fs), "
+              "bit-identical: %s, metrics reconcile: %s\n",
+              tel.overhead_frac * 100.0, tel.plain_s, tel.instrumented_s,
+              tel.identical ? "yes" : "NO", tel.reconciled ? "yes" : "NO");
+  std::printf("(artifacts: BENCH_wallclock.json, trace.json, report.json)\n");
   if (!g.identical) {
     std::fprintf(stderr,
                  "FATAL: gated assign diverged from ungated/serial Lloyd\n");
+    return 1;
+  }
+  if (!tel.identical) {
+    std::fprintf(stderr,
+                 "FATAL: telemetry changed the result of the run\n");
+    return 1;
+  }
+  if (!tel.reconciled) {
+    std::fprintf(stderr,
+                 "FATAL: telemetry counters disagree with the iteration "
+                 "history\n");
     return 1;
   }
   return 0;
@@ -713,22 +848,28 @@ int run() {
   bench::emit(table, "wallclock_engines");
 
   std::ofstream json("BENCH_wallclock.json");
-  json << "{\n"
-       << "  \"workload\": {\"n\": " << kN << ", \"k\": " << kK
-       << ", \"d\": " << kD << ", \"group_cgs\": " << kGroupCgs << "},\n"
-       << "  \"tile_samples\": " << core::detail::kAssignTileSamples << ",\n"
-       << "  \"assign_per_sample_s\": " << per_sample.seconds << ",\n"
-       << "  \"assign_batched_s\": " << batched.seconds << ",\n"
-       << "  \"assign_speedup\": " << speedup << ",\n"
-       << "  \"update_reps\": " << kUpdateReps << ",\n"
-       << "  \"update_root_serialized_s\": " << root_seconds << ",\n"
-       << "  \"update_sharded_s\": " << sharded_seconds << ",\n"
-       << "  \"update_speedup\": " << update_speedup << ",\n"
-       << "  \"level3_engine_iteration_s\": " << engine_seconds << ",\n"
-       << "  \"simulated_iteration_s\": "
-       << engine.last_iteration_cost.total_s() << ",\n";
-  emit_gated(gate, json, /*last=*/true);
-  json << "}\n";
+  util::JsonWriter w(json);
+  w.begin_object();
+  w.key("workload").begin_object();
+  w.kv("n", static_cast<std::uint64_t>(kN));
+  w.kv("k", static_cast<std::uint64_t>(kK));
+  w.kv("d", static_cast<std::uint64_t>(kD));
+  w.kv("group_cgs", static_cast<std::uint64_t>(kGroupCgs));
+  w.end_object();
+  w.kv("tile_samples",
+       static_cast<std::uint64_t>(core::detail::kAssignTileSamples));
+  w.kv("assign_per_sample_s", per_sample.seconds);
+  w.kv("assign_batched_s", batched.seconds);
+  w.kv("assign_speedup", speedup);
+  w.kv("update_reps", static_cast<std::uint64_t>(kUpdateReps));
+  w.kv("update_root_serialized_s", root_seconds);
+  w.kv("update_sharded_s", sharded_seconds);
+  w.kv("update_speedup", update_speedup);
+  w.kv("level3_engine_iteration_s", engine_seconds);
+  w.kv("simulated_iteration_s", engine.last_iteration_cost.total_s());
+  emit_gated(gate, w);
+  w.end_object();
+  json << "\n";
   std::printf("assign speedup (per-sample / batched): %.2fx\n", speedup);
   std::printf("update speedup (root-serialized / sharded): %.2fx\n",
               update_speedup);

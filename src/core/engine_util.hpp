@@ -496,9 +496,10 @@ inline UpdateOutcome apply_update(util::Matrix& centroids,
 /// requested k. Callers pass the engine name so logs identify the run.
 inline void warn_empty_clusters(std::size_t count, const char* engine) {
   if (count > 0) {
-    SWHKM_WARN << engine << ": " << count
-               << " empty cluster(s) kept their previous position in the "
-                  "final iteration; consider k-means|| seeding or smaller k";
+    SWHKM_WARN_AT(engine, -1, -1)
+        << count
+        << " empty cluster(s) kept their previous position in the "
+           "final iteration; consider k-means|| seeding or smaller k";
   }
 }
 

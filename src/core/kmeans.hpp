@@ -17,6 +17,10 @@ namespace swhkm::swmpi {
 class FaultPlan;
 }
 
+namespace swhkm::telemetry {
+class Telemetry;
+}
+
 namespace swhkm::core {
 
 /// The three partition strategies of the paper (Section III).
@@ -78,6 +82,11 @@ struct KmeansConfig {
   /// RecoveryDriver checkpoint cadence: a checkpoint lands every this many
   /// iterations (each leg boundary). Ignored by the engines themselves.
   std::size_t checkpoint_every = 8;
+  /// Wall-clock observability session (not owned; null = every record call
+  /// is a no-op). Instrumentation is always compiled in; this pointer is
+  /// the gate. Results are bit-identical with telemetry on or off — the
+  /// session only *observes* (tested in test_telemetry.cpp).
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Per-iteration trajectory record (optional diagnostics).

@@ -9,6 +9,7 @@
 #include "simarch/trace.hpp"
 #include "swmpi/collectives.hpp"
 #include "swmpi/runtime.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace swhkm::core {
@@ -51,8 +52,32 @@ KmeansResult run_level3(const data::Dataset& dataset,
   simarch::CostTally last_cost;
   std::vector<IterationStats> history;
 
+  telemetry::Telemetry* const tel = config.telemetry;
+
   swmpi::run_spmd(static_cast<int>(num_cgs), [&](swmpi::Comm& world) {
     const std::size_t cg = static_cast<std::size_t>(world.rank());
+    // Engine-side metric handles, resolved once per rank (name lookup is
+    // the slow path). Gate counters tick on every rank — replicated gate
+    // work is real per-rank work — while the sim.* ledgers tick on cg 0
+    // only, mirroring the history rows they reconcile against.
+    telemetry::MetricsShard* const tshard =
+        tel != nullptr ? &tel->metrics().shard(world.global_rank()) : nullptr;
+    telemetry::Counter* const pruned_ctr =
+        tshard != nullptr ? &tshard->counter("engine.gate.pruned_samples")
+                          : nullptr;
+    telemetry::Counter* const swept_ctr =
+        tshard != nullptr ? &tshard->counter("engine.gate.swept_samples")
+                          : nullptr;
+    telemetry::Histogram* const survivor_hist =
+        tshard != nullptr ? &tshard->histogram("engine.gate.survivor_tile")
+                          : nullptr;
+    telemetry::Counter* const sim_net =
+        tshard != nullptr && cg == 0 ? &tshard->counter("sim.net_bytes")
+                                     : nullptr;
+    telemetry::Counter* const sim_dma =
+        tshard != nullptr && cg == 0 ? &tshard->counter("sim.dma_bytes")
+                                     : nullptr;
+    const bool spans_on = tel != nullptr && tel->config().wall_spans;
     const std::size_t group = cg / p;        // CG-group index (flow unit)
     const std::size_t within = cg % p;       // slice holder index
     swmpi::Comm group_comm =
@@ -105,6 +130,7 @@ KmeansResult run_level3(const data::Dataset& dataset,
       // legs, and fault schedules / trace rows are addressed globally.
       const std::uint64_t global_iter = config.iteration_base + iter;
       world.fault_point(swmpi::FaultSite::kAssign, global_iter);
+      const double assign_start_us = spans_on ? tel->now_us() : 0.0;
       acc.reset();
       simarch::CostTally tally;
       simarch::RegComm reg(machine, tally);
@@ -169,6 +195,9 @@ KmeansResult run_level3(const data::Dataset& dataset,
                             digest, safe, upper, lower, /*tighten=*/false,
                             ids);
         }
+        if (survivor_hist != nullptr && gating) {
+          survivor_hist->observe(static_cast<double>(ids.size()));
+        }
         const std::span<swmpi::MinLoc2> scores(tile2.data(), ids.size());
         if (!ids.empty()) {
           detail::clear_scores(scores);
@@ -203,6 +232,15 @@ KmeansResult run_level3(const data::Dataset& dataset,
           }
         }
         unresolved += ids.size();
+      }
+      if (spans_on) {
+        tel->spans().record("assign", static_cast<std::uint32_t>(cg),
+                            static_cast<std::uint32_t>(global_iter),
+                            assign_start_us, tel->now_us() - assign_start_us);
+      }
+      if (swept_ctr != nullptr) {
+        swept_ctr->add(unresolved);
+        pruned_ctr->add(count - unresolved);
       }
 
       // DMA: unresolved samples stream into every CG of the group; a
@@ -256,10 +294,16 @@ KmeansResult run_level3(const data::Dataset& dataset,
                           topo.allgather_time(publish_bytes, 0, num_cgs);
       tally.net_bytes += accum_bytes + publish_bytes;
       world.fault_point(swmpi::FaultSite::kUpdate, global_iter);
+      const double update_start_us = spans_on ? tel->now_us() : 0.0;
       const detail::UpdateOutcome outcome = detail::reduce_and_update(
           world, centroids, acc,
           gate ? std::span<double>(drift.data(), drift.size())
                : std::span<double>{});
+      if (spans_on) {
+        tel->spans().record("update", static_cast<std::uint32_t>(cg),
+                            static_cast<std::uint32_t>(global_iter),
+                            update_start_us, tel->now_us() - update_start_us);
+      }
       const double shift = outcome.shift;
       const auto [u_begin, u_end] = detail::block_range(k, num_cgs, cg);
       const std::size_t shard_rows = u_end - u_begin;
@@ -286,6 +330,10 @@ KmeansResult run_level3(const data::Dataset& dataset,
                            static_cast<double>(combined.pruned_samples) /
                                static_cast<double>(dataset.n()),
                            combined.net_bytes, combined.dma_bytes});
+        if (sim_net != nullptr) {
+          sim_net->add(combined.net_bytes);
+          sim_dma->add(combined.dma_bytes);
+        }
       }
       if (shift <= config.tolerance) {
         if (cg == 0) {
@@ -305,7 +353,8 @@ KmeansResult run_level3(const data::Dataset& dataset,
       result.accel.distance_computations = counters[0];
       result.accel.lloyd_equivalent = counters[1];
     }
-  }, config.fault_plan);
+  }, config.fault_plan,
+      tel != nullptr && tel->config().swmpi ? &tel->metrics() : nullptr);
 
   detail::warn_empty_clusters(empty_clusters, "level3");
   result.centroids = std::move(centroids);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -13,6 +14,8 @@
 #include "core/level3.hpp"
 #include "core/planner.hpp"
 #include "simarch/trace.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -88,6 +91,13 @@ KmeansResult RecoveryDriver::run(Level level, const data::Dataset& dataset,
   }
   PartitionPlan plan = *initial_plan;
 
+  // Host-side recovery metrics land in the registry's host shard — the
+  // driver is not an SPMD rank, but its retries and reload costs belong in
+  // the same merged snapshot as the engines' counters.
+  telemetry::MetricsShard* const host_shard =
+      config.telemetry != nullptr ? &config.telemetry->metrics().host_shard()
+                                  : nullptr;
+
   util::Matrix centroids = init_centroids(dataset, config);
   std::size_t done = 0;
   bool converged = false;
@@ -121,6 +131,10 @@ KmeansResult RecoveryDriver::run(Level level, const data::Dataset& dataset,
         config.trace->record_fault(static_cast<std::uint32_t>(done),
                                    fault.what(), wall);
       }
+      if (host_shard != nullptr) {
+        host_shard->counter("recovery.faults").add(1);
+        host_shard->histogram("recovery.attempt_wall_s").observe(wall);
+      }
       failed_attempts += 1;
       if (failed_attempts > options_.max_retries) {
         // Retries at this topology are exhausted — shed hardware and
@@ -136,9 +150,9 @@ KmeansResult RecoveryDriver::run(Level level, const data::Dataset& dataset,
               break;
             }
             if (auto next_plan = plan_on(candidate)) {
-              SWHKM_INFO << "recovery: degrading from "
-                         << machine_.num_cgs() << " to "
-                         << candidate.num_cgs() << " core groups";
+              SWHKM_INFO_AT("recovery", -1, done)
+                  << "degrading from " << machine_.num_cgs() << " to "
+                  << candidate.num_cgs() << " core groups";
               machine_ = candidate;
               plan = *next_plan;
               report_.replans += 1;
@@ -169,8 +183,15 @@ KmeansResult RecoveryDriver::run(Level level, const data::Dataset& dataset,
         done = 0;
       }
       const double reload = seconds_since(reload_start);
+      SWHKM_INFO_AT("recovery", -1, done)
+          << "retry " << report_.retries << ": resuming from "
+          << (have_checkpoint ? "checkpoint" : "fresh seeding");
       report_.recover_wall_s += reload;
       recover_pending_s += reload;
+      if (host_shard != nullptr) {
+        host_shard->counter("recovery.retries").add(1);
+        host_shard->histogram("recovery.reload_s").observe(reload);
+      }
       if (options_.backoff_s > 0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(
             options_.backoff_s * static_cast<double>(failed_attempts + 1)));
@@ -215,6 +236,28 @@ KmeansResult RecoveryDriver::run(Level level, const data::Dataset& dataset,
   result.history = std::move(history);
   result.accel = accel;
   report_.final_cgs = machine_.num_cgs();
+
+  if (!options_.report_path.empty()) {
+    telemetry::RunReport rep;
+    rep.run_id = std::string("recovery-") + level_name(level);
+    rep.shape = shape;
+    rep.level = level;
+    rep.config = config;
+    rep.machine_summary = machine_.summary();
+    rep.plan_summary = plan.describe();
+    rep.set_result(result);
+    for (const FaultEvent& e : report_.events) {
+      rep.faults.push_back(simarch::FaultMarker{
+          static_cast<std::uint32_t>(e.iteration), e.what, e.wall_s});
+    }
+    rep.has_recovery = true;
+    rep.recovery = report_;
+    if (config.telemetry != nullptr) {
+      rep.metrics = config.telemetry->metrics().merged();
+    }
+    std::ofstream out(options_.report_path);
+    rep.write_json(out);
+  }
   return result;
 }
 

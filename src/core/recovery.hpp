@@ -30,6 +30,10 @@ struct RecoveryOptions {
   bool allow_degradation = true;
   /// Floor for degradation: never shrink below this many core groups.
   std::size_t min_cgs = 1;
+  /// When non-empty, the driver writes a telemetry::RunReport JSON here at
+  /// the end of run() — config, outcome, the full fault/recovery story and
+  /// the merged metrics snapshot (when config.telemetry is armed).
+  std::string report_path;
 };
 
 /// One caught fault, in the order they happened.

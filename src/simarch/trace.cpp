@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/json.hpp"
 
 namespace swhkm::simarch {
 
@@ -109,7 +110,10 @@ double Trace::imbalance(std::uint32_t iteration) const {
     }
   }
   if (per_rank.empty()) {
-    return 0.0;
+    // Same sentinel as the zero-mean case below: an iteration the trace
+    // knows nothing about is indistinguishable from a perfectly balanced
+    // one, and 1.0 is the "no imbalance observed" identity either way.
+    return 1.0;
   }
   double worst = 0;
   double sum = 0;
@@ -125,9 +129,12 @@ std::string Trace::to_csv() const {
   std::ostringstream out;
   out << "cg,iteration,phase,start_s,duration_s\n";
   for (const TraceEvent& event : events()) {
+    // Round-trip formatting: ostream's default 6 significant digits
+    // aliases neighbouring starts on long timelines.
     out << event.cg << ',' << event.iteration << ','
-        << phase_name(event.phase) << ',' << event.start_s << ','
-        << event.duration_s << '\n';
+        << phase_name(event.phase) << ','
+        << util::format_double(event.start_s) << ','
+        << util::format_double(event.duration_s) << '\n';
   }
   return out.str();
 }

@@ -71,7 +71,9 @@ class Trace {
   double makespan() const;
 
   /// Rank imbalance of one iteration: slowest rank time / mean rank time
-  /// (1.0 = perfectly balanced).
+  /// (1.0 = perfectly balanced). Degenerate cases — an iteration with no
+  /// recorded events, or one whose mean duration is zero — both return the
+  /// 1.0 identity: no imbalance was observed.
   double imbalance(std::uint32_t iteration) const;
 
   /// Record a fault/recovery event on the side channel — fault markers do

@@ -3,6 +3,7 @@
 namespace swhkm::swmpi {
 
 void barrier(Comm& comm) {
+  detail::CollectiveScope scope(comm, telemetry::CollectiveKind::kBarrier, 0);
   const int size = comm.size();
   if (size <= 1) {
     return;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -13,6 +14,45 @@ namespace swhkm::swmpi {
 /// same collective in the same order (standard MPI discipline). Reduction
 /// trees are fixed binomial trees, so results are deterministic run-to-run
 /// for a given rank count.
+
+namespace detail {
+
+/// RAII instrumentation for one collective entry: ticks the calling rank's
+/// (kind → calls/bytes) ledger at construction and observes the wall
+/// latency at destruction. `bytes` is the collective's logical payload
+/// volume from this rank's perspective, not wire traffic — composite
+/// collectives also tick their building blocks, so the per-kind counters
+/// describe every layer rather than a disjoint partition. Free (two null
+/// checks) when the communicator carries no metrics registry.
+class CollectiveScope {
+ public:
+  CollectiveScope(const Comm& comm, telemetry::CollectiveKind kind,
+                  std::size_t bytes) {
+    telemetry::MetricsShard* shard = comm.metrics_shard();
+    if (shard != nullptr) {
+      stats_ = &shard->collective(kind);
+      stats_->calls.add(1);
+      stats_->bytes.add(bytes);
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  CollectiveScope(const CollectiveScope&) = delete;
+  CollectiveScope& operator=(const CollectiveScope&) = delete;
+  ~CollectiveScope() {
+    if (stats_ != nullptr) {
+      stats_->wall_s.observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count());
+    }
+  }
+
+ private:
+  telemetry::CollectiveStats* stats_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace detail
 
 /// Dissemination barrier: log2(size) rounds of token passing.
 void barrier(Comm& comm);
@@ -103,6 +143,8 @@ inline int binomial_parent(int vrank) { return vrank & (vrank - 1); }
 template <typename T>
 void bcast(Comm& comm, int root, std::span<T> buf) {
   static_assert(std::is_trivially_copyable_v<T>);
+  detail::CollectiveScope scope(comm, telemetry::CollectiveKind::kBcast,
+                                buf.size_bytes());
   const int size = comm.size();
   if (size <= 1) {
     return;
@@ -139,6 +181,8 @@ void bcast(Comm& comm, int root, std::span<T> buf) {
 template <typename T, typename Op>
 void reduce(Comm& comm, int root, std::span<T> buf, Op op) {
   static_assert(std::is_trivially_copyable_v<T>);
+  detail::CollectiveScope scope(comm, telemetry::CollectiveKind::kReduce,
+                                buf.size_bytes());
   const int size = comm.size();
   if (size <= 1) {
     return;
@@ -167,6 +211,8 @@ void reduce(Comm& comm, int root, std::span<T> buf, Op op) {
 /// identical (bit-for-bit) combined buffer.
 template <typename T, typename Op>
 void allreduce(Comm& comm, std::span<T> buf, Op op) {
+  detail::CollectiveScope scope(comm, telemetry::CollectiveKind::kAllreduce,
+                                buf.size_bytes());
   reduce(comm, 0, buf, op);
   bcast(comm, 0, buf);
 }
@@ -196,6 +242,9 @@ template <typename T>
 std::vector<T> allgather(Comm& comm, const T& mine) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int size = comm.size();
+  detail::CollectiveScope scope(
+      comm, telemetry::CollectiveKind::kAllgather,
+      static_cast<std::size_t>(size) * sizeof(T));
   std::vector<T> all(static_cast<std::size_t>(size));
   all[static_cast<std::size_t>(comm.rank())] = mine;
   if (size == 1) {
@@ -219,6 +268,9 @@ template <typename T>
 std::vector<T> gather(Comm& comm, int root, const T& mine) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int size = comm.size();
+  detail::CollectiveScope scope(
+      comm, telemetry::CollectiveKind::kGather,
+      static_cast<std::size_t>(size) * sizeof(T));
   const int tag = comm.next_collective_tag();
   if (comm.rank() != root) {
     comm.send_value<T>(root, tag, mine);
@@ -240,6 +292,9 @@ template <typename T>
 T scatter(Comm& comm, int root, std::span<const T> values) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int size = comm.size();
+  detail::CollectiveScope scope(
+      comm, telemetry::CollectiveKind::kScatter,
+      static_cast<std::size_t>(size) * sizeof(T));
   const int tag = comm.next_collective_tag();
   if (comm.rank() == root) {
     SWHKM_REQUIRE(values.size() == static_cast<std::size_t>(size),
@@ -260,6 +315,8 @@ template <typename T>
 std::vector<T> alltoall(Comm& comm, std::span<const T> sendbuf) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int size = comm.size();
+  detail::CollectiveScope scope(comm, telemetry::CollectiveKind::kAlltoall,
+                                sendbuf.size_bytes());
   SWHKM_REQUIRE(sendbuf.size() == static_cast<std::size_t>(size),
                 "alltoall needs one value per destination");
   const int tag = comm.next_collective_tag();
@@ -286,6 +343,8 @@ std::vector<T> alltoall(Comm& comm, std::span<const T> sendbuf) {
 template <typename T>
 std::vector<T> sendrecv(Comm& comm, int dest, std::span<const T> payload,
                         int source) {
+  detail::CollectiveScope scope(comm, telemetry::CollectiveKind::kSendrecv,
+                                payload.size_bytes());
   const int tag = comm.next_collective_tag();
   comm.send<T>(dest, tag, payload);
   return comm.recv<T>(source, tag);
@@ -298,6 +357,8 @@ template <typename T, typename Op>
 std::vector<T> reduce_scatter(Comm& comm, std::span<const T> buf,
                               std::size_t block, Op op) {
   static_assert(std::is_trivially_copyable_v<T>);
+  detail::CollectiveScope scope(
+      comm, telemetry::CollectiveKind::kReduceScatter, buf.size_bytes());
   const int size = comm.size();
   SWHKM_REQUIRE(buf.size() == block * static_cast<std::size_t>(size),
                 "reduce_scatter needs one block per rank");
@@ -353,6 +414,9 @@ std::vector<T> reduce_scatter_ranges(Comm& comm, std::span<T> buf,
                                      std::span<const std::size_t> offsets,
                                      Op op) {
   static_assert(std::is_trivially_copyable_v<T>);
+  detail::CollectiveScope scope(
+      comm, telemetry::CollectiveKind::kReduceScatterRanges,
+      buf.size_bytes());
   const int size = comm.size();
   const int rank = comm.rank();
   SWHKM_REQUIRE(offsets.size() == static_cast<std::size_t>(size) + 1,
@@ -471,6 +535,9 @@ std::vector<T> allgatherv(Comm& comm, std::span<const T> mine,
   for (int r = 0; r < size; ++r) {
     offsets[r + 1] = offsets[r] + counts[r];
   }
+  detail::CollectiveScope scope(comm,
+                                telemetry::CollectiveKind::kAllgatherv,
+                                offsets.back() * sizeof(T));
   std::vector<T> all(offsets.back());
   std::copy(mine.begin(), mine.end(),
             all.begin() + static_cast<std::ptrdiff_t>(offsets[rank]));
@@ -534,6 +601,8 @@ std::vector<T> allgatherv(Comm& comm, std::span<const T> mine) {
 template <typename T, typename Op>
 T scan(Comm& comm, const T& mine, Op op) {
   static_assert(std::is_trivially_copyable_v<T>);
+  detail::CollectiveScope scope(comm, telemetry::CollectiveKind::kScan,
+                                sizeof(T));
   const int tag = comm.next_collective_tag();
   T accumulated = mine;
   if (comm.rank() > 0) {

@@ -6,8 +6,9 @@ namespace swhkm::swmpi {
 
 namespace detail {
 
-World::World(int world_size, FaultPlan* faults)
-    : size(world_size), fault_plan(faults) {
+World::World(int world_size, FaultPlan* faults,
+             telemetry::MetricsRegistry* metrics_registry)
+    : size(world_size), fault_plan(faults), metrics(metrics_registry) {
   boxes.reserve(static_cast<std::size_t>(world_size));
   for (int r = 0; r < world_size; ++r) {
     boxes.push_back(std::make_unique<Mailbox>());
@@ -19,6 +20,10 @@ World::World(int world_size, FaultPlan* faults)
 void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
   SWHKM_REQUIRE(valid(), "communicator is empty");
   SWHKM_REQUIRE(dest >= 0 && dest < size(), "destination rank out of range");
+  if (tshard_ != nullptr) {
+    tshard_->p2p_sends.add(1);
+    tshard_->p2p_send_bytes.add(payload.size());
+  }
   Message message;
   message.source = rank_;
   message.tag = tag;
@@ -37,11 +42,20 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
   SWHKM_REQUIRE(source == kAnySource || (source >= 0 && source < size()),
                 "source rank out of range");
   Mailbox& box = *world_->boxes[static_cast<std::size_t>(rank_)];
+  // Mailbox-side observability: queue depth at entry (how far behind this
+  // rank is) and wall time blocked waiting for the match. Clock reads only
+  // happen when a registry is armed.
+  std::chrono::steady_clock::time_point stall_start;
+  if (tshard_ != nullptr) {
+    tshard_->recv_queue_depth.set(
+        static_cast<std::int64_t>(box.pending()));
+    stall_start = std::chrono::steady_clock::now();
+  }
   const std::chrono::milliseconds timeout =
       world_->fault_plan != nullptr ? world_->fault_plan->watchdog_timeout()
                                     : std::chrono::milliseconds{0};
+  Message message;
   if (timeout.count() > 0) {
-    Message message;
     if (!box.pop_matching_for(source, tag, timeout, message)) {
       throw WatchdogTimeout(
           "swmpi: rank " + std::to_string(global_rank_) +
@@ -49,9 +63,15 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
           " ms for a message from rank " + std::to_string(source) +
           " (tag " + std::to_string(tag) + ") — peer stalled or dead");
     }
-    return std::move(message.payload);
+  } else {
+    message = box.pop_matching(source, tag);
   }
-  Message message = box.pop_matching(source, tag);
+  if (tshard_ != nullptr) {
+    tshard_->recv_stall_s.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      stall_start)
+            .count());
+  }
   return std::move(message.payload);
 }
 
@@ -121,7 +141,8 @@ Comm Comm::split(int color, int key) {
     auto it = world_->splits.live.find(registry_key);
     if (it == world_->splits.live.end()) {
       sub = std::make_shared<detail::World>(static_cast<int>(members.size()),
-                                            world_->fault_plan);
+                                            world_->fault_plan,
+                                            world_->metrics);
       sub->pickups_remaining = static_cast<int>(members.size());
       world_->splits.live.emplace(registry_key, sub);
     } else {
@@ -146,9 +167,10 @@ Comm Comm::split(int color, int key) {
   return Comm(std::move(sub), new_rank, global_rank_);
 }
 
-std::vector<Comm> Comm::create_world(int size, FaultPlan* faults) {
+std::vector<Comm> Comm::create_world(int size, FaultPlan* faults,
+                                     telemetry::MetricsRegistry* metrics) {
   SWHKM_REQUIRE(size >= 1, "world needs at least one rank");
-  auto world = std::make_shared<detail::World>(size, faults);
+  auto world = std::make_shared<detail::World>(size, faults, metrics);
   std::vector<Comm> comms;
   comms.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) {

@@ -11,6 +11,7 @@
 
 #include "swmpi/fault.hpp"
 #include "swmpi/mailbox.hpp"
+#include "telemetry/registry.hpp"
 #include "util/error.hpp"
 
 namespace swhkm::swmpi {
@@ -34,7 +35,8 @@ struct SplitRegistry {
 
 /// Shared state of one communicator: one mailbox per member rank.
 struct World {
-  explicit World(int size, FaultPlan* faults = nullptr);
+  explicit World(int size, FaultPlan* faults = nullptr,
+                 telemetry::MetricsRegistry* metrics_registry = nullptr);
 
   int size;
   std::vector<std::unique_ptr<Mailbox>> boxes;
@@ -43,6 +45,12 @@ struct World {
   /// Shared fault-injection schedule (not owned; null = no injection).
   /// Sub-worlds inherit the pointer so schedules reach split traffic too.
   FaultPlan* fault_plan = nullptr;
+
+  /// Wall-clock metrics sink (not owned; null = no instrumentation).
+  /// Sub-worlds inherit it, and shards are keyed by *global* rank, so a
+  /// rank's traffic lands in one shard no matter which sub-communicator
+  /// carried it.
+  telemetry::MetricsRegistry* metrics = nullptr;
 
   /// How many members still have to pick this world up out of the parent's
   /// split registry (only meaningful while registered there).
@@ -134,10 +142,18 @@ class Comm {
   /// without a plan.
   void fault_point(FaultSite site, std::uint64_t iteration);
 
+  /// This rank's metrics shard, or null when the world carries no
+  /// registry. Collectives use it for their fast-path ledgers; engines may
+  /// hang named metrics off it too.
+  telemetry::MetricsShard* metrics_shard() const { return tshard_; }
+
   /// Create the root communicator for `size` ranks; runtime.cpp hands each
   /// spawned thread its rank's handle. `faults` (not owned, may be null)
-  /// arms deterministic fault injection for the whole communicator tree.
-  static std::vector<Comm> create_world(int size, FaultPlan* faults = nullptr);
+  /// arms deterministic fault injection for the whole communicator tree;
+  /// `metrics` (not owned, may be null) arms wall-clock instrumentation.
+  static std::vector<Comm> create_world(
+      int size, FaultPlan* faults = nullptr,
+      telemetry::MetricsRegistry* metrics = nullptr);
 
   /// Poison this communicator and all its sub-communicators; any rank
   /// blocked in recv wakes up with RuntimeFault. Called by the SPMD
@@ -146,12 +162,17 @@ class Comm {
 
  private:
   Comm(std::shared_ptr<detail::World> world, int rank, int global_rank)
-      : world_(std::move(world)), rank_(rank), global_rank_(global_rank) {}
+      : world_(std::move(world)), rank_(rank), global_rank_(global_rank) {
+    if (world_ != nullptr && world_->metrics != nullptr) {
+      tshard_ = &world_->metrics->shard(global_rank_);
+    }
+  }
 
   std::shared_ptr<detail::World> world_;
   int rank_ = -1;
   int global_rank_ = -1;
   int op_seq_ = 0;
+  telemetry::MetricsShard* tshard_ = nullptr;  ///< resolved once at creation
 };
 
 }  // namespace swhkm::swmpi

@@ -9,9 +9,9 @@
 namespace swhkm::swmpi {
 
 void run_spmd(int nranks, const std::function<void(Comm&)>& body,
-              FaultPlan* faults) {
+              FaultPlan* faults, telemetry::MetricsRegistry* metrics) {
   SWHKM_REQUIRE(nranks >= 1, "need at least one rank");
-  std::vector<Comm> comms = Comm::create_world(nranks, faults);
+  std::vector<Comm> comms = Comm::create_world(nranks, faults, metrics);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
 
   auto run_rank = [&](int rank) {

@@ -20,7 +20,13 @@ namespace swhkm::swmpi {
 /// `faults` (not owned, may be null) arms deterministic fault injection:
 /// the plan's schedule is consulted by every Comm of the world tree and by
 /// the engines' fault_point calls.
+///
+/// `metrics` (not owned, may be null) arms wall-clock instrumentation of
+/// the runtime: every collective and point-to-point operation of the world
+/// tree records into the registry's per-(global-)rank shards. Null keeps
+/// the runtime on the uninstrumented fast path.
 void run_spmd(int nranks, const std::function<void(Comm&)>& body,
-              FaultPlan* faults = nullptr);
+              FaultPlan* faults = nullptr,
+              telemetry::MetricsRegistry* metrics = nullptr);
 
 }  // namespace swhkm::swmpi

@@ -1,0 +1,135 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "util/json.hpp"
+
+namespace swhkm::telemetry {
+
+namespace {
+
+constexpr int kSimPid = 0;
+constexpr int kWallPid = 1;
+
+void write_metadata(util::JsonWriter& w, int pid, int tid, const char* which,
+                    const std::string& name) {
+  w.begin_object();
+  w.kv("name", which);
+  w.kv("ph", "M");
+  w.kv("pid", pid);
+  w.kv("tid", tid);
+  w.key("args").begin_object();
+  w.kv("name", std::string_view(name));
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const simarch::Trace* sim,
+                        const SpanSink* wall,
+                        std::span<const simarch::FaultMarker> faults) {
+  std::vector<simarch::TraceEvent> sim_events;
+  if (sim != nullptr) {
+    sim_events = sim->events();
+  }
+  std::vector<WallSpan> wall_spans;
+  if (wall != nullptr) {
+    wall_spans = wall->spans();
+  }
+
+  // Earliest simulated start per iteration, to pin fault instants onto the
+  // timeline they interrupted.
+  std::map<std::uint32_t, double> iteration_start_s;
+  std::set<int> sim_tids;
+  for (const auto& e : sim_events) {
+    sim_tids.insert(static_cast<int>(e.cg));
+    auto [it, inserted] = iteration_start_s.try_emplace(e.iteration, e.start_s);
+    if (!inserted) {
+      it->second = std::min(it->second, e.start_s);
+    }
+  }
+  std::set<int> wall_tids;
+  for (const auto& s : wall_spans) {
+    wall_tids.insert(static_cast<int>(s.rank));
+  }
+
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+
+  if (!sim_events.empty() || !faults.empty()) {
+    write_metadata(w, kSimPid, 0, "process_name", "simulated machine");
+  }
+  for (int tid : sim_tids) {
+    write_metadata(w, kSimPid, tid, "thread_name",
+                   "cg " + std::to_string(tid));
+  }
+  if (!wall_spans.empty()) {
+    write_metadata(w, kWallPid, 0, "process_name", "wall clock");
+  }
+  for (int tid : wall_tids) {
+    write_metadata(w, kWallPid, tid, "thread_name",
+                   "rank " + std::to_string(tid));
+  }
+
+  for (const auto& e : sim_events) {
+    w.begin_object();
+    w.kv("name", simarch::phase_name(e.phase));
+    w.kv("cat", "sim");
+    w.kv("ph", "X");
+    w.kv("ts", e.start_s * 1e6);       // simulated seconds -> trace µs
+    w.kv("dur", e.duration_s * 1e6);
+    w.kv("pid", kSimPid);
+    w.kv("tid", static_cast<int>(e.cg));
+    w.key("args").begin_object();
+    w.kv("iteration", e.iteration);
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const auto& f : faults) {
+    const auto it = iteration_start_s.find(f.iteration);
+    const double ts_us =
+        it != iteration_start_s.end() ? it->second * 1e6 : 0.0;
+    w.begin_object();
+    w.kv("name", "fault");
+    w.kv("cat", "fault");
+    w.kv("ph", "i");
+    w.kv("s", "g");  // global scope: draw the line across all tracks
+    w.kv("ts", ts_us);
+    w.kv("pid", kSimPid);
+    w.kv("tid", 0);
+    w.key("args").begin_object();
+    w.kv("iteration", f.iteration);
+    w.kv("what", std::string_view(f.what));
+    w.kv("recover_wall_s", f.wall_s);
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const auto& s : wall_spans) {
+    w.begin_object();
+    w.kv("name", std::string_view(s.name));
+    w.kv("cat", "wall");
+    w.kv("ph", "X");
+    w.kv("ts", s.start_us);
+    w.kv("dur", s.duration_us);
+    w.kv("pid", kWallPid);
+    w.kv("tid", static_cast<int>(s.rank));
+    w.key("args").begin_object();
+    w.kv("iteration", s.iteration);
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace swhkm::telemetry

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <ostream>
+#include <span>
+
+#include "simarch/trace.hpp"
+#include "telemetry/spans.hpp"
+
+namespace swhkm::telemetry {
+
+/// Render a run's timelines as Chrome trace-event JSON (the format Perfetto
+/// and chrome://tracing load). Two processes in the output:
+///
+///   pid 0 "simulated machine" — the simarch::Trace phase intervals, one
+///     track (tid) per core group, timestamps in simulated time;
+///   pid 1 "wall clock"        — telemetry WallSpans, one track per rank,
+///     timestamps in microseconds since the Telemetry epoch.
+///
+/// FaultMarkers become global instant events ("ph":"i") on the simulated
+/// timeline, pinned to the start of the iteration they interrupted, so the
+/// recovery story lines up with the machine timeline it perturbed.
+///
+/// Any of the sources may be null/empty — the output is always a complete,
+/// loadable trace. Timestamps go through util::format_double, so long-run
+/// traces don't alias neighbouring events.
+void write_chrome_trace(std::ostream& out, const simarch::Trace* sim,
+                        const SpanSink* wall,
+                        std::span<const simarch::FaultMarker> faults = {});
+
+}  // namespace swhkm::telemetry

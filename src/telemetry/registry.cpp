@@ -1,0 +1,224 @@
+#include "telemetry/registry.hpp"
+
+#include <cmath>
+
+#include "util/json.hpp"
+
+namespace swhkm::telemetry {
+
+double histogram_bucket_bound(int b) {
+  return std::ldexp(1.0, kHistogramMinExp + b + 1);
+}
+
+void Histogram::observe(double v) {
+  int b = 0;
+  if (v > 0) {
+    int exp = 0;
+    (void)std::frexp(v, &exp);  // v = mantissa * 2^exp, mantissa in [0.5, 1)
+    // v < 2^exp <= bound(exp - 1 - kHistogramMinExp); clamp into range.
+    b = exp - 1 - kHistogramMinExp;
+    if (b < 0) {
+      b = 0;
+    } else if (b >= kHistogramBuckets) {
+      b = kHistogramBuckets - 1;
+    }
+  }
+  buckets_[static_cast<std::size_t>(b)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+const char* collective_name(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kBarrier:
+      return "barrier";
+    case CollectiveKind::kBcast:
+      return "bcast";
+    case CollectiveKind::kReduce:
+      return "reduce";
+    case CollectiveKind::kAllreduce:
+      return "allreduce";
+    case CollectiveKind::kAllgather:
+      return "allgather";
+    case CollectiveKind::kGather:
+      return "gather";
+    case CollectiveKind::kScatter:
+      return "scatter";
+    case CollectiveKind::kAlltoall:
+      return "alltoall";
+    case CollectiveKind::kSendrecv:
+      return "sendrecv";
+    case CollectiveKind::kReduceScatter:
+      return "reduce_scatter";
+    case CollectiveKind::kReduceScatterRanges:
+      return "reduce_scatter_ranges";
+    case CollectiveKind::kAllgatherv:
+      return "allgatherv";
+    case CollectiveKind::kScan:
+      return "scan";
+  }
+  return "unknown";
+}
+
+Counter& MetricsShard::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsShard::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsShard::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsShard& MetricsRegistry::shard(int rank) {
+  std::lock_guard lock(mutex_);
+  auto it = shards_.find(rank);
+  if (it == shards_.end()) {
+    it = shards_.emplace(rank, std::make_unique<MetricsShard>()).first;
+  }
+  return *it->second;
+}
+
+std::size_t MetricsRegistry::shard_count() const {
+  std::lock_guard lock(mutex_);
+  return shards_.size();
+}
+
+namespace {
+
+void merge_histogram(HistogramSnapshot& into, const Histogram& h) {
+  into.count += h.count();
+  into.sum += h.sum();
+  // Accumulate into a dense scratch keyed by bucket index via the bound:
+  // rebuild the sparse vector afterwards to keep it sorted and non-empty.
+  std::array<std::uint64_t, kHistogramBuckets> dense{};
+  for (const auto& [bound, count] : into.buckets) {
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      if (bound == histogram_bucket_bound(b)) {
+        dense[static_cast<std::size_t>(b)] = count;
+        break;
+      }
+    }
+  }
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    dense[static_cast<std::size_t>(b)] += h.bucket(b);
+  }
+  into.buckets.clear();
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    if (dense[static_cast<std::size_t>(b)] > 0) {
+      into.buckets.emplace_back(histogram_bucket_bound(b),
+                                dense[static_cast<std::size_t>(b)]);
+    }
+  }
+}
+
+void merge_gauge(GaugeSnapshot& into, const Gauge& g) {
+  into.last = g.last();
+  into.max = std::max(into.max, g.max());
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter_or_zero(std::string_view name) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+MetricsSnapshot MetricsRegistry::merged() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  // std::map iterates ranks ascending — the deterministic fold order.
+  for (const auto& [rank, shard] : shards_) {
+    (void)rank;
+    std::lock_guard shard_lock(shard->mutex_);
+    for (const auto& [name, c] : shard->counters_) {
+      snap.counters[name] += c->value();
+    }
+    for (const auto& [name, g] : shard->gauges_) {
+      merge_gauge(snap.gauges[name], *g);
+    }
+    for (const auto& [name, h] : shard->histograms_) {
+      merge_histogram(snap.histograms[name], *h);
+    }
+    for (int k = 0; k < kCollectiveKindCount; ++k) {
+      const CollectiveStats& cs =
+          shard->collectives_[static_cast<std::size_t>(k)];
+      if (cs.calls.value() == 0) {
+        continue;
+      }
+      const std::string base =
+          std::string("swmpi.") +
+          collective_name(static_cast<CollectiveKind>(k));
+      snap.counters[base + ".calls"] += cs.calls.value();
+      snap.counters[base + ".bytes"] += cs.bytes.value();
+      merge_histogram(snap.histograms[base + ".wall_s"], cs.wall_s);
+    }
+    if (shard->p2p_sends.value() > 0) {
+      snap.counters["swmpi.send.calls"] += shard->p2p_sends.value();
+      snap.counters["swmpi.send.bytes"] += shard->p2p_send_bytes.value();
+    }
+    if (shard->recv_stall_s.count() > 0) {
+      merge_histogram(snap.histograms["swmpi.recv.stall_s"],
+                      shard->recv_stall_s);
+      merge_gauge(snap.gauges["swmpi.recv.queue_depth"],
+                  shard->recv_queue_depth);
+    }
+  }
+  return snap;
+}
+
+void MetricsSnapshot::write_json(util::JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : counters) {
+    w.kv(name, v);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges) {
+    w.key(name).begin_object();
+    w.kv("last", g.last);
+    w.kv("max", g.max);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms) {
+    w.key(name).begin_object();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.key("buckets").begin_array();
+    for (const auto& [bound, count] : h.buckets) {
+      w.begin_object();
+      w.kv("le", bound);
+      w.kv("count", count);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace swhkm::telemetry

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/kmeans.hpp"
+#include "core/recovery.hpp"
+#include "simarch/trace.hpp"
+#include "telemetry/registry.hpp"
+
+namespace swhkm::telemetry {
+
+/// One run's machine-readable record: what was asked for (config + shape +
+/// topology), what happened (iteration history, convergence, faults) and
+/// what the wall-clock instrumentation saw (merged metrics snapshot). One
+/// JSON file per run, next to trace.json — together they are the full
+/// observability artifact set.
+struct RunReport {
+  std::string run_id;  ///< caller-chosen label ("smoke-level3", ...)
+
+  // Workload + configuration.
+  core::ProblemShape shape;
+  core::Level level = core::Level::kLevel3;
+  core::KmeansConfig config;       ///< pointers inside are not serialized
+  std::string machine_summary;     ///< simarch::MachineConfig::summary()
+  std::string plan_summary;        ///< core::PartitionPlan::describe()
+
+  // Outcome.
+  std::size_t iterations = 0;
+  bool converged = false;
+  std::size_t empty_clusters = 0;
+  double inertia = 0;
+  std::vector<core::IterationStats> history;
+
+  // Fault / recovery story (empty for clean runs).
+  std::vector<simarch::FaultMarker> faults;
+  bool has_recovery = false;
+  core::RecoveryReport recovery;
+
+  // Merged wall-clock metrics.
+  MetricsSnapshot metrics;
+
+  /// Convenience: fill the outcome block from a finished run.
+  void set_result(const core::KmeansResult& result);
+
+  /// Pretty-printed JSON (stable key order; doubles round-trip).
+  void write_json(std::ostream& out) const;
+};
+
+/// Cross-check the report against itself: the per-iteration simulated
+/// traffic in `history` must sum to the engine-recorded "sim.net_bytes" /
+/// "sim.dma_bytes" counters in the metrics snapshot — one number computed
+/// two independent ways (per-iteration stats on rank 0 vs the registry).
+/// Vacuously true when the snapshot has no such counters (telemetry off).
+bool reconciles(const RunReport& report);
+
+}  // namespace swhkm::telemetry

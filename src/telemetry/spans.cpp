@@ -1,0 +1,28 @@
+#include "telemetry/spans.hpp"
+
+namespace swhkm::telemetry {
+
+void SpanSink::record(std::string_view name, std::uint32_t rank,
+                      std::uint32_t iteration, double start_us,
+                      double duration_us) {
+  std::lock_guard lock(mutex_);
+  spans_.push_back(
+      WallSpan{std::string(name), rank, iteration, start_us, duration_us});
+}
+
+std::size_t SpanSink::size() const {
+  std::lock_guard lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<WallSpan> SpanSink::spans() const {
+  std::lock_guard lock(mutex_);
+  return spans_;
+}
+
+void SpanSink::clear() {
+  std::lock_guard lock(mutex_);
+  spans_.clear();
+}
+
+}  // namespace swhkm::telemetry

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swhkm::telemetry {
+
+/// One wall-clock interval on one rank — the real-time sibling of
+/// simarch::TraceEvent (which is simulated time). Timestamps are
+/// microseconds since the owning Telemetry session's epoch, which is what
+/// the Chrome trace-event exporter emits directly.
+struct WallSpan {
+  std::string name;            ///< phase label ("assign", "update", ...)
+  std::uint32_t rank = 0;      ///< engine rank / CG, or 0 for host spans
+  std::uint32_t iteration = 0; ///< global iteration (0 for non-loop spans)
+  double start_us = 0;
+  double duration_us = 0;
+};
+
+/// Thread-safe append-only span store. Engine ranks record concurrently
+/// (a handful of spans per iteration — the mutex is nowhere near any hot
+/// path); spans() copies so exporters never race recorders.
+class SpanSink {
+ public:
+  void record(std::string_view name, std::uint32_t rank,
+              std::uint32_t iteration, double start_us, double duration_us);
+
+  std::size_t size() const;
+  std::vector<WallSpan> spans() const;  ///< copy, append order
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<WallSpan> spans_;
+};
+
+}  // namespace swhkm::telemetry

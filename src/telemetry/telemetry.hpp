@@ -1,0 +1,85 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/spans.hpp"
+
+namespace swhkm::telemetry {
+
+/// What a Telemetry session records. Instrumentation is compiled in
+/// everywhere; these switches (and, above them, the null sink on
+/// KmeansConfig) decide whether a record call does anything. All
+/// instrumentation is read-only with respect to algorithm state — results
+/// are bit-identical with telemetry on or off (tested).
+struct TelemetryConfig {
+  bool wall_spans = true;  ///< per-phase wall-clock spans from the engines
+  bool swmpi = true;       ///< collective/mailbox counters in the runtime
+};
+
+/// One run's wall-clock observability session: a metrics registry, a span
+/// sink and a shared steady-clock epoch for span timestamps. Not owned by
+/// the engines — the caller creates it, threads a pointer through
+/// KmeansConfig::telemetry (null = everything no-ops), and exports
+/// artifacts from it after the run.
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config = {})
+      : config_(config), epoch_(std::chrono::steady_clock::now()) {}
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  const TelemetryConfig& config() const { return config_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  SpanSink& spans() { return spans_; }
+  const SpanSink& spans() const { return spans_; }
+
+  /// Microseconds since this session began (steady clock).
+  double now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+ private:
+  TelemetryConfig config_;
+  MetricsRegistry metrics_;
+  SpanSink spans_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII phase span: records [construction, destruction) into the session's
+/// sink. A null session (or wall_spans off) makes both ends free.
+class ScopedSpan {
+ public:
+  ScopedSpan(Telemetry* session, const char* name, std::uint32_t rank,
+             std::uint32_t iteration)
+      : session_(session != nullptr && session->config().wall_spans ? session
+                                                                    : nullptr),
+        name_(name),
+        rank_(rank),
+        iteration_(iteration),
+        start_us_(session_ != nullptr ? session_->now_us() : 0.0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (session_ != nullptr) {
+      session_->spans().record(name_, rank_, iteration_, start_us_,
+                               session_->now_us() - start_us_);
+    }
+  }
+
+ private:
+  Telemetry* session_;
+  const char* name_;
+  std::uint32_t rank_;
+  std::uint32_t iteration_;
+  double start_us_;
+};
+
+}  // namespace swhkm::telemetry

@@ -1,0 +1,164 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace swhkm::util {
+
+std::string format_double(double value) {
+  if (!std::isfinite(value)) {
+    return "null";
+  }
+  // Shortest round-trip decimal (to_chars without a precision argument):
+  // strtod(format_double(x)) == x bit for bit.
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  std::string out(buf, result.ptr);
+  // to_chars may produce "1e+05"-style output, which is valid JSON; it may
+  // also produce bare integers ("3"), also valid JSON numbers.
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::separator() {
+  if (after_key_) {
+    // Value completes a "key: " pair — no comma, no indent.
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) {
+    return;  // top-level value
+  }
+  Frame& frame = stack_.back();
+  if (!frame.first) {
+    out_ << ',';
+  }
+  frame.first = false;
+  if (indent_ > 0) {
+    out_ << '\n'
+         << std::string(stack_.size() * static_cast<std::size_t>(indent_),
+                        ' ');
+  }
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  out_ << '"' << json_escape(s) << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separator();
+  out_ << '{';
+  stack_.push_back(Frame{false, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool empty = stack_.empty() ? true : stack_.back().first;
+  stack_.pop_back();
+  if (indent_ > 0 && !empty) {
+    out_ << '\n'
+         << std::string(stack_.size() * static_cast<std::size_t>(indent_),
+                        ' ');
+  }
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separator();
+  out_ << '[';
+  stack_.push_back(Frame{true, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool empty = stack_.empty() ? true : stack_.back().first;
+  stack_.pop_back();
+  if (indent_ > 0 && !empty) {
+    out_ << '\n'
+         << std::string(stack_.size() * static_cast<std::size_t>(indent_),
+                        ' ');
+  }
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  separator();
+  write_escaped(name);
+  out_ << (indent_ > 0 ? ": " : ":");
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separator();
+  out_ << format_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separator();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separator();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separator();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separator();
+  write_escaped(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separator();
+  out_ << "null";
+  return *this;
+}
+
+}  // namespace swhkm::util

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swhkm::util {
+
+/// Round-trip formatting for doubles: the shortest decimal string that
+/// parses back to the identical bits (std::to_chars' default, i.e. the
+/// max_digits10 discipline). Every JSON/CSV emitter of measured seconds
+/// must go through this — ostream's default 6 significant digits aliases
+/// long-run timelines (two distinct iteration starts print identically).
+/// JSON has no inf/nan, so non-finite values render as "null".
+std::string format_double(double value);
+
+/// Streaming JSON writer with automatic comma/indent bookkeeping — the one
+/// emitter behind the telemetry artifacts, the bench JSON files and the
+/// JSONL log sink (which use indent 0 for one-line records). Usage:
+///
+///   util::JsonWriter w(out);
+///   w.begin_object();
+///   w.key("workload").begin_object();
+///   w.key("n").value(std::uint64_t{1024});
+///   w.end_object();
+///   w.key("series").begin_array().value(0.25).value(0.5).end_array();
+///   w.end_object();
+///
+/// Strings are escaped (quotes, backslashes, control characters); doubles
+/// go through format_double. The writer asserts nothing — it trusts the
+/// caller to balance begin/end, and flushes nothing (the stream owns
+/// buffering).
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 emits compact one-line JSON.
+  explicit JsonWriter(std::ostream& out, int indent = 2)
+      : out_(out), indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& null();
+
+  /// key + value in one call, for flat records.
+  template <typename T>
+  JsonWriter& kv(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+ private:
+  void separator();  ///< comma + newline/indent before the next element
+  void write_escaped(std::string_view s);
+
+  std::ostream& out_;
+  int indent_ = 2;
+  struct Frame {
+    bool array = false;
+    bool first = true;
+  };
+  std::vector<Frame> stack_;
+  bool after_key_ = false;
+};
+
+/// Escape `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes). Shared by JsonWriter and the log sink.
+std::string json_escape(std::string_view s);
+
+}  // namespace swhkm::util

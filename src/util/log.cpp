@@ -2,6 +2,10 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/json.hpp"
 
 namespace swhkm::util {
 
@@ -23,6 +27,22 @@ const char* tag(LogLevel level) {
   }
   return "?????";
 }
+
+const char* level_word(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -33,12 +53,61 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
-void log_line(LogLevel level, const std::string& msg) {
+bool log_json_enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("SWHKM_LOG_JSON");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+  }();
+  return enabled;
+}
+
+std::string render_log_text(LogLevel level, const LogContext& ctx,
+                            const std::string& msg) {
+  std::string line = std::string("[swhkm ") + tag(level);
+  if (ctx.component != nullptr && *ctx.component != '\0') {
+    line += ' ';
+    line += ctx.component;
+  }
+  if (ctx.rank >= 0) {
+    line += " rank=" + std::to_string(ctx.rank);
+  }
+  if (ctx.iteration >= 0) {
+    line += " iter=" + std::to_string(ctx.iteration);
+  }
+  line += "] " + msg;
+  return line;
+}
+
+std::string render_log_json(LogLevel level, const LogContext& ctx,
+                            const std::string& msg) {
+  std::string line = std::string("{\"level\":\"") + level_word(level) + '"';
+  line += ",\"component\":\"";
+  if (ctx.component != nullptr) {
+    line += json_escape(ctx.component);
+  }
+  line += '"';
+  if (ctx.rank >= 0) {
+    line += ",\"rank\":" + std::to_string(ctx.rank);
+  }
+  if (ctx.iteration >= 0) {
+    line += ",\"iteration\":" + std::to_string(ctx.iteration);
+  }
+  line += ",\"msg\":\"" + json_escape(msg) + "\"}";
+  return line;
+}
+
+void log_line(LogLevel level, const LogContext& ctx, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::string line = std::string("[swhkm ") + tag(level) + "] " + msg + "\n";
+  std::string line = log_json_enabled() ? render_log_json(level, ctx, msg)
+                                        : render_log_text(level, ctx, msg);
+  line += '\n';
   std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  log_line(level, LogContext{}, msg);
 }
 
 }  // namespace swhkm::util

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -13,16 +14,47 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one line to stderr with a level tag. Thread-safe (single write call).
+/// Structured context riding with a log record: which component spoke, and
+/// (when the message is scoped to a rank / iteration) where in the run it
+/// happened. Negative rank/iteration mean "not applicable" and are omitted
+/// from the rendered output.
+struct LogContext {
+  const char* component = "";
+  int rank = -1;
+  std::int64_t iteration = -1;
+};
+
+/// True when SWHKM_LOG_JSON is set (non-empty, not "0") in the
+/// environment: log records are emitted as one-line JSON (JSONL) instead
+/// of the human text format. Read once, at first use.
+bool log_json_enabled();
+
+/// Render a record as the human text line (no trailing newline):
+/// `[swhkm WARN  level1 rank=0 iter=3] msg`. Exposed for tests.
+std::string render_log_text(LogLevel level, const LogContext& ctx,
+                            const std::string& msg);
+
+/// Render a record as one JSONL line (no trailing newline):
+/// `{"level":"warn","component":"level1","rank":0,"iteration":3,"msg":...}`.
+/// Exposed for tests.
+std::string render_log_json(LogLevel level, const LogContext& ctx,
+                            const std::string& msg);
+
+/// Emit one record to stderr — text or JSONL per SWHKM_LOG_JSON.
+/// Thread-safe (single write call).
+void log_line(LogLevel level, const LogContext& ctx, const std::string& msg);
+
+/// Context-free overload (legacy call sites).
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {
 class LineBuilder {
  public:
   explicit LineBuilder(LogLevel level) : level_(level) {}
+  LineBuilder(LogLevel level, LogContext ctx) : level_(level), ctx_(ctx) {}
   LineBuilder(const LineBuilder&) = delete;
   LineBuilder& operator=(const LineBuilder&) = delete;
-  ~LineBuilder() { log_line(level_, stream_.str()); }
+  ~LineBuilder() { log_line(level_, ctx_, stream_.str()); }
 
   template <typename T>
   LineBuilder& operator<<(const T& value) {
@@ -32,6 +64,7 @@ class LineBuilder {
 
  private:
   LogLevel level_;
+  LogContext ctx_;
   std::ostringstream stream_;
 };
 }  // namespace detail
@@ -44,7 +77,23 @@ class LineBuilder {
   } else                                                      \
     ::swhkm::util::detail::LineBuilder(level)
 
+/// Structured variant: SWHKM_LOG_AT(level, "level1", rank, iter) << "...";
+/// pass -1 for a rank/iteration that does not apply.
+#define SWHKM_LOG_AT(level, component, rank, iteration)       \
+  if (static_cast<int>(level) <                               \
+      static_cast<int>(::swhkm::util::log_level())) {         \
+  } else                                                      \
+    ::swhkm::util::detail::LineBuilder(                       \
+        level, ::swhkm::util::LogContext{                     \
+                   component, static_cast<int>(rank),         \
+                   static_cast<std::int64_t>(iteration)})
+
 #define SWHKM_DEBUG SWHKM_LOG(::swhkm::util::LogLevel::kDebug)
 #define SWHKM_INFO SWHKM_LOG(::swhkm::util::LogLevel::kInfo)
 #define SWHKM_WARN SWHKM_LOG(::swhkm::util::LogLevel::kWarn)
 #define SWHKM_ERROR SWHKM_LOG(::swhkm::util::LogLevel::kError)
+
+#define SWHKM_INFO_AT(component, rank, iteration) \
+  SWHKM_LOG_AT(::swhkm::util::LogLevel::kInfo, component, rank, iteration)
+#define SWHKM_WARN_AT(component, rank, iteration) \
+  SWHKM_LOG_AT(::swhkm::util::LogLevel::kWarn, component, rank, iteration)

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
 
 #include "core/hkmeans.hpp"
 #include "simarch/trace.hpp"
@@ -54,7 +56,47 @@ TEST(Trace, ImbalanceOfUnevenRanks) {
   trace.record_iteration(0, 0, 0.0, fast);
   trace.record_iteration(1, 0, 0.0, slow);
   EXPECT_DOUBLE_EQ(trace.imbalance(0), 1.5);  // 3 / mean(2)
-  EXPECT_DOUBLE_EQ(trace.imbalance(9), 0.0);  // unknown iteration
+  // Both degenerate cases return the "no imbalance observed" identity.
+  EXPECT_DOUBLE_EQ(trace.imbalance(9), 1.0);  // unknown iteration
+}
+
+TEST(Trace, ImbalanceOfZeroDurationIterationIsIdentity) {
+  Trace trace;
+  // An all-zero tally records no events (zero-duration phases are
+  // skipped), so the iteration is unknown to the trace — same 1.0
+  // sentinel as a known iteration whose mean duration is zero.
+  trace.record_iteration(0, 0, 0.0, CostTally{});
+  EXPECT_EQ(trace.event_count(), 0u);
+  EXPECT_DOUBLE_EQ(trace.imbalance(0), 1.0);
+}
+
+TEST(Trace, CsvRoundTripsFullPrecision) {
+  Trace trace;
+  CostTally t;
+  // A start/duration pair that 6-significant-digit formatting would alias.
+  t.compute_s = 1.0000001234567;
+  trace.record_iteration(0, 0, 1234.5678901234567, t);
+  const std::string csv = trace.to_csv();
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 1u);
+  // The printed fields must parse back to the identical bits.
+  const std::size_t header_end = csv.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  const std::string row = csv.substr(header_end + 1);
+  std::vector<std::string> fields;
+  std::size_t at = 0;
+  while (true) {
+    const std::size_t comma = row.find(',', at);
+    if (comma == std::string::npos) {
+      fields.push_back(row.substr(at, row.find('\n', at) - at));
+      break;
+    }
+    fields.push_back(row.substr(at, comma - at));
+    at = comma + 1;
+  }
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(std::stod(fields[3]), events[0].start_s);
+  EXPECT_EQ(std::stod(fields[4]), events[0].duration_s);
 }
 
 TEST(Trace, CsvHasHeaderAndRows) {
