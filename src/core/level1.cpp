@@ -67,6 +67,9 @@ KmeansResult run_level1(const data::Dataset& dataset,
     telemetry::Histogram* const survivor_hist =
         tshard != nullptr ? &tshard->histogram("engine.gate.survivor_tile")
                           : nullptr;
+    telemetry::Histogram* const overlap_hist =
+        tshard != nullptr ? &tshard->histogram("engine.pipeline.overlap_s")
+                          : nullptr;
     telemetry::Counter* const sim_net =
         tshard != nullptr && cg == 0 ? &tshard->counter("sim.net_bytes")
                                      : nullptr;
@@ -76,23 +79,41 @@ KmeansResult run_level1(const data::Dataset& dataset,
     const bool spans_on = tel != nullptr && tel->config().wall_spans;
     double rank_clock = 0;
     detail::UpdateAccumulator acc(k, d);
-    std::vector<detail::TileScore2> tile(tile_samples);
     const std::size_t accum_bytes = (k * d + k) * eb;
+    const bool gate = config.gate_assign;
+    const bool pipeline = config.pipeline_tiles;
+
+    // Double-buffered tile slots: the pipelined loop stages tile t+1
+    // (gate + score into the spare buffer, modelling the next tile's DMA
+    // landing under this sweep) before retiring tile t's merge. Retire
+    // order stays ascending within each CPE's block, so the accumulator's
+    // summation order — and the centroid bits — cannot move.
+    struct TileSlot {
+      std::size_t t0 = 0;
+      std::size_t t1 = 0;
+      bool valid = false;
+      std::vector<std::uint32_t> ids;
+      std::vector<detail::TileScore2> scores;
+    };
+    TileSlot slots[2];
+    for (TileSlot& s : slots) {
+      s.scores.resize(tile_samples);
+      if (gate) {
+        s.ids.reserve(tile_samples);
+      }
+    }
 
     // Bound-gated assign state (per rank; only this rank's sample block is
     // ever touched): Hamerly upper/lower bounds per sample, the published
     // per-centroid drift, and the per-tile compaction scratch.
-    const bool gate = config.gate_assign;
     std::vector<double> upper;
     std::vector<double> lower;
     std::vector<double> drift;
     std::vector<double> safe;
-    std::vector<std::uint32_t> ids;
     if (gate) {
       upper.assign(dataset.n(), 0.0);
       lower.assign(dataset.n(), 0.0);
       drift.assign(k, 0.0);
-      ids.reserve(tile_samples);
     }
     std::uint64_t distance_comps = 0;
     std::uint64_t lloyd_equivalent = 0;
@@ -135,14 +156,44 @@ KmeansResult run_level1(const data::Dataset& dataset,
             detail::block_range(dataset.n(), total_cpes, cg * cpes + cpe);
         std::uint64_t cpe_unresolved = 0;
         std::uint64_t cpe_tightened = 0;
-        for (std::size_t t0 = begin; t0 < end; t0 += tile_samples) {
-          const std::size_t t1 = std::min(end, t0 + tile_samples);
+
+        // Stage tile [t0, t1): gate + score it into the slot's buffers.
+        auto stage = [&](TileSlot& s, std::size_t t0, std::size_t t1) {
+          s.t0 = t0;
+          s.t1 = t1;
+          s.valid = true;
           if (!gating) {
-            const std::span<detail::TileScore2> scores(tile.data(), t1 - t0);
+            const std::span<detail::TileScore2> scores(s.scores.data(),
+                                                       t1 - t0);
             detail::clear_scores(scores);
             detail::score_tile(dataset, t0, t1, centroids, 0, k, scores);
-            for (std::size_t i = t0; i < t1; ++i) {
-              const detail::TileScore2& rec = scores[i - t0];
+            return;
+          }
+          s.ids.clear();
+          cpe_tightened += detail::gate_tile(
+              dataset, centroids, t0, t1, result.assignments, drift, digest,
+              safe, upper, lower, /*tighten=*/true, s.ids);
+          if (survivor_hist != nullptr) {
+            survivor_hist->observe(static_cast<double>(s.ids.size()));
+          }
+          if (!s.ids.empty()) {
+            const std::span<detail::TileScore2> scores(s.scores.data(),
+                                                       s.ids.size());
+            detail::clear_scores(scores);
+            detail::score_tile_ids(
+                dataset,
+                std::span<const std::uint32_t>(s.ids.data(), s.ids.size()),
+                centroids, 0, k, scores);
+          }
+        };
+
+        // Retire tile [s.t0, s.t1): merge in ascending-i order.
+        auto retire = [&](TileSlot& s) {
+          if (!gating) {
+            const std::span<const detail::TileScore2> scores(s.scores.data(),
+                                                             s.t1 - s.t0);
+            for (std::size_t i = s.t0; i < s.t1; ++i) {
+              const detail::TileScore2& rec = scores[i - s.t0];
               const auto j = static_cast<std::uint32_t>(rec.index);
               result.assignments[i] = j;
               if (gate) {
@@ -150,29 +201,16 @@ KmeansResult run_level1(const data::Dataset& dataset,
               }
               acc.add_sample(j, dataset.sample(i));
             }
-            cpe_unresolved += t1 - t0;
-            continue;
+            cpe_unresolved += s.t1 - s.t0;
+            s.valid = false;
+            return;
           }
-          ids.clear();
-          cpe_tightened += detail::gate_tile(
-              dataset, centroids, t0, t1, result.assignments, drift, digest,
-              safe, upper, lower, /*tighten=*/true, ids);
-          if (survivor_hist != nullptr) {
-            survivor_hist->observe(static_cast<double>(ids.size()));
-          }
-          const std::span<detail::TileScore2> scores(tile.data(),
-                                                     ids.size());
-          if (!ids.empty()) {
-            detail::clear_scores(scores);
-            detail::score_tile_ids(
-                dataset,
-                std::span<const std::uint32_t>(ids.data(), ids.size()),
-                centroids, 0, k, scores);
-          }
+          const std::span<const detail::TileScore2> scores(s.scores.data(),
+                                                           s.ids.size());
           std::size_t pos = 0;
-          for (std::size_t i = t0; i < t1; ++i) {
+          for (std::size_t i = s.t0; i < s.t1; ++i) {
             std::uint32_t j;
-            if (pos < ids.size() && ids[pos] == i) {
+            if (pos < s.ids.size() && s.ids[pos] == i) {
               const detail::TileScore2& rec = scores[pos];
               j = static_cast<std::uint32_t>(rec.index);
               result.assignments[i] = j;
@@ -183,7 +221,26 @@ KmeansResult run_level1(const data::Dataset& dataset,
             }
             acc.add_sample(j, dataset.sample(i));
           }
-          cpe_unresolved += ids.size();
+          cpe_unresolved += s.ids.size();
+          s.valid = false;
+        };
+
+        int cur = 0;
+        for (std::size_t t0 = begin; t0 < end; t0 += tile_samples) {
+          const std::size_t t1 = std::min(end, t0 + tile_samples);
+          stage(slots[cur], t0, t1);
+          if (!pipeline) {
+            retire(slots[cur]);
+            continue;
+          }
+          TileSlot& prev = slots[cur ^ 1];
+          if (prev.valid) {
+            retire(prev);
+          }
+          cur ^= 1;
+        }
+        if (pipeline && slots[cur ^ 1].valid) {
+          retire(slots[cur ^ 1]);
         }
         const std::uint64_t count = end - begin;
         sample_bytes += count * d * eb;
@@ -211,14 +268,40 @@ KmeansResult run_level1(const data::Dataset& dataset,
       // fully-gated CPE just accumulates from stored assignments. Every
       // sample still streams once — the accumulator needs it regardless.
       const std::size_t loading_cpes = gating ? cpes_with_sweep : cpes;
-      tally.centroid_stream_s +=
+      const double centroid_dma_s =
           static_cast<double>(loading_cpes * k * d * eb) /
           machine.dma_bandwidth;
+      tally.centroid_stream_s += centroid_dma_s;
       tally.dma_bytes += loading_cpes * k * d * eb;
+      const double sample_read_before = tally.sample_read_s;
       detail::charge_sample_stream(tally, machine, sample_bytes,
                                    max_cpe_samples);
-      tally.compute_s += static_cast<double>(max_cpe_work) *
-                         machine.assign_row_seconds(d);
+      const double sample_dma_s = tally.sample_read_s - sample_read_before;
+      const double sweep_compute_s = static_cast<double>(max_cpe_work) *
+                                     machine.assign_row_seconds(d);
+      tally.compute_s += sweep_compute_s;
+
+      // Tile pipeline overlap: the double buffer lets tile t+1's sample and
+      // centroid DMA land under tile t's distance sweep, hiding up to a
+      // (T-1)/T share of the sweep. Hidden seconds come proportionally out
+      // of the two DMA phases and move into overlapped_dma_s, so total_s()
+      // shrinks by exactly what the pipeline bought.
+      const double tile_dma_s = sample_dma_s + centroid_dma_s;
+      if (pipeline && max_cpe_samples > tile_samples && tile_dma_s > 0) {
+        const std::size_t ntiles =
+            (max_cpe_samples + tile_samples - 1) / tile_samples;
+        const double window = sweep_compute_s *
+                              static_cast<double>(ntiles - 1) /
+                              static_cast<double>(ntiles);
+        const double hidden = std::min(tile_dma_s, window);
+        const double f = hidden / tile_dma_s;
+        tally.sample_read_s -= f * sample_dma_s;
+        tally.centroid_stream_s -= f * centroid_dma_s;
+        tally.overlapped_dma_s += hidden;
+        if (overlap_hist != nullptr) {
+          overlap_hist->observe(hidden);
+        }
+      }
       tally.flops += (rank_unresolved * k + rank_tightened) * 2 * d;
       if (gating) {
         // Safe radii: k(k-1)/2 centroid-pair rows from the shared

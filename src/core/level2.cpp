@@ -70,6 +70,9 @@ KmeansResult run_level2(const data::Dataset& dataset,
     telemetry::Histogram* const survivor_hist =
         tshard != nullptr ? &tshard->histogram("engine.gate.survivor_tile")
                           : nullptr;
+    telemetry::Histogram* const overlap_hist =
+        tshard != nullptr ? &tshard->histogram("engine.pipeline.overlap_s")
+                          : nullptr;
     telemetry::Counter* const sim_net =
         tshard != nullptr && cg == 0 ? &tshard->counter("sim.net_bytes")
                                      : nullptr;
@@ -79,22 +82,38 @@ KmeansResult run_level2(const data::Dataset& dataset,
     const bool spans_on = tel != nullptr && tel->config().wall_spans;
     double rank_clock = 0;
     detail::UpdateAccumulator acc(k, d);
-    std::vector<detail::TileScore2> tile(tile_samples);
     const std::size_t accum_bytes = (k * d + k) * eb;
+    const bool gate = config.gate_assign;
+    const bool pipeline = config.pipeline_tiles;
+
+    // Double-buffered tile slots (see level1.cpp): tile t+1 stages into
+    // the spare buffer before tile t's merge retires; ascending retire
+    // order keeps the accumulator's summation order and the centroid bits.
+    struct TileSlot {
+      std::size_t t0 = 0;
+      std::size_t t1 = 0;
+      bool valid = false;
+      std::vector<std::uint32_t> ids;
+      std::vector<detail::TileScore2> scores;
+    };
+    TileSlot slots[2];
+    for (TileSlot& s : slots) {
+      s.scores.resize(tile_samples);
+      if (gate) {
+        s.ids.reserve(tile_samples);
+      }
+    }
 
     // Bound-gated assign state (per rank; only this rank's flow units'
     // blocks are ever touched) — see level1.cpp.
-    const bool gate = config.gate_assign;
     std::vector<double> upper;
     std::vector<double> lower;
     std::vector<double> drift;
     std::vector<double> safe;
-    std::vector<std::uint32_t> ids;
     if (gate) {
       upper.assign(dataset.n(), 0.0);
       lower.assign(dataset.n(), 0.0);
       drift.assign(k, 0.0);
-      ids.reserve(tile_samples);
     }
     std::uint64_t distance_comps = 0;
     std::uint64_t lloyd_equivalent = 0;
@@ -141,14 +160,47 @@ KmeansResult run_level2(const data::Dataset& dataset,
             detail::block_range(dataset.n(), flow_units, flow_unit);
         std::uint64_t group_unresolved = 0;
         std::uint64_t group_tightened = 0;
-        for (std::size_t t0 = begin; t0 < end; t0 += tile_samples) {
-          const std::size_t t1 = std::min(end, t0 + tile_samples);
+
+        // Stage tile [t0, t1): gate + score it into the slot's buffers.
+        auto stage = [&](TileSlot& s, std::size_t t0, std::size_t t1) {
+          s.t0 = t0;
+          s.t1 = t1;
+          s.valid = true;
           if (!gating) {
-            const std::span<detail::TileScore2> scores(tile.data(), t1 - t0);
+            const std::span<detail::TileScore2> scores(s.scores.data(),
+                                                       t1 - t0);
             detail::clear_scores(scores);
             detail::score_tile(dataset, t0, t1, centroids, 0, k, scores);
-            for (std::size_t i = t0; i < t1; ++i) {
-              const detail::TileScore2& rec = scores[i - t0];
+            return;
+          }
+          s.ids.clear();
+          // Tightening is local here: the sample is already replicated to
+          // the group and the assigned centroid's full row lives in one
+          // member's slice; the verdict rides the register bus.
+          group_tightened += detail::gate_tile(
+              dataset, centroids, t0, t1, result.assignments, drift, digest,
+              safe, upper, lower, /*tighten=*/true, s.ids);
+          if (survivor_hist != nullptr) {
+            survivor_hist->observe(static_cast<double>(s.ids.size()));
+          }
+          if (!s.ids.empty()) {
+            const std::span<detail::TileScore2> scores(s.scores.data(),
+                                                       s.ids.size());
+            detail::clear_scores(scores);
+            detail::score_tile_ids(
+                dataset,
+                std::span<const std::uint32_t>(s.ids.data(), s.ids.size()),
+                centroids, 0, k, scores);
+          }
+        };
+
+        // Retire tile [s.t0, s.t1): merge in ascending-i order.
+        auto retire = [&](TileSlot& s) {
+          if (!gating) {
+            const std::span<const detail::TileScore2> scores(s.scores.data(),
+                                                             s.t1 - s.t0);
+            for (std::size_t i = s.t0; i < s.t1; ++i) {
+              const detail::TileScore2& rec = scores[i - s.t0];
               const auto best_j = static_cast<std::uint32_t>(rec.index);
               result.assignments[i] = best_j;
               if (gate) {
@@ -156,32 +208,16 @@ KmeansResult run_level2(const data::Dataset& dataset,
               }
               acc.add_sample(best_j, dataset.sample(i));
             }
-            group_unresolved += t1 - t0;
-            continue;
+            group_unresolved += s.t1 - s.t0;
+            s.valid = false;
+            return;
           }
-          ids.clear();
-          // Tightening is local here: the sample is already replicated to
-          // the group and the assigned centroid's full row lives in one
-          // member's slice; the verdict rides the register bus.
-          group_tightened += detail::gate_tile(
-              dataset, centroids, t0, t1, result.assignments, drift, digest,
-              safe, upper, lower, /*tighten=*/true, ids);
-          if (survivor_hist != nullptr) {
-            survivor_hist->observe(static_cast<double>(ids.size()));
-          }
-          const std::span<detail::TileScore2> scores(tile.data(),
-                                                     ids.size());
-          if (!ids.empty()) {
-            detail::clear_scores(scores);
-            detail::score_tile_ids(
-                dataset,
-                std::span<const std::uint32_t>(ids.data(), ids.size()),
-                centroids, 0, k, scores);
-          }
+          const std::span<const detail::TileScore2> scores(s.scores.data(),
+                                                           s.ids.size());
           std::size_t pos = 0;
-          for (std::size_t i = t0; i < t1; ++i) {
+          for (std::size_t i = s.t0; i < s.t1; ++i) {
             std::uint32_t best_j;
-            if (pos < ids.size() && ids[pos] == i) {
+            if (pos < s.ids.size() && s.ids[pos] == i) {
               const detail::TileScore2& rec = scores[pos];
               best_j = static_cast<std::uint32_t>(rec.index);
               result.assignments[i] = best_j;
@@ -192,7 +228,26 @@ KmeansResult run_level2(const data::Dataset& dataset,
             }
             acc.add_sample(best_j, dataset.sample(i));
           }
-          group_unresolved += ids.size();
+          group_unresolved += s.ids.size();
+          s.valid = false;
+        };
+
+        int cur = 0;
+        for (std::size_t t0 = begin; t0 < end; t0 += tile_samples) {
+          const std::size_t t1 = std::min(end, t0 + tile_samples);
+          stage(slots[cur], t0, t1);
+          if (!pipeline) {
+            retire(slots[cur]);
+            continue;
+          }
+          TileSlot& prev = slots[cur ^ 1];
+          if (prev.valid) {
+            retire(prev);
+          }
+          cur ^= 1;
+        }
+        if (pipeline && slots[cur ^ 1].valid) {
+          retire(slots[cur ^ 1]);
         }
         const std::uint64_t count = end - begin;
         // Unresolved samples pay the replicated read (every member CPE of
@@ -219,15 +274,42 @@ KmeansResult run_level2(const data::Dataset& dataset,
         swept_ctr->add(rank_unresolved);
         pruned_ctr->add(rank_samples - rank_unresolved);
       }
+      const double sample_read_before = tally.sample_read_s;
       detail::charge_sample_stream(tally, machine, sample_bytes,
                                    max_group_samples);
+      const double sample_dma_s = tally.sample_read_s - sample_read_before;
+      const double centroid_stream_before = tally.centroid_stream_s;
       if (!gating || max_group_unresolved > 0) {
         detail::charge_centroid_traffic(tally, machine, plan,
                                         max_group_unresolved);
       }
-      tally.compute_s += static_cast<double>(max_group_unresolved * k_local +
-                                             max_group_tightened) *
-                         machine.assign_row_seconds(d);
+      const double centroid_dma_s =
+          tally.centroid_stream_s - centroid_stream_before;
+      const double sweep_compute_s =
+          static_cast<double>(max_group_unresolved * k_local +
+                              max_group_tightened) *
+          machine.assign_row_seconds(d);
+      tally.compute_s += sweep_compute_s;
+
+      // Tile pipeline overlap (see level1.cpp): tile t+1's replicated
+      // sample read and centroid re-stream land under tile t's slice
+      // sweep; hidden seconds move into overlapped_dma_s.
+      const double tile_dma_s = sample_dma_s + centroid_dma_s;
+      if (pipeline && max_group_samples > tile_samples && tile_dma_s > 0) {
+        const std::size_t ntiles =
+            (max_group_samples + tile_samples - 1) / tile_samples;
+        const double window = sweep_compute_s *
+                              static_cast<double>(ntiles - 1) /
+                              static_cast<double>(ntiles);
+        const double hidden = std::min(tile_dma_s, window);
+        const double f = hidden / tile_dma_s;
+        tally.sample_read_s -= f * sample_dma_s;
+        tally.centroid_stream_s -= f * centroid_dma_s;
+        tally.overlapped_dma_s += hidden;
+        if (overlap_hist != nullptr) {
+          overlap_hist->observe(hidden);
+        }
+      }
       tally.flops += (rank_unresolved * k + rank_tightened) * 2 * d;
       if (gating) {
         // Safe radii: k(k-1)/2 centroid-pair rows from the shared

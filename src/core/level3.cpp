@@ -71,6 +71,9 @@ KmeansResult run_level3(const data::Dataset& dataset,
     telemetry::Histogram* const survivor_hist =
         tshard != nullptr ? &tshard->histogram("engine.gate.survivor_tile")
                           : nullptr;
+    telemetry::Histogram* const overlap_hist =
+        tshard != nullptr ? &tshard->histogram("engine.pipeline.overlap_s")
+                          : nullptr;
     telemetry::Counter* const sim_net =
         tshard != nullptr && cg == 0 ? &tshard->counter("sim.net_bytes")
                                      : nullptr;
@@ -100,8 +103,31 @@ KmeansResult run_level3(const data::Dataset& dataset,
     // with it the centroid bits.
     detail::UpdateAccumulator acc(k, d);
     const bool gate = config.gate_assign;
-    std::vector<swmpi::MinLoc> tile(gate ? 0 : tile_samples);
-    std::vector<swmpi::MinLoc2> tile2(gate ? tile_samples : 0);
+    // Double-buffered tile slots: the pipelined loop stages tile t+1
+    // (gate + score + split-combine start) while tile t's combine drains.
+    // Two slots is exactly the depth the overlap needs; the retire order
+    // stays ascending, so the accumulator's summation order — and with it
+    // the centroid bits — cannot move.
+    struct TileSlot {
+      std::size_t t0 = 0;
+      std::size_t t1 = 0;
+      bool valid = false;
+      std::vector<std::uint32_t> ids;
+      std::vector<swmpi::MinLoc> scores1;
+      std::vector<swmpi::MinLoc2> scores2;
+      swmpi::SplitAllreduce<swmpi::MinLoc, swmpi::ops::Min> combine1;
+      swmpi::SplitAllreduce<swmpi::MinLoc2, swmpi::CombineMinLoc2> combine2;
+    };
+    TileSlot slots[2];
+    for (TileSlot& s : slots) {
+      if (gate) {
+        s.scores2.resize(tile_samples);
+        s.ids.reserve(tile_samples);
+      } else {
+        s.scores1.resize(tile_samples);
+      }
+    }
+    const bool pipeline = config.pipeline_tiles;
 
     // Bound-gated assign state. Every rank of the group keeps a *private*
     // replica of the bounds and assignments for the group's samples: the
@@ -114,13 +140,11 @@ KmeansResult run_level3(const data::Dataset& dataset,
     std::vector<double> drift;
     std::vector<double> safe;
     std::vector<std::uint32_t> local_assign;
-    std::vector<std::uint32_t> ids;
     if (gate) {
       upper.assign(dataset.n(), 0.0);
       lower.assign(dataset.n(), 0.0);
       drift.assign(k, 0.0);
       local_assign.assign(dataset.n(), 0);
-      ids.reserve(tile_samples);
     }
     std::uint64_t distance_comps = 0;
     std::uint64_t lloyd_equivalent = 0;
@@ -158,33 +182,30 @@ KmeansResult run_level3(const data::Dataset& dataset,
       // summation order of the ungated sweep.
       std::uint64_t unresolved = 0;
       std::uint64_t owned_resolved = 0;
-      for (std::size_t t0 = begin; t0 < end; t0 += tile_samples) {
-        const std::size_t t1 = std::min(end, t0 + tile_samples);
+      double drain_first_us = -1.0;
+      double drain_wall_us = 0.0;
+
+      // Stage tile [t0, t1): gate + score it into the slot, then *start*
+      // the argmin combine (the binomial up-phase send posts without
+      // waiting) so the drain can overlap the next tile's sweep.
+      auto stage = [&](TileSlot& s, std::size_t t0, std::size_t t1) {
+        s.t0 = t0;
+        s.t1 = t1;
+        s.valid = true;
         if (!gate) {
-          const std::span<swmpi::MinLoc> scores(tile.data(), t1 - t0);
+          const std::span<swmpi::MinLoc> scores(s.scores1.data(), t1 - t0);
           detail::clear_scores(scores);
           if (j_begin < j_end) {
             detail::score_tile(dataset, t0, t1, centroids, j_begin, j_end,
                                scores);
           }
-          swmpi::allreduce_minloc(group_comm, scores);
-          for (std::size_t i = t0; i < t1; ++i) {
-            const auto winner =
-                static_cast<std::uint32_t>(scores[i - t0].index);
-            if (winner >= j_begin && winner < j_end) {
-              acc.add_sample(winner, dataset.sample(i));
-            }
-            if (within == 0) {
-              result.assignments[i] = winner;
-            }
-          }
-          unresolved += t1 - t0;
-          continue;
+          s.combine1.start(group_comm, scores, swmpi::ops::Min{});
+          return;
         }
-        ids.clear();
+        s.ids.clear();
         if (!gating) {
           for (std::size_t i = t0; i < t1; ++i) {
-            ids.push_back(static_cast<std::uint32_t>(i));
+            s.ids.push_back(static_cast<std::uint32_t>(i));
           }
         } else {
           // No tightening at this level: the assigned centroid's row is
@@ -193,26 +214,71 @@ KmeansResult run_level3(const data::Dataset& dataset,
           // exists to skip. Bounds + safe radii only.
           detail::gate_tile(dataset, centroids, t0, t1, local_assign, drift,
                             digest, safe, upper, lower, /*tighten=*/false,
-                            ids);
+                            s.ids);
         }
         if (survivor_hist != nullptr && gating) {
-          survivor_hist->observe(static_cast<double>(ids.size()));
+          survivor_hist->observe(static_cast<double>(s.ids.size()));
         }
-        const std::span<swmpi::MinLoc2> scores(tile2.data(), ids.size());
-        if (!ids.empty()) {
+        if (!s.ids.empty()) {
+          const std::span<swmpi::MinLoc2> scores(s.scores2.data(),
+                                                 s.ids.size());
           detail::clear_scores(scores);
           if (j_begin < j_end) {
             detail::score_tile_ids(
                 dataset,
-                std::span<const std::uint32_t>(ids.data(), ids.size()),
+                std::span<const std::uint32_t>(s.ids.data(), s.ids.size()),
                 centroids, j_begin, j_end, scores);
           }
-          swmpi::allreduce_minloc2(group_comm, scores);
+          s.combine2.start(group_comm, scores, swmpi::CombineMinLoc2{});
         }
+      };
+
+      // Retire tile [s.t0, s.t1): drain its combine, then merge the
+      // resolved winners in ascending-i order (the bit-identity invariant).
+      auto retire = [&](TileSlot& s) {
+        if (!gate) {
+          if (s.combine1.active()) {
+            const double t_us = spans_on ? tel->now_us() : 0.0;
+            s.combine1.finish();
+            if (spans_on) {
+              if (drain_first_us < 0) {
+                drain_first_us = t_us;
+              }
+              drain_wall_us += tel->now_us() - t_us;
+            }
+          }
+          const std::span<const swmpi::MinLoc> scores(s.scores1.data(),
+                                                      s.t1 - s.t0);
+          for (std::size_t i = s.t0; i < s.t1; ++i) {
+            const auto winner =
+                static_cast<std::uint32_t>(scores[i - s.t0].index);
+            if (winner >= j_begin && winner < j_end) {
+              acc.add_sample(winner, dataset.sample(i));
+            }
+            if (within == 0) {
+              result.assignments[i] = winner;
+            }
+          }
+          unresolved += s.t1 - s.t0;
+          s.valid = false;
+          return;
+        }
+        if (s.combine2.active()) {
+          const double t_us = spans_on ? tel->now_us() : 0.0;
+          s.combine2.finish();
+          if (spans_on) {
+            if (drain_first_us < 0) {
+              drain_first_us = t_us;
+            }
+            drain_wall_us += tel->now_us() - t_us;
+          }
+        }
+        const std::span<const swmpi::MinLoc2> scores(s.scores2.data(),
+                                                     s.ids.size());
         std::size_t pos = 0;
-        for (std::size_t i = t0; i < t1; ++i) {
+        for (std::size_t i = s.t0; i < s.t1; ++i) {
           std::uint32_t winner;
-          if (pos < ids.size() && ids[pos] == i) {
+          if (pos < s.ids.size() && s.ids[pos] == i) {
             const swmpi::MinLoc2& rec = scores[pos];
             winner = static_cast<std::uint32_t>(rec.index);
             local_assign[i] = winner;
@@ -231,7 +297,34 @@ KmeansResult run_level3(const data::Dataset& dataset,
             acc.add_sample(winner, dataset.sample(i));
           }
         }
-        unresolved += ids.size();
+        unresolved += s.ids.size();
+        s.valid = false;
+      };
+
+      int cur = 0;
+      for (std::size_t t0 = begin; t0 < end; t0 += tile_samples) {
+        const std::size_t t1 = std::min(end, t0 + tile_samples);
+        stage(slots[cur], t0, t1);
+        if (!pipeline) {
+          retire(slots[cur]);
+          continue;
+        }
+        // Tile t-1 retires only after tile t is staged: its combine kept
+        // draining under this tile's gate + sweep, and this tile's combine
+        // is already in flight before we block.
+        TileSlot& prev = slots[cur ^ 1];
+        if (prev.valid) {
+          retire(prev);
+        }
+        cur ^= 1;
+      }
+      if (pipeline && slots[cur ^ 1].valid) {
+        retire(slots[cur ^ 1]);
+      }
+      if (spans_on && drain_first_us >= 0 && p > 1) {
+        tel->spans().record("combine_drain", static_cast<std::uint32_t>(cg),
+                            static_cast<std::uint32_t>(global_iter),
+                            drain_first_us, drain_wall_us);
       }
       if (spans_on) {
         tel->spans().record("assign", static_cast<std::uint32_t>(cg),
@@ -250,12 +343,16 @@ KmeansResult run_level3(const data::Dataset& dataset,
                                           : count;
       detail::charge_sample_stream(tally, machine, streamed * d * eb,
                                    streamed);
+      const double centroid_stream_before = tally.centroid_stream_s;
       if (!gate || unresolved > 0) {
         detail::charge_centroid_traffic(tally, machine, plan, unresolved);
       }
-      tally.compute_s += static_cast<double>(unresolved) *
-                         static_cast<double>(k_local) *
-                         machine.assign_row_seconds(d_local);
+      const double tile_dma_s =
+          tally.centroid_stream_s - centroid_stream_before;
+      const double sweep_compute_s = static_cast<double>(unresolved) *
+                                     static_cast<double>(k_local) *
+                                     machine.assign_row_seconds(d_local);
+      tally.compute_s += sweep_compute_s;
       tally.flops += unresolved * 2 * (j_end - j_begin) * d;
       if (gating) {
         // Safe radii: k(k-1)/2 centroid-pair rows from the shared
@@ -276,11 +373,36 @@ KmeansResult run_level3(const data::Dataset& dataset,
       // per-sample network argmin across the CG group — both compacted to
       // the unresolved samples.
       reg.account_allreduce(k_local * eb, cpes, unresolved);
-      tally.net_comm_s += static_cast<double>(unresolved) *
-                          (gate ? group_combine_time2 : group_combine_time);
+      const double tile_net_s =
+          static_cast<double>(unresolved) *
+          (gate ? group_combine_time2 : group_combine_time);
+      tally.net_comm_s += tile_net_s;
       tally.net_bytes +=
           unresolved * (gate ? sizeof(swmpi::MinLoc2) : sizeof(swmpi::MinLoc)) *
           (p - 1);
+
+      // Tile pipeline overlap: all but the first tile's combine drain (and
+      // centroid reload) issue under another tile's distance sweep, so up
+      // to a (T-1)/T share of the sweep hides that traffic. The combine is
+      // hidden first (it is the phase the split-phase start/finish really
+      // overlaps); leftover window hides the modelled centroid re-stream.
+      // Hidden seconds move into the overlapped_* ledgers — total_s()
+      // shrinks by exactly what the pipeline bought.
+      if (pipeline && count > tile_samples) {
+        const std::size_t ntiles = (count + tile_samples - 1) / tile_samples;
+        const double window = sweep_compute_s *
+                              static_cast<double>(ntiles - 1) /
+                              static_cast<double>(ntiles);
+        const double hide_net = std::min(tile_net_s, window);
+        const double hide_dma = std::min(tile_dma_s, window - hide_net);
+        tally.net_comm_s -= hide_net;
+        tally.overlapped_net_s += hide_net;
+        tally.centroid_stream_s -= hide_dma;
+        tally.overlapped_dma_s += hide_dma;
+        if (overlap_hist != nullptr) {
+          overlap_hist->observe(hide_net + hide_dma);
+        }
+      }
 
       // Update: the machine-wide sharded phase — reduce_scatter of the
       // fused accumulator (each sample was accumulated exactly once

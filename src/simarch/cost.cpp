@@ -14,8 +14,14 @@ std::string CostTally::summary() const {
       << util::format_seconds(compute_s) << ", mesh "
       << util::format_seconds(mesh_comm_s) << ", net "
       << util::format_seconds(net_comm_s) << ", update "
-      << util::format_seconds(update_s) << "); volumes: dma "
-      << util::format_bytes(dma_bytes) << ", reg "
+      << util::format_seconds(update_s) << ")";
+  if (overlapped_dma_s + overlapped_net_s > 0) {
+    out << "; overlap hid "
+        << util::format_seconds(overlapped_dma_s + overlapped_net_s)
+        << " (dma " << util::format_seconds(overlapped_dma_s) << ", net "
+        << util::format_seconds(overlapped_net_s) << ")";
+  }
+  out << "; volumes: dma " << util::format_bytes(dma_bytes) << ", reg "
       << util::format_bytes(reg_bytes) << ", net "
       << util::format_bytes(net_bytes) << ", flops "
       << util::format_count(flops);

@@ -21,6 +21,16 @@ struct CostTally {
   double net_comm_s = 0;         ///< inter-CG / inter-node MPI traffic
   double update_s = 0;           ///< centroid recomputation after reduce
 
+  // Seconds *hidden* by the double-buffered tile pipeline: DMA (sample /
+  // centroid streaming) or per-tile combine traffic issued under the
+  // previous tile's distance sweep. Already subtracted from the phase
+  // fields above, so total_s() — still the plain sum of those fields —
+  // reflects the shortened critical path; these ledgers only record how
+  // much the overlap bought. Zero when KmeansConfig::pipeline_tiles is
+  // off, which restores the strict no-overlap model.
+  double overlapped_dma_s = 0;   ///< tile DMA hidden under compute
+  double overlapped_net_s = 0;   ///< tile combine traffic hidden under compute
+
   // machine-wide volume counters
   std::uint64_t dma_bytes = 0;
   std::uint64_t reg_bytes = 0;
@@ -42,6 +52,8 @@ struct CostTally {
     mesh_comm_s += other.mesh_comm_s;
     net_comm_s += other.net_comm_s;
     update_s += other.update_s;
+    overlapped_dma_s += other.overlapped_dma_s;
+    overlapped_net_s += other.overlapped_net_s;
     dma_bytes += other.dma_bytes;
     reg_bytes += other.reg_bytes;
     net_bytes += other.net_bytes;
@@ -64,6 +76,12 @@ struct CostTally {
         mesh_comm_s > other.mesh_comm_s ? mesh_comm_s : other.mesh_comm_s;
     net_comm_s = net_comm_s > other.net_comm_s ? net_comm_s : other.net_comm_s;
     update_s = update_s > other.update_s ? update_s : other.update_s;
+    overlapped_dma_s = overlapped_dma_s > other.overlapped_dma_s
+                           ? overlapped_dma_s
+                           : other.overlapped_dma_s;
+    overlapped_net_s = overlapped_net_s > other.overlapped_net_s
+                           ? overlapped_net_s
+                           : other.overlapped_net_s;
     dma_bytes += other.dma_bytes;
     reg_bytes += other.reg_bytes;
     net_bytes += other.net_bytes;

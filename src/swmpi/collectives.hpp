@@ -235,6 +235,123 @@ inline void allreduce_minloc2(Comm& comm, std::span<MinLoc2> buf) {
   allreduce(comm, buf, CombineMinLoc2{});
 }
 
+/// Split-phase allreduce for software-pipelined loops: start() posts every
+/// up-tree send this rank can issue without waiting (a childless rank's
+/// contribution goes into flight immediately) and reserves the op's tags;
+/// finish() performs the remaining child receives, the walk to the root
+/// and the broadcast down, then leaves `buf` holding the combined result.
+/// The fold is byte-for-byte the root-0 binomial association of
+/// allreduce() = reduce(root 0) + bcast(root 0) — same child order, same
+/// operand order — so pipelined and unpipelined calls produce identical
+/// bits.
+///
+/// Discipline: every rank must call start/finish for the same ops in the
+/// same interleaved order (start t; start t+1; finish t; ... is fine —
+/// tags keep concurrent ops apart). Keep the outstanding depth small: each
+/// op holds at most two messages per mailbox lane, so depth stays well
+/// under Mailbox::kLaneCapacity for any sane pipeline.
+///
+/// Instrumentation: calls/bytes and the wall histogram tick in finish(),
+/// so allreduce.wall_s measures the blocking drain, not the overlapped
+/// compute between the phases.
+template <typename T, typename Op>
+class SplitAllreduce {
+ public:
+  SplitAllreduce() = default;
+  SplitAllreduce(const SplitAllreduce&) = delete;
+  SplitAllreduce& operator=(const SplitAllreduce&) = delete;
+
+  bool active() const { return comm_ != nullptr; }
+
+  void start(Comm& comm, std::span<T> buf, Op op) {
+    SWHKM_REQUIRE(!active(), "SplitAllreduce::start while an op is in flight");
+    comm_ = &comm;
+    buf_ = buf;
+    op_ = op;
+    reduce_tag_ = comm.next_collective_tag();
+    bcast_tag_ = comm.next_collective_tag();
+    resume_step_ = 0;  // 0 = up phase already complete
+    const int size = comm.size();
+    if (size <= 1) {
+      return;
+    }
+    const int vrank = comm.rank();  // root is rank 0: vrank == rank
+    for (int step = 1; step < size; step <<= 1) {
+      if (vrank & step) {
+        // Everything below this bit is already folded in (no children
+        // remain), so the contribution can leave now — this send is the
+        // overlap start() exists for.
+        comm.send<T>(detail::binomial_parent(vrank), reduce_tag_,
+                     std::span<const T>(buf_.data(), buf_.size()));
+        return;
+      }
+      if (vrank + step < size) {
+        resume_step_ = step;  // first blocking child recv: defer to finish
+        return;
+      }
+    }
+  }
+
+  void finish() {
+    SWHKM_REQUIRE(active(), "SplitAllreduce::finish without a start");
+    Comm& comm = *comm_;
+    detail::CollectiveScope scope(comm, telemetry::CollectiveKind::kAllreduce,
+                                  buf_.size_bytes());
+    const int size = comm.size();
+    const int vrank = comm.rank();
+    if (size > 1) {
+      // Resume reduce()'s loop exactly where start() left off: identical
+      // step sequence, child order and operand order keep the association.
+      if (resume_step_ > 0) {
+        for (int step = resume_step_; step < size; step <<= 1) {
+          if (vrank & step) {
+            comm.send<T>(detail::binomial_parent(vrank), reduce_tag_,
+                         std::span<const T>(buf_.data(), buf_.size()));
+            break;
+          }
+          const int child = vrank + step;
+          if (child < size) {
+            std::vector<T> incoming = comm.recv<T>(child, reduce_tag_);
+            SWHKM_REQUIRE(incoming.size() == buf_.size(),
+                          "split allreduce payload size mismatch");
+            for (std::size_t i = 0; i < buf_.size(); ++i) {
+              op_(buf_[i], incoming[i]);
+            }
+          }
+        }
+      }
+      // Broadcast down from rank 0 — bcast()'s body with the reserved tag.
+      int top = 1;
+      while (top < size) {
+        top <<= 1;
+      }
+      const int lsb = vrank == 0 ? top : (vrank & (-vrank));
+      if (vrank != 0) {
+        std::vector<T> incoming =
+            comm.recv<T>(detail::binomial_parent(vrank), bcast_tag_);
+        SWHKM_REQUIRE(incoming.size() == buf_.size(),
+                      "split allreduce bcast size mismatch");
+        std::copy(incoming.begin(), incoming.end(), buf_.begin());
+      }
+      for (int m = lsb >> 1; m >= 1; m >>= 1) {
+        if (vrank + m < size) {
+          comm.send<T>(vrank + m, bcast_tag_,
+                       std::span<const T>(buf_.data(), buf_.size()));
+        }
+      }
+    }
+    comm_ = nullptr;
+  }
+
+ private:
+  Comm* comm_ = nullptr;
+  std::span<T> buf_;
+  Op op_{};
+  int reduce_tag_ = 0;
+  int bcast_tag_ = 0;
+  int resume_step_ = 0;
+};
+
 /// Gather one value per rank; every rank receives the vector indexed by
 /// rank. Linear gather through rank 0 plus broadcast — collectives at this
 /// granularity run once per engine setup, not per sample.

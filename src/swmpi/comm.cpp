@@ -11,7 +11,9 @@ World::World(int world_size, FaultPlan* faults,
     : size(world_size), fault_plan(faults), metrics(metrics_registry) {
   boxes.reserve(static_cast<std::size_t>(world_size));
   for (int r = 0; r < world_size; ++r) {
-    boxes.push_back(std::make_unique<Mailbox>());
+    // One SPSC ring lane per (sender, receiver) pair: each box gets one
+    // lane per member rank, and each member rank is one thread.
+    boxes.push_back(std::make_unique<Mailbox>(world_size));
   }
 }
 
@@ -20,10 +22,6 @@ World::World(int world_size, FaultPlan* faults,
 void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
   SWHKM_REQUIRE(valid(), "communicator is empty");
   SWHKM_REQUIRE(dest >= 0 && dest < size(), "destination rank out of range");
-  if (tshard_ != nullptr) {
-    tshard_->p2p_sends.add(1);
-    tshard_->p2p_send_bytes.add(payload.size());
-  }
   Message message;
   message.source = rank_;
   message.tag = tag;
@@ -32,9 +30,23 @@ void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
       !world_->fault_plan->on_send(
           global_rank_, std::span<std::byte>(message.payload.data(),
                                              message.payload.size()))) {
-    return;  // scheduled drop: the peer's watchdog turns this into a fault
+    // Scheduled drop: the peer's watchdog turns this into a fault. Ledger
+    // it as a drop, not a delivery — the send counters must describe
+    // traffic that actually reached a mailbox.
+    if (tshard_ != nullptr) {
+      tshard_->p2p_dropped.add(1);
+    }
+    return;
   }
-  world_->boxes[static_cast<std::size_t>(dest)]->push(std::move(message));
+  const bool waited =
+      world_->boxes[static_cast<std::size_t>(dest)]->push(std::move(message));
+  if (tshard_ != nullptr) {
+    tshard_->p2p_sends.add(1);
+    tshard_->p2p_send_bytes.add(payload.size());
+    if (waited) {
+      tshard_->send_ring_waits.add(1);
+    }
+  }
 }
 
 std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
@@ -54,9 +66,25 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
   const std::chrono::milliseconds timeout =
       world_->fault_plan != nullptr ? world_->fault_plan->watchdog_timeout()
                                     : std::chrono::milliseconds{0};
+  const auto observe_stall = [&](bool parked) {
+    if (tshard_ != nullptr) {
+      tshard_->recv_stall_s.observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        stall_start)
+              .count());
+      if (parked) {
+        tshard_->recv_parks.add(1);
+      }
+    }
+  };
   Message message;
+  bool parked = false;
   if (timeout.count() > 0) {
-    if (!box.pop_matching_for(source, tag, timeout, message)) {
+    if (!box.pop_matching_for(source, tag, timeout, message, &parked)) {
+      // Observe the stall *before* throwing: the histogram exists to
+      // surface pathological waits, and the watchdog path is exactly the
+      // pathological case — losing the sample here undercounts the tail.
+      observe_stall(parked);
       throw WatchdogTimeout(
           "swmpi: rank " + std::to_string(global_rank_) +
           " waited longer than " + std::to_string(timeout.count()) +
@@ -64,14 +92,9 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
           " (tag " + std::to_string(tag) + ") — peer stalled or dead");
     }
   } else {
-    message = box.pop_matching(source, tag);
+    message = box.pop_matching(source, tag, &parked);
   }
-  if (tshard_ != nullptr) {
-    tshard_->recv_stall_s.observe(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      stall_start)
-            .count());
-  }
+  observe_stall(parked);
   return std::move(message.payload);
 }
 

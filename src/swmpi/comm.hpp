@@ -76,9 +76,19 @@ struct World {
 /// A rank's handle onto a communicator — the MPI-flavoured façade of the
 /// thread-backed runtime. Copyable (both copies denote the same rank).
 ///
-/// Deadlock discipline: send() never blocks (mailboxes are unbounded);
-/// recv() blocks until a matching message arrives. Collectives must be
-/// entered by every rank of the communicator in the same order.
+/// Deadlock discipline: send() completes without waiting unless the
+/// destination already holds Mailbox::kLaneCapacity undrained messages
+/// from this rank (bounded SPSC rings — backpressure instead of unbounded
+/// buffering); recv() blocks until a matching message arrives. Collectives
+/// must be entered by every rank of the communicator in the same order.
+/// That discipline keeps the bounded sends cycle-free: every message of a
+/// collective op is popped by its destination during that op and a
+/// receiver's drain always empties *all* of its lanes, so a lane can only
+/// fill when the sender is many ops ahead of the receiver — and a rank
+/// that is ahead has already sent everything earlier ops owed, so no rank
+/// waiting for ring space can be part of a wait cycle. User point-to-point
+/// code must not accumulate kLaneCapacity unreceived messages toward a
+/// rank that never enters recv.
 class Comm {
  public:
   Comm() = default;

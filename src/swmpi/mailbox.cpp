@@ -1,103 +1,313 @@
 #include "swmpi/mailbox.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "util/error.hpp"
 
 namespace swhkm::swmpi {
 
 namespace {
+
 bool matches(const Message& message, int source, int tag) {
   return (source == kAnySource || message.source == source) &&
          message.tag == tag;
 }
-}  // namespace
 
-void Mailbox::push(Message message) {
-  {
-    std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(message));
-  }
-  arrived_.notify_all();
+/// Receiver iterations of drain-and-scan before parking, and sender
+/// iterations of retry before sleeping on a full ring. Short on purpose:
+/// ranks are threads and often outnumber cores, so burning a core to save
+/// one condvar wakeup stops paying off quickly. On a single-core host the
+/// budget drops to zero — a spinning receiver only steals the quantum the
+/// producer needs to make the awaited message appear.
+int receiver_spin_budget() {
+  static const int budget =
+      std::thread::hardware_concurrency() > 1 ? 256 : 0;
+  return budget;
 }
 
-Message Mailbox::pop_matching(int source, int tag) {
-  std::unique_lock lock(mutex_);
+int sender_spin_budget() {
+  static const int budget =
+      std::thread::hardware_concurrency() > 1 ? 1024 : 1;
+  return budget;
+}
+
+std::atomic<MailboxMode> g_default_mode{MailboxMode::kSpscRings};
+
+}  // namespace
+
+MailboxMode default_mailbox_mode() {
+  return g_default_mode.load(std::memory_order_relaxed);
+}
+
+void set_default_mailbox_mode(MailboxMode mode) {
+  g_default_mode.store(mode, std::memory_order_relaxed);
+}
+
+Mailbox::Mailbox(int num_senders, MailboxMode mode) : mode_(mode) {
+  SWHKM_REQUIRE(num_senders >= 1, "mailbox needs at least one sender lane");
+  if (mode_ == MailboxMode::kSpscRings) {
+    lanes_.reserve(static_cast<std::size_t>(num_senders));
+    for (int s = 0; s < num_senders; ++s) {
+      lanes_.emplace_back(kLaneCapacity);
+    }
+  }
+}
+
+void Mailbox::throw_aborted() const {
+  throw RuntimeFault("swmpi: communicator aborted while waiting for a "
+                     "message (a peer rank failed)");
+}
+
+// ---------------------------------------------------------------- senders
+
+bool Mailbox::push(Message message) {
+  if (mode_ == MailboxMode::kMutexQueue) {
+    {
+      std::lock_guard lock(legacy_mutex_);
+      legacy_queue_.push_back(std::move(message));
+    }
+    legacy_arrived_.notify_all();
+    return false;
+  }
+
+  SWHKM_REQUIRE(message.source >= 0 &&
+                    message.source < static_cast<int>(lanes_.size()),
+                "message source has no mailbox lane");
+  SpscRing<Message>& lane = lanes_[static_cast<std::size_t>(message.source)];
+  bool waited = false;
+  if (!lane.try_push(message)) {
+    // Bounded backpressure: the receiver frees the whole lane on its next
+    // drain, so wait for it. An aborted receiver never drains again —
+    // fail the send instead of spinning forever.
+    waited = true;
+    int spins = 0;
+    for (;;) {
+      if (aborted_.load(std::memory_order_acquire)) {
+        throw RuntimeFault(
+            "swmpi: send to an aborted rank found its ring full (the "
+            "receiver died and will never drain)");
+      }
+      if (lane.try_push(message)) {
+        break;
+      }
+      if (++spins < sender_spin_budget()) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+  // Doorbell handshake (both sides seq_cst, so the pair of (ring publish,
+  // doorbell bump) here and (parked_ store, doorbell re-read) in the
+  // receiver's park path take a single total order): either this load sees
+  // parked_ == true and we notify under the mutex, or the receiver's
+  // pre-sleep doorbell re-read is later in that order and sees the bump —
+  // no interleaving loses the wakeup.
+  doorbell_.fetch_add(1, std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_seq_cst)) {
+    std::lock_guard lock(park_mutex_);
+    park_cv_.notify_all();
+  }
+  return waited;
+}
+
+// --------------------------------------------------------------- receiver
+
+bool Mailbox::take_from_stash(int source, int tag, Message& out) {
+  auto it = std::find_if(stash_.begin(), stash_.end(), [&](const Message& m) {
+    return matches(m, source, tag);
+  });
+  if (it == stash_.end()) {
+    return false;
+  }
+  out = std::move(*it);
+  stash_.erase(it);
+  return true;
+}
+
+bool Mailbox::drain_and_take(int source, int tag, Message& out) {
+  if (take_from_stash(source, tag, out)) {
+    return true;
+  }
+  bool drained = false;
+  for (SpscRing<Message>& lane : lanes_) {
+    Message m;
+    while (lane.try_pop(m)) {
+      stash_.push_back(std::move(m));
+      drained = true;
+    }
+  }
+  return drained && take_from_stash(source, tag, out);
+}
+
+bool Mailbox::pop_ring(int source, int tag,
+                       const std::chrono::steady_clock::time_point* deadline,
+                       Message& out, bool* parked) {
+  int spins = 0;
   for (;;) {
-    auto it = std::find_if(queue_.begin(), queue_.end(),
+    // The doorbell ticket must be read before the drain: a push that lands
+    // mid-drain either makes this drain (or the pre-sleep re-drain) find
+    // it, or bumps the doorbell past `ticket` and defeats the sleep.
+    const std::uint64_t ticket = doorbell_.load(std::memory_order_seq_cst);
+    if (drain_and_take(source, tag, out)) {
+      return true;
+    }
+    if (aborted_.load(std::memory_order_acquire)) {
+      // The drain above already swept every delivered message into the
+      // stash, so a miss here is final: abort-then-deliver still works for
+      // queued messages, and only a true no-match throws.
+      throw_aborted();
+    }
+    if (deadline != nullptr &&
+        std::chrono::steady_clock::now() >= *deadline) {
+      // Final re-check after expiry — the race the old mutex mailbox lost:
+      // a message pushed between the last scan and the timeout return must
+      // be taken, not dropped into a spurious WatchdogTimeout.
+      return drain_and_take(source, tag, out);
+    }
+    if (spins < receiver_spin_budget()) {
+      ++spins;
+      std::this_thread::yield();
+      continue;
+    }
+    // Slow path: park until a push (or abort) rings the doorbell. The
+    // predicate re-reads the doorbell under seq_cst — see push() for the
+    // no-lost-wakeup argument.
+    if (parked != nullptr) {
+      *parked = true;
+    }
+    parked_.store(true, std::memory_order_seq_cst);
+    {
+      std::unique_lock lock(park_mutex_);
+      const auto woken = [&] {
+        return doorbell_.load(std::memory_order_seq_cst) != ticket ||
+               aborted_.load(std::memory_order_acquire);
+      };
+      if (deadline != nullptr) {
+        park_cv_.wait_until(lock, *deadline, woken);
+      } else {
+        park_cv_.wait(lock, woken);
+      }
+    }
+    parked_.store(false, std::memory_order_seq_cst);
+  }
+}
+
+// ------------------------------------------------------ legacy transport
+
+bool Mailbox::pop_legacy(int source, int tag,
+                         const std::chrono::steady_clock::time_point* deadline,
+                         Message& out, bool* parked) {
+  std::unique_lock lock(legacy_mutex_);
+  const auto take = [&] {
+    auto it = std::find_if(legacy_queue_.begin(), legacy_queue_.end(),
                            [&](const Message& m) {
                              return matches(m, source, tag);
                            });
-    if (it != queue_.end()) {
-      Message out = std::move(*it);
-      queue_.erase(it);
-      return out;
+    if (it == legacy_queue_.end()) {
+      return false;
     }
-    if (aborted_) {
-      throw RuntimeFault("swmpi: communicator aborted while waiting for a "
-                         "message (a peer rank failed)");
+    out = std::move(*it);
+    legacy_queue_.erase(it);
+    return true;
+  };
+  for (;;) {
+    if (take()) {
+      return true;
     }
-    arrived_.wait(lock);
+    if (legacy_aborted_) {
+      throw_aborted();
+    }
+    if (parked != nullptr) {
+      *parked = true;
+    }
+    if (deadline != nullptr) {
+      if (legacy_arrived_.wait_until(lock, *deadline) ==
+          std::cv_status::timeout) {
+        // One final scan holding the lock: a push that slipped in between
+        // the last predicate check and the timed-out wakeup is still
+        // delivered instead of becoming a spurious WatchdogTimeout.
+        return take();
+      }
+    } else {
+      legacy_arrived_.wait(lock);
+    }
   }
+}
+
+// ------------------------------------------------------------ public API
+
+Message Mailbox::pop_matching(int source, int tag, bool* parked) {
+  Message out;
+  if (mode_ == MailboxMode::kMutexQueue) {
+    (void)pop_legacy(source, tag, nullptr, out, parked);
+  } else {
+    (void)pop_ring(source, tag, nullptr, out, parked);
+  }
+  return out;
 }
 
 bool Mailbox::pop_matching_for(int source, int tag,
                                std::chrono::milliseconds timeout,
-                               Message& out) {
+                               Message& out, bool* parked) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
-  std::unique_lock lock(mutex_);
-  for (;;) {
-    auto it = std::find_if(queue_.begin(), queue_.end(),
-                           [&](const Message& m) {
-                             return matches(m, source, tag);
-                           });
-    if (it != queue_.end()) {
-      out = std::move(*it);
-      queue_.erase(it);
-      return true;
-    }
-    if (aborted_) {
-      throw RuntimeFault("swmpi: communicator aborted while waiting for a "
-                         "message (a peer rank failed)");
-    }
-    if (arrived_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      return false;
-    }
+  if (mode_ == MailboxMode::kMutexQueue) {
+    return pop_legacy(source, tag, &deadline, out, parked);
   }
+  return pop_ring(source, tag, &deadline, out, parked);
 }
 
 bool Mailbox::try_pop_matching(int source, int tag, Message& out) {
-  std::lock_guard lock(mutex_);
-  auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
-    return matches(m, source, tag);
-  });
-  if (it == queue_.end()) {
-    return false;
+  if (mode_ == MailboxMode::kMutexQueue) {
+    std::lock_guard lock(legacy_mutex_);
+    auto it = std::find_if(legacy_queue_.begin(), legacy_queue_.end(),
+                           [&](const Message& m) {
+                             return matches(m, source, tag);
+                           });
+    if (it == legacy_queue_.end()) {
+      return false;
+    }
+    out = std::move(*it);
+    legacy_queue_.erase(it);
+    return true;
   }
-  out = std::move(*it);
-  queue_.erase(it);
-  return true;
+  return drain_and_take(source, tag, out);
 }
 
 void Mailbox::abort() {
-  // Audited ordering: the flag is set and the waiters are notified while
-  // the mutex is held. A rank in pop_matching either (a) holds the mutex
-  // checking its predicate — it will observe aborted_ before it can wait —
-  // or (b) is parked inside wait() having atomically released the mutex,
-  // so this notify_all reaches it. Notifying after unlocking is also
-  // correct for this pair, but keeping the notify inside the critical
-  // section makes the no-lost-wakeup argument local to this function and
-  // leaves nothing for a future refactor to reorder. (The companion race —
-  // sub-communicators created *while* an abort is propagating — is closed
-  // in World::abort_all / Comm::split, not here.)
-  std::lock_guard lock(mutex_);
-  aborted_ = true;
-  arrived_.notify_all();
+  if (mode_ == MailboxMode::kMutexQueue) {
+    // Audited ordering: flag set and waiters notified while the mutex is
+    // held — a waiter is either at its predicate (sees the flag) or parked
+    // in wait() (reached by the notify). Nothing to reorder.
+    std::lock_guard lock(legacy_mutex_);
+    legacy_aborted_ = true;
+    legacy_arrived_.notify_all();
+    return;
+  }
+  // Same doorbell handshake as push(): the flag plus a doorbell bump makes
+  // a parked receiver's wake predicate true, and the seq_cst pairing with
+  // parked_ guarantees either we see it parked (and notify under the
+  // mutex) or its pre-sleep re-read sees the bump. Senders spinning on a
+  // full ring poll aborted_ directly.
+  aborted_.store(true, std::memory_order_seq_cst);
+  doorbell_.fetch_add(1, std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_seq_cst)) {
+    std::lock_guard lock(park_mutex_);
+    park_cv_.notify_all();
+  }
 }
 
 std::size_t Mailbox::pending() const {
-  std::lock_guard lock(mutex_);
-  return queue_.size();
+  if (mode_ == MailboxMode::kMutexQueue) {
+    std::lock_guard lock(legacy_mutex_);
+    return legacy_queue_.size();
+  }
+  std::size_t n = stash_.size();
+  for (const SpscRing<Message>& lane : lanes_) {
+    n += lane.size_approx();
+  }
+  return n;
 }
 
 }  // namespace swhkm::swmpi

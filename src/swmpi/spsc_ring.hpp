@@ -1,0 +1,84 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace swhkm::swmpi {
+
+/// Bounded lock-free single-producer / single-consumer ring. One instance
+/// carries the traffic of exactly one (sender rank, receiver rank) pair:
+/// the sender thread is the only caller of try_push, the receiver thread
+/// the only caller of try_pop. Under that contract every operation is
+/// wait-free — one relaxed load of the own index, one acquire load of the
+/// peer's index, a slot move and one release store.
+///
+/// Memory ordering: the producer publishes a slot with a release store of
+/// `tail_`; the consumer's acquire load of `tail_` therefore observes the
+/// completed slot write. Symmetrically the consumer retires a slot with a
+/// release store of `head_`, and the producer's acquire load of `head_`
+/// knows the slot has been vacated before reusing it. Indices are free
+/// running (mod 2^64); `tail_ - head_` is the occupancy.
+///
+/// The move constructor exists only so a std::vector of rings can be built
+/// during communicator setup; it is not thread-safe and must never run
+/// concurrently with push/pop.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity_pow2)
+      : mask_(capacity_pow2 - 1), slots_(capacity_pow2) {}
+
+  SpscRing(SpscRing&& other) noexcept
+      : mask_(other.mask_), slots_(std::move(other.slots_)) {
+    head_.store(other.head_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    tail_.store(other.tail_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Moves from `value` and returns true when a slot was
+  /// free; leaves `value` untouched and returns false on a full ring.
+  bool try_push(T& value) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) > mask_) {
+      return false;  // full
+    }
+    slots_[static_cast<std::size_t>(t) & mask_] = std::move(value);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Moves the oldest element into `out`; false when empty.
+  bool try_pop(T& out) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == h) {
+      return false;  // empty
+    }
+    out = std::move(slots_[static_cast<std::size_t>(h) & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy — exact when the caller is the only active
+  /// side, a harmless snapshot otherwise (used for queue-depth gauges).
+  std::size_t size_approx() const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    return t >= h ? static_cast<std::size_t>(t - h) : 0;
+  }
+
+ private:
+  std::size_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer index
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< producer index
+};
+
+}  // namespace swhkm::swmpi

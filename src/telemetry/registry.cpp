@@ -177,6 +177,17 @@ MetricsSnapshot MetricsRegistry::merged() const {
       snap.counters["swmpi.send.calls"] += shard->p2p_sends.value();
       snap.counters["swmpi.send.bytes"] += shard->p2p_send_bytes.value();
     }
+    // Dropped sends and wait events flatten independently of the delivered
+    // ledger — a rank can drop or stall without ever delivering a byte.
+    if (shard->p2p_dropped.value() > 0) {
+      snap.counters["swmpi.send.dropped"] += shard->p2p_dropped.value();
+    }
+    if (shard->send_ring_waits.value() > 0) {
+      snap.counters["swmpi.send.ring_waits"] += shard->send_ring_waits.value();
+    }
+    if (shard->recv_parks.value() > 0) {
+      snap.counters["swmpi.recv.parks"] += shard->recv_parks.value();
+    }
     if (shard->recv_stall_s.count() > 0) {
       merge_histogram(snap.histograms["swmpi.recv.stall_s"],
                       shard->recv_stall_s);

@@ -140,9 +140,15 @@ class MetricsShard {
     return collectives_[static_cast<std::size_t>(kind)];
   }
 
-  /// Point-to-point / mailbox fast paths.
+  /// Point-to-point / mailbox fast paths. The send ledgers count only
+  /// *delivered* traffic; sends consumed by an injected blackhole land in
+  /// p2p_dropped instead.
   Counter p2p_sends;
   Counter p2p_send_bytes;
+  Counter p2p_dropped;         ///< sends swallowed by FaultPlan blackholes
+  Counter send_ring_waits;     ///< sends that waited on a full SPSC lane
+  Counter recv_parks;          ///< recvs that fell past the spin budget to
+                               ///< the mailbox's condvar slow path
   Histogram recv_stall_s;      ///< wall seconds blocked in a recv
   Gauge recv_queue_depth;      ///< pending messages seen at recv entry
 

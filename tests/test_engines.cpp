@@ -118,6 +118,38 @@ TEST_P(EngineLevelTest, ChargesSimulatedTime) {
             3 * ds.n() * ds.d() * machine.elem_bytes);
 }
 
+TEST_P(EngineLevelTest, PipelineOnAndOffAreBitIdentical) {
+  // The double-buffered tile pipeline is an execution-order change only:
+  // trajectories must match the sequential loop bit for bit, and the
+  // overlap ledger must record what the shortened critical path saved.
+  const MachineConfig machine = MachineConfig::tiny(2, 4, 8192);
+  const data::Dataset ds = data::make_blobs(300, 10, 4, 11);
+  KmeansConfig config;
+  config.k = 4;
+  config.max_iterations = 10;
+  config.tile_samples = 8;  // force several tiles per worker at every level
+  for (const bool gate : {false, true}) {
+    config.gate_assign = gate;
+    config.pipeline_tiles = true;
+    const KmeansResult piped = run_level(GetParam(), ds, config, machine);
+    config.pipeline_tiles = false;
+    const KmeansResult plain = run_level(GetParam(), ds, config, machine);
+    EXPECT_EQ(piped.iterations, plain.iterations);
+    EXPECT_EQ(assignment_agreement(piped.assignments, plain.assignments),
+              1.0);
+    EXPECT_EQ(centroid_max_abs_diff(piped.centroids, plain.centroids), 0.0);
+    // The sequential model hides nothing; the pipelined one hides tile
+    // traffic and is never slower.
+    EXPECT_EQ(plain.cost.overlapped_dma_s + plain.cost.overlapped_net_s, 0.0);
+    EXPECT_GT(piped.cost.overlapped_dma_s + piped.cost.overlapped_net_s, 0.0);
+    EXPECT_LT(piped.cost.total_s(), plain.cost.total_s());
+    // Hidden seconds are exactly the modelled saving.
+    EXPECT_NEAR(plain.cost.total_s() - piped.cost.total_s(),
+                piped.cost.overlapped_dma_s + piped.cost.overlapped_net_s,
+                1e-9 * plain.cost.total_s());
+  }
+}
+
 TEST_P(EngineLevelTest, FlopAccountingMatches2nkd) {
   const MachineConfig machine = MachineConfig::tiny(1, 4, 8192);
   const data::Dataset ds = data::make_uniform(60, 4, 5);

@@ -85,6 +85,49 @@ TEST(Mailbox, AbortStillDeliversQueued) {
   EXPECT_THROW(box.pop_matching(0, 1), RuntimeFault);
 }
 
+class MailboxModeTest : public ::testing::TestWithParam<MailboxMode> {};
+
+TEST_P(MailboxModeTest, TimedPopRechecksQueueAfterDeadline) {
+  // Regression for the watchdog-timeout race: a push that *completes*
+  // before the pop's deadline must be delivered, even when the wakeup
+  // races the timeout (the old code returned false straight off the cv
+  // timeout without a final queue scan, turning a delivered message into
+  // a spurious WatchdogTimeout). The producer lands its push in a jitter
+  // window straddling the deadline; whenever it demonstrably beat the
+  // deadline, the pop must succeed.
+  constexpr int kRounds = 100;
+  const auto timeout = std::chrono::milliseconds(4);
+  for (int round = 0; round < kRounds; ++round) {
+    Mailbox box(4, GetParam());
+    box.push({1, 99, {}});  // non-matching noise lengthens the scan
+    std::chrono::steady_clock::time_point push_done_at;
+    // The pop's internal deadline is taken at or after `entry`, so
+    // entry + timeout is a lower bound on it.
+    const auto entry = std::chrono::steady_clock::now();
+    std::thread producer([&] {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(3000 + 20 * round));
+      box.push({0, 7, {std::byte{5}}});
+      push_done_at = std::chrono::steady_clock::now();
+    });
+    Message out;
+    const bool ok = box.pop_matching_for(0, 7, timeout, out);
+    producer.join();
+    if (push_done_at < entry + timeout) {
+      EXPECT_TRUE(ok) << "round " << round
+                      << ": push beat the deadline but pop timed out";
+    }
+    if (ok) {
+      EXPECT_EQ(out.source, 0);
+      EXPECT_EQ(out.tag, 7);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, MailboxModeTest,
+                         ::testing::Values(MailboxMode::kSpscRings,
+                                           MailboxMode::kMutexQueue));
+
 // ------------------------------------------------------------------- comm
 
 TEST(Comm, WorldHasRanksAndSizes) {

@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "swmpi/collectives.hpp"
+#include "swmpi/mailbox.hpp"
 #include "swmpi/runtime.hpp"
+#include "swmpi/spsc_ring.hpp"
 #include "util/error.hpp"
 
 namespace swhkm::swmpi {
@@ -178,6 +184,221 @@ TEST(ExtraCollectives, MixedSequenceStaysInSync) {
     }
   });
 }
+
+// ---------------------------------------------------------- SPSC ring
+
+TEST(SpscRing, FifoAndWraparound) {
+  SpscRing<int> ring(8);
+  int out = -1;
+  EXPECT_FALSE(ring.try_pop(out));
+  // Several laps so head/tail wrap past the capacity repeatedly.
+  for (int lap = 0; lap < 5; ++lap) {
+    for (int i = 0; i < 8; ++i) {
+      int v = lap * 8 + i;
+      EXPECT_TRUE(ring.try_push(v));
+    }
+    int overflow = -1;
+    EXPECT_FALSE(ring.try_push(overflow));  // full
+    EXPECT_EQ(ring.size_approx(), 8u);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(ring.try_pop(out));
+      EXPECT_EQ(out, lap * 8 + i);
+    }
+    EXPECT_FALSE(ring.try_pop(out));
+  }
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerKeepsFifo) {
+  // TSan target: one producer, one consumer, a ring small enough that both
+  // sides constantly race on the full/empty edges.
+  constexpr int kItems = 20000;
+  SpscRing<int> ring(16);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems;) {
+      int v = i;
+      if (ring.try_push(v)) {
+        ++i;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  int expect = 0;
+  int out = -1;
+  while (expect < kItems) {
+    if (ring.try_pop(out)) {
+      ASSERT_EQ(out, expect);
+      ++expect;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+// ------------------------------------------------------ mailbox torture
+
+TEST(MailboxTorture, ConcurrentPushTimeoutAbortRounds) {
+  // TSan stress for the lock-free mailbox: two senders race a receiver
+  // that alternates short watchdog-style timed pops, with an abort landing
+  // mid-stream every other round. Quiet rounds must deliver every message;
+  // abort rounds must deliver everything already queued and then fault.
+  constexpr int kRounds = 60;
+  constexpr int kPerSender = 40;  // < lane capacity: senders never block
+  for (int round = 0; round < kRounds; ++round) {
+    const bool aborting = (round % 2) == 1;
+    Mailbox box(4);
+    auto sender = [&](int source) {
+      for (int m = 0; m < kPerSender; ++m) {
+        try {
+          box.push({source, 7, {std::byte{static_cast<unsigned char>(m)}}});
+        } catch (const RuntimeFault&) {
+          return;  // ring filled after an abort — expected, stop sending
+        }
+        if (m % 8 == source) {
+          std::this_thread::yield();
+        }
+      }
+    };
+    std::thread s0(sender, 0);
+    std::thread s1(sender, 1);
+    std::thread aborter;
+    if (aborting) {
+      aborter = std::thread([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+        box.abort();
+      });
+    }
+    int delivered = 0;
+    int dry_spells = 0;
+    bool faulted = false;
+    Message out;
+    while (delivered < 2 * kPerSender) {
+      try {
+        if (box.pop_matching_for(kAnySource, 7,
+                                 std::chrono::milliseconds(2), out)) {
+          ++delivered;
+          dry_spells = 0;
+        } else {
+          // A timed-out pop just means a sender got descheduled; only a
+          // sustained dry spell (~1s) is a real loss.
+          ASSERT_LT(++dry_spells, 500) << "round " << round << " stuck at "
+                                       << delivered;
+        }
+      } catch (const RuntimeFault&) {
+        faulted = true;
+        break;
+      }
+    }
+    s0.join();
+    s1.join();
+    if (aborting) {
+      aborter.join();
+      // Either every message raced in ahead of the abort, or the abort
+      // surfaced as a fault — never a silent shortfall.
+      EXPECT_TRUE(faulted || delivered == 2 * kPerSender);
+    } else {
+      EXPECT_EQ(delivered, 2 * kPerSender);
+      EXPECT_FALSE(faulted);
+    }
+  }
+}
+
+TEST(MailboxTorture, StashPreservesPerSourceOrderAcrossSources) {
+  // Messages drained while hunting for another source's tag park in the
+  // receiver stash; per-source FIFO must survive the detour.
+  Mailbox box(4);
+  std::thread s0([&] {
+    for (int m = 0; m < 10; ++m) {
+      box.push({0, m, {}});
+    }
+  });
+  std::thread s1([&] {
+    for (int m = 0; m < 10; ++m) {
+      box.push({1, m, {}});
+    }
+  });
+  s0.join();
+  s1.join();
+  // Pop source 1 first (stashing source 0's backlog), then source 0.
+  for (int m = 0; m < 10; ++m) {
+    const Message got = box.pop_matching(1, m);
+    EXPECT_EQ(got.source, 1);
+  }
+  for (int m = 0; m < 10; ++m) {
+    const Message got = box.pop_matching(0, m);
+    EXPECT_EQ(got.source, 0);
+  }
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+// ---------------------------------------------------- split allreduce
+
+class SplitAllreduceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitAllreduceTest, MatchesBlockingAllreduceBitForBit) {
+  const int size = GetParam();
+  run_spmd(size, [&](Comm& comm) {
+    for (int round = 0; round < 4; ++round) {
+      // Values whose sum association matters in doubles: any reordering
+      // of the fold would move the low bits.
+      std::vector<double> split_buf(5);
+      std::vector<double> block_buf(5);
+      for (std::size_t i = 0; i < split_buf.size(); ++i) {
+        split_buf[i] = 1.0 / (comm.rank() + 2.0 + static_cast<double>(i)) +
+                       round * 0.125;
+        block_buf[i] = split_buf[i];
+      }
+      SplitAllreduce<double, ops::Plus> op;
+      op.start(comm, std::span<double>(split_buf), ops::Plus{});
+      EXPECT_TRUE(op.active());
+      // A full collective runs while the split op is in flight — tag
+      // reservation must keep the two from cross-matching.
+      allreduce(comm, std::span<double>(block_buf), ops::Plus{});
+      op.finish();
+      EXPECT_FALSE(op.active());
+      for (std::size_t i = 0; i < split_buf.size(); ++i) {
+        EXPECT_EQ(split_buf[i], block_buf[i]) << "element " << i;
+      }
+    }
+  });
+}
+
+TEST_P(SplitAllreduceTest, TwoOutstandingOpsRetireInOrder) {
+  // The engines' pipeline shape: tile t+1's combine starts before tile
+  // t's finishes, so two ops are briefly in flight back-to-back.
+  const int size = GetParam();
+  run_spmd(size, [&](Comm& comm) {
+    std::vector<MinLoc> a(3);
+    std::vector<MinLoc> b(3);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = {static_cast<double>((comm.rank() + 1) * (i + 1)),
+              static_cast<std::uint64_t>(comm.rank())};
+      b[i] = {static_cast<double>(size - comm.rank()) + 0.5 * i,
+              static_cast<std::uint64_t>(comm.rank())};
+    }
+    std::vector<MinLoc> a_ref = a;
+    std::vector<MinLoc> b_ref = b;
+    SplitAllreduce<MinLoc, ops::Min> op_a;
+    SplitAllreduce<MinLoc, ops::Min> op_b;
+    op_a.start(comm, std::span<MinLoc>(a), ops::Min{});
+    op_b.start(comm, std::span<MinLoc>(b), ops::Min{});
+    op_a.finish();
+    op_b.finish();
+    allreduce_minloc(comm, std::span<MinLoc>(a_ref));
+    allreduce_minloc(comm, std::span<MinLoc>(b_ref));
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].value, a_ref[i].value);
+      EXPECT_EQ(a[i].index, a_ref[i].index);
+      EXPECT_EQ(b[i].value, b_ref[i].value);
+      EXPECT_EQ(b[i].index, b_ref[i].index);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SplitAllreduceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8));
 
 }  // namespace
 }  // namespace swhkm::swmpi

@@ -316,6 +316,45 @@ TEST(Telemetry, SwmpiRuntimeTicksCollectiveAndMailboxCounters) {
   EXPECT_TRUE(snap.gauges.count("swmpi.recv.queue_depth"));
 }
 
+TEST(Telemetry, WatchdogPathStallAndDropLandInTheRegistry) {
+  // A blackholed send must show up as swmpi.send.dropped (never as a
+  // delivered send), and the receiver's full watchdog wait must still be
+  // observed into swmpi.recv.stall_s before the WatchdogTimeout surfaces —
+  // the stall ledger used to lose exactly those worst-case samples.
+  constexpr auto kWatchdog = std::chrono::milliseconds(60);
+  telemetry::MetricsRegistry reg;
+  swmpi::FaultPlan plan;
+  plan.drop_send(/*rank=*/1, /*nth_send=*/0).watchdog(kWatchdog);
+  bool timed_out = false;
+  try {
+    swmpi::run_spmd(
+        2,
+        [&](swmpi::Comm& world) {
+          if (world.rank() == 1) {
+            world.send_value<int>(0, 3, 42);
+          } else {
+            (void)world.recv_value<int>(1, 3);
+          }
+        },
+        &plan, &reg);
+  } catch (const WatchdogTimeout&) {
+    timed_out = true;
+  }
+  EXPECT_TRUE(timed_out);
+
+  const auto snap = reg.merged();
+  EXPECT_EQ(snap.counter_or_zero("swmpi.send.dropped"), 1u);
+  // The only send in the run was blackholed: the delivered-traffic ledger
+  // must stay empty.
+  EXPECT_EQ(snap.counter_or_zero("swmpi.send.calls"), 0u);
+  EXPECT_EQ(snap.counter_or_zero("swmpi.send.bytes"), 0u);
+  ASSERT_TRUE(snap.histograms.count("swmpi.recv.stall_s"));
+  const auto& stall = snap.histograms.at("swmpi.recv.stall_s");
+  EXPECT_GE(stall.count, 1u);
+  // The watchdog-path sample carries (at least) the full timeout.
+  EXPECT_GE(stall.sum, 0.9 * std::chrono::duration<double>(kWatchdog).count());
+}
+
 TEST(Telemetry, ChromeTraceIsWellFormedAndCarriesAllTimelines) {
   simarch::Trace sim;
   simarch::CostTally tally;
