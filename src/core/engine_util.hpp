@@ -270,6 +270,261 @@ inline void score_tile_ids(const data::Dataset& dataset,
       ids.size(), centroids, j_begin, j_end, scores);
 }
 
+// ---------------------------------------------------------------------------
+// GEMM-formulated distance sweep
+//
+// ||x - c||^2 = ||x||^2 + ||c||^2 - 2 x.c recast over the same u-major
+// centroid panel as the multi-chain kernel, but accumulating dot products
+// (one mul+add per element instead of sub+mul+add) with the centroid norms
+// cached across tiles. The GEMM value g_j is *only a candidate selector*:
+// each row's exact top-two record is formed by rescoring a tau-bounded
+// candidate set with squared_distance, so the records — including every
+// tie-break — are byte-identical to the serial left-to-right scan.
+// ---------------------------------------------------------------------------
+
+/// Per-row candidate capacity of the GEMM selector. Overflow (more than
+/// this many centroids within tau of the running top-two) falls back to an
+/// exact full-slice sweep for that row — the adversarial coincident-
+/// centroid case, where the GEMM path would rescore everything anyway.
+inline constexpr std::size_t kGemmCandidates = 8;
+
+/// ||c||^2 of one row in double: ascending-u sum of exact float squares
+/// (a float's square is exact in double), the canonical norm the cache and
+/// the selector share.
+inline double row_squared_norm(std::span<const float> c) {
+  double sum = 0;
+  for (std::size_t u = 0; u < c.size(); ++u) {
+    const double cu = static_cast<double>(c[u]);
+    sum += cu * cu;
+  }
+  return sum;
+}
+
+/// Per-iteration cache of centroid squared norms for the GEMM selector.
+///
+/// Invalidation contract: a cached norm is stale exactly when the stored
+/// float row changed. The sharded update publishes per-centroid drift
+/// computed from the *stored float positions* (see apply_update_rows), so
+/// drift[j] == 0 implies every coordinate's double diff was exactly 0.0 —
+/// i.e. the stored bits are unchanged up to -0.0 vs +0.0, whose squares
+/// are the same +0.0 — and the cached norm is still bit-exact. Gated runs
+/// therefore refresh only the drifted rows; ungated runs (no drift
+/// published) recompute every norm each iteration.
+struct CentroidNormCache {
+  std::vector<double> norms;
+  bool valid = false;
+
+  /// Full recompute; returns the number of rows refreshed.
+  std::size_t refresh_full(const util::Matrix& centroids) {
+    norms.resize(centroids.rows());
+    for (std::size_t j = 0; j < centroids.rows(); ++j) {
+      norms[j] = row_squared_norm(centroids.row(j));
+    }
+    valid = true;
+    return centroids.rows();
+  }
+
+  /// Refresh only the rows whose published drift is nonzero (plus a full
+  /// recompute when the cache is cold or the shape moved). Returns the
+  /// number of rows refreshed — what the engines charge to the cost model.
+  std::size_t refresh_from_drift(const util::Matrix& centroids,
+                                 std::span<const double> drift) {
+    if (!valid || norms.size() != centroids.rows() ||
+        drift.size() != centroids.rows()) {
+      return refresh_full(centroids);
+    }
+    std::size_t refreshed = 0;
+    for (std::size_t j = 0; j < centroids.rows(); ++j) {
+      if (drift[j] > 0) {
+        norms[j] = row_squared_norm(centroids.row(j));
+        ++refreshed;
+      }
+    }
+    return refreshed;
+  }
+
+  void invalidate() { valid = false; }
+};
+
+/// One sample against one u-major centroid panel, dot-product form:
+/// kCentroidRowBlock independent chains of acc[jj] += x[u] * c[u]. Float
+/// products are exact in double; only the summation rounds.
+inline void dot_block_chains_generic(const float* __restrict__ x,
+                                     const double* __restrict__ panel,
+                                     std::size_t d,
+                                     double* __restrict__ acc) {
+  for (std::size_t u = 0; u < d; ++u) {
+    const double xu = static_cast<double>(x[u]);
+    const double* row = panel + u * kCentroidRowBlock;
+    for (std::size_t jj = 0; jj < kCentroidRowBlock; ++jj) {
+      acc[jj] += xu * row[jj];
+    }
+  }
+}
+
+#if defined(SWHKM_KERNEL_DISPATCH)
+/// AVX2 build of the dot chains. The GEMM value is only a candidate
+/// selector (exactness comes from the rescore), but the avx2-without-FMA
+/// convention of sample_block_chains is kept anyway so both dispatch
+/// targets produce identical selector values — one fewer degree of
+/// freedom when debugging a divergence.
+__attribute__((target("avx2"))) inline void dot_block_chains_avx2(
+    const float* __restrict__ x, const double* __restrict__ panel,
+    std::size_t d, double* __restrict__ acc) {
+  for (std::size_t u = 0; u < d; ++u) {
+    const double xu = static_cast<double>(x[u]);
+    const double* row = panel + u * kCentroidRowBlock;
+    for (std::size_t jj = 0; jj < kCentroidRowBlock; ++jj) {
+      acc[jj] += xu * row[jj];
+    }
+  }
+}
+
+inline SampleBlockFn resolve_dot_block_chains() {
+  if (__builtin_cpu_supports("avx2")) {
+    return &dot_block_chains_avx2;
+  }
+  return &dot_block_chains_generic;
+}
+inline const SampleBlockFn dot_block_chains = resolve_dot_block_chains();
+#else
+inline constexpr auto dot_block_chains = &dot_block_chains_generic;
+#endif
+
+/// Forward-error radius of the GEMM value: |g_j - d_j| <= tau_j where d_j
+/// is the exact-kernel (squared_distance) value. Both are floating-point
+/// evaluations of the same real quantity; the summation bounds give
+/// |g - d| <~ (4d + 11) eps (||x||^2 + ||c||^2), and 16 (d + 2) keeps a
+/// >= 3x margin at every d >= 1.
+inline double gemm_tau_scale(std::size_t d) {
+  return 16.0 * static_cast<double>(d + 2) *
+         std::numeric_limits<double>::epsilon();
+}
+
+/// GEMM-selected, exactly-rescored tile sweep: same contract as
+/// score_tile_gen (centroids [j_begin, j_end) against `count` samples,
+/// records combined into caller-cleared `scores`), byte-identical output.
+///
+/// Pass 1 (selector): per sample, stream the u-major dot panels and form
+/// g_j = ||x||^2 + ||c_j||^2 - 2 x.c_j with error radius tau_j. A running
+/// top-two of the uppers (g + tau) gives U2; any j with g_j - tau_j <= U2
+/// is appended to the row's candidate list (ascending j by construction).
+/// The running U2 only tightens, so the list is a superset of every j
+/// whose exact distance can reach the final top-two.
+///
+/// Pass 2 (exact rescore): each row's candidates are offered to its record
+/// via squared_distance in ascending j — the serial operation sequence and
+/// tie-break. Omitted centroids satisfy d_j > U2_final >= (exact second
+/// smallest), so they cannot change value, index or second; the record is
+/// therefore byte-identical to a full serial scan, independently of which
+/// dot kernel the dispatcher picked. Candidate overflow (more than
+/// kGemmCandidates) falls back to an exact sweep of the whole slice for
+/// that row.
+template <typename MinLocT, typename SampleIndexFn>
+inline void score_tile_gemm_gen(const data::Dataset& dataset,
+                                SampleIndexFn sample_index, std::size_t count,
+                                const util::Matrix& centroids,
+                                std::span<const double> norms,
+                                std::size_t j_begin, std::size_t j_end,
+                                std::span<MinLocT> scores) {
+  const std::size_t d = centroids.cols();
+  const double tau_scale = gemm_tau_scale(d);
+  std::vector<double> panel(kCentroidRowBlock * d);
+  std::vector<double> nx(count);
+  std::vector<double> u1(count, std::numeric_limits<double>::max());
+  std::vector<double> u2(count, std::numeric_limits<double>::max());
+  std::vector<std::uint32_t> cand(count * kGemmCandidates);
+  std::vector<std::uint32_t> cand_n(count, 0);
+  for (std::size_t t = 0; t < count; ++t) {
+    nx[t] = row_squared_norm(dataset.sample(sample_index(t)));
+  }
+  for (std::size_t jb = j_begin; jb < j_end; jb += kCentroidRowBlock) {
+    const std::size_t bw = std::min(j_end - jb, kCentroidRowBlock);
+    for (std::size_t u = 0; u < d; ++u) {
+      for (std::size_t jj = 0; jj < bw; ++jj) {
+        panel[u * bw + jj] = static_cast<double>(centroids.at(jb + jj, u));
+      }
+    }
+    for (std::size_t t = 0; t < count; ++t) {
+      const auto x = dataset.sample(sample_index(t));
+      double dots[kCentroidRowBlock] = {};
+      if (bw == kCentroidRowBlock) {
+        dot_block_chains(x.data(), panel.data(), d, dots);
+      } else {
+        for (std::size_t u = 0; u < d; ++u) {
+          const double xu = static_cast<double>(x[u]);
+          const double* row = panel.data() + u * bw;
+          for (std::size_t jj = 0; jj < bw; ++jj) {
+            dots[jj] += xu * row[jj];
+          }
+        }
+      }
+      for (std::size_t jj = 0; jj < bw; ++jj) {
+        const std::size_t j = jb + jj;
+        const double scale = nx[t] + norms[j];
+        const double g = scale - 2.0 * dots[jj];
+        const double tau = tau_scale * scale;
+        const double up = g + tau;
+        if (up < u1[t]) {
+          u2[t] = u1[t];
+          u1[t] = up;
+        } else if (up < u2[t]) {
+          u2[t] = up;
+        }
+        // A MinLoc record only needs the exact winner, so U1 suffices; the
+        // top-two records screen against U2.
+        const double bar = HasSecond<MinLocT> ? u2[t] : u1[t];
+        if (g - tau <= bar) {
+          if (cand_n[t] < kGemmCandidates) {
+            cand[t * kGemmCandidates + cand_n[t]] =
+                static_cast<std::uint32_t>(j);
+          }
+          ++cand_n[t];  // past capacity: counts on as the overflow marker
+        }
+      }
+    }
+  }
+  for (std::size_t t = 0; t < count; ++t) {
+    MinLocT& rec = scores[t];
+    const auto x = dataset.sample(sample_index(t));
+    if (cand_n[t] > kGemmCandidates) {
+      for (std::size_t j = j_begin; j < j_end; ++j) {
+        offer_score(rec, squared_distance(x, centroids.row(j)), j);
+      }
+      continue;
+    }
+    for (std::size_t c = 0; c < cand_n[t]; ++c) {
+      const std::size_t j = cand[t * kGemmCandidates + c];
+      offer_score(rec, squared_distance(x, centroids.row(j)), j);
+    }
+  }
+}
+
+/// Contiguous-range GEMM entry point (mirrors score_tile).
+template <typename MinLocT>
+inline void score_tile_gemm(const data::Dataset& dataset, std::size_t i_begin,
+                            std::size_t i_end, const util::Matrix& centroids,
+                            std::span<const double> norms, std::size_t j_begin,
+                            std::size_t j_end, std::span<MinLocT> scores) {
+  score_tile_gemm_gen(
+      dataset, [i_begin](std::size_t t) { return i_begin + t; },
+      i_end - i_begin, centroids, norms, j_begin, j_end, scores);
+}
+
+/// Compacted GEMM entry point (mirrors score_tile_ids).
+template <typename MinLocT>
+inline void score_tile_ids_gemm(const data::Dataset& dataset,
+                                std::span<const std::uint32_t> ids,
+                                const util::Matrix& centroids,
+                                std::span<const double> norms,
+                                std::size_t j_begin, std::size_t j_end,
+                                std::span<MinLocT> scores) {
+  score_tile_gemm_gen(
+      dataset,
+      [ids](std::size_t t) { return static_cast<std::size_t>(ids[t]); },
+      ids.size(), centroids, norms, j_begin, j_end, scores);
+}
+
 /// Top-two centroid drifts of one update, with the argmax. What a Hamerly
 /// lower-bound update needs: a sample assigned to the fastest-moving
 /// centroid only has to defend against the *second* fastest mover, every

@@ -76,6 +76,22 @@ struct KmeansConfig {
   /// trajectories stay bit-identical to serial Lloyd; off restores the
   /// strictly sequential tile loop and the no-overlap cost model.
   bool pipeline_tiles = true;
+  /// GEMM-formulated survivor sweep: score unresolved tiles through the
+  /// ||x||^2 + ||c||^2 - 2 X C^T panel product with per-iteration cached
+  /// centroid norms, exact top-two rescore of each row's tau-bounded
+  /// candidate set. Exact — records are byte-identical to the multi-chain
+  /// kernel and serial Lloyd (see engine_util.hpp); off restores the
+  /// multi-chain (x-c)^2 kernel and its cost model.
+  bool gemm_assign = true;
+  /// s-step deferred reduction (Level 3 only — the other levels resolve
+  /// tiles on the register bus, not the network): fold this many
+  /// consecutive tiles' MinLoc/MinLoc2 partials locally and ride them on
+  /// one split-phase combine, cutting per-iteration collective *rounds* by
+  /// the same factor while bytes stay put. Any value is bit-identical (the
+  /// combine stays element-wise over disjoint sample ranges); the record
+  /// buffer footprint scales with it and is validated at config time by
+  /// resolve_tile_samples. 1 reproduces the per-tile combine.
+  std::size_t sstep_tiles = 1;
   /// Optional timeline sink: engines record each rank's per-iteration
   /// phase intervals (simulated time) into it. Not owned; may be null.
   simarch::Trace* trace = nullptr;
@@ -110,6 +126,14 @@ struct IterationStats {
   /// traffic, not just the wall clock.
   std::uint64_t net_bytes = 0;
   std::uint64_t dma_bytes = 0;
+  /// Machine-wide modelled assign+update flops this iteration — together
+  /// with simulated_s this is the modelled FLOP rate the GEMM bench cell
+  /// tracks.
+  std::uint64_t flops = 0;
+  /// Critical-path network collective rounds this iteration (the busiest
+  /// rank's count — see CostTally::net_rounds). What the s-step deferred
+  /// reduction cuts.
+  std::uint64_t net_rounds = 0;
   /// Fault bookkeeping, stamped by the RecoveryDriver onto the first
   /// iteration of a leg that followed a failure: how many attempts the
   /// driver burned before this iteration ran, and the wall-clock seconds

@@ -31,8 +31,21 @@ KmeansResult run_level1(const data::Dataset& dataset,
   const std::size_t k = config.k;
   const std::size_t d = dataset.d();
   const std::size_t eb = machine.elem_bytes;
-  const std::size_t tile_samples =
-      resolve_tile_samples(config.tile_samples, plan, machine);
+  // GEMM output is byte-identical to the chain kernel, so an LDM too small
+  // for the candidate/norm scratch downgrades the kernel instead of
+  // rejecting a tile that fits without it; record-footprint overflow still
+  // throws through resolve_tile_samples.
+  const bool gemm_enabled =
+      config.gemm_assign &&
+      gemm_scratch_fits(config.tile_samples, plan, machine,
+                        config.sstep_tiles);
+  const std::size_t tile_samples = resolve_tile_samples(
+      config.tile_samples, plan, machine, config.sstep_tiles, gemm_enabled);
+  if (config.gemm_assign && !gemm_enabled) {
+    SWHKM_WARN << "level1: GEMM scratch for tile_samples="
+               << config.tile_samples
+               << " overflows LDM; using the chain kernel (bit-identical)";
+  }
   const simarch::Topology topo(machine);
 
   KmeansResult result;
@@ -82,6 +95,12 @@ KmeansResult run_level1(const data::Dataset& dataset,
     const std::size_t accum_bytes = (k * d + k) * eb;
     const bool gate = config.gate_assign;
     const bool pipeline = config.pipeline_tiles;
+    const bool gemm = gemm_enabled;
+    // Per-iteration ||c||^2 cache for the GEMM-formulated sweep. Gated
+    // iterations refresh only the rows the published drift marks moved —
+    // an unmoved row's stored float bits are unchanged, so its cached norm
+    // is still bit-exact.
+    detail::CentroidNormCache norm_cache;
 
     // Double-buffered tile slots: the pipelined loop stages tile t+1
     // (gate + score into the spare buffer, modelling the next tile's DMA
@@ -136,6 +155,21 @@ KmeansResult run_level1(const data::Dataset& dataset,
       if (gating) {
         detail::compute_safe_radii(centroids, safe);
       }
+      std::size_t norm_rows = 0;
+      if (gemm) {
+        // Drift is only published on gated runs; without it the cache has
+        // no invalidation signal, so recompute all k rows each iteration.
+        norm_rows = gating ? norm_cache.refresh_from_drift(centroids, drift)
+                           : norm_cache.refresh_full(centroids);
+        tally.compute_s += static_cast<double>(norm_rows) *
+                           machine.gemm_row_seconds(d);
+        // Norm refresh seconds are charged above, but its O(k d) products
+        // stay out of `flops`, which keeps its exact 2nkd distance-work
+        // meaning (FlopAccountingMatches2nkd) and prices the FLOP *rate*
+        // from the panel product alone.
+      }
+      const std::span<const double> norms(norm_cache.norms.data(),
+                                          norm_cache.norms.size());
 
       // Assign: each CPE streams its block, gates each tile against the
       // bounds, and scores all k centroids for the unresolved survivors
@@ -144,9 +178,14 @@ KmeansResult run_level1(const data::Dataset& dataset,
       // stored assignment, swept ones under the fresh argmin — so the
       // fused sums keep the exact summation order of the ungated sweep
       // and the centroid bits cannot move.
+      // Swept survivor rows run at the active kernel's rate; the gate's
+      // tighten rows are always single-row exact distances (multi-chain).
+      const double sweep_row_s = gemm ? machine.gemm_row_seconds(d)
+                                      : machine.assign_row_seconds(d);
+      const double tighten_row_s = machine.assign_row_seconds(d);
       std::uint64_t sample_bytes = 0;
       std::uint64_t max_cpe_samples = 0;
-      std::uint64_t max_cpe_work = 0;  // sweep rows + tighten rows, per CPE
+      double max_cpe_sweep_s = 0;  // sweep + tighten seconds, slowest CPE
       std::uint64_t rank_samples = 0;
       std::uint64_t rank_unresolved = 0;
       std::uint64_t rank_tightened = 0;
@@ -166,7 +205,12 @@ KmeansResult run_level1(const data::Dataset& dataset,
             const std::span<detail::TileScore2> scores(s.scores.data(),
                                                        t1 - t0);
             detail::clear_scores(scores);
-            detail::score_tile(dataset, t0, t1, centroids, 0, k, scores);
+            if (gemm) {
+              detail::score_tile_gemm(dataset, t0, t1, centroids, norms, 0, k,
+                                      scores);
+            } else {
+              detail::score_tile(dataset, t0, t1, centroids, 0, k, scores);
+            }
             return;
           }
           s.ids.clear();
@@ -180,10 +224,14 @@ KmeansResult run_level1(const data::Dataset& dataset,
             const std::span<detail::TileScore2> scores(s.scores.data(),
                                                        s.ids.size());
             detail::clear_scores(scores);
-            detail::score_tile_ids(
-                dataset,
-                std::span<const std::uint32_t>(s.ids.data(), s.ids.size()),
-                centroids, 0, k, scores);
+            const std::span<const std::uint32_t> ids(s.ids.data(),
+                                                     s.ids.size());
+            if (gemm) {
+              detail::score_tile_ids_gemm(dataset, ids, centroids, norms, 0,
+                                          k, scores);
+            } else {
+              detail::score_tile_ids(dataset, ids, centroids, 0, k, scores);
+            }
           }
         };
 
@@ -248,8 +296,10 @@ KmeansResult run_level1(const data::Dataset& dataset,
         rank_unresolved += cpe_unresolved;
         rank_tightened += cpe_tightened;
         max_cpe_samples = std::max(max_cpe_samples, count);
-        max_cpe_work =
-            std::max(max_cpe_work, cpe_unresolved * k + cpe_tightened);
+        max_cpe_sweep_s = std::max(
+            max_cpe_sweep_s,
+            static_cast<double>(cpe_unresolved * k) * sweep_row_s +
+                static_cast<double>(cpe_tightened) * tighten_row_s);
         if (cpe_unresolved > 0) {
           ++cpes_with_sweep;
         }
@@ -277,8 +327,7 @@ KmeansResult run_level1(const data::Dataset& dataset,
       detail::charge_sample_stream(tally, machine, sample_bytes,
                                    max_cpe_samples);
       const double sample_dma_s = tally.sample_read_s - sample_read_before;
-      const double sweep_compute_s = static_cast<double>(max_cpe_work) *
-                                     machine.assign_row_seconds(d);
+      const double sweep_compute_s = max_cpe_sweep_s;
       tally.compute_s += sweep_compute_s;
 
       // Tile pipeline overlap: the double buffer lets tile t+1's sample and
@@ -327,6 +376,7 @@ KmeansResult run_level1(const data::Dataset& dataset,
       tally.net_comm_s += topo.reduce_scatter_time(accum_bytes, 0, num_cgs) +
                           topo.allgather_time(publish_bytes, 0, num_cgs);
       tally.net_bytes += accum_bytes + publish_bytes;
+      tally.net_rounds += 2;  // reduce_scatter + allgather
       world.fault_point(swmpi::FaultSite::kUpdate, global_iter);
       const double update_start_us = spans_on ? tel->now_us() : 0.0;
       const detail::UpdateOutcome outcome = detail::reduce_and_update(
@@ -363,7 +413,8 @@ KmeansResult run_level1(const data::Dataset& dataset,
         history.push_back({shift, combined.total_s(),
                            static_cast<double>(combined.pruned_samples) /
                                static_cast<double>(dataset.n()),
-                           combined.net_bytes, combined.dma_bytes});
+                           combined.net_bytes, combined.dma_bytes,
+                           combined.flops, combined.net_rounds});
         if (sim_net != nullptr) {
           sim_net->add(combined.net_bytes);
           sim_dma->add(combined.dma_bytes);

@@ -34,8 +34,19 @@ KmeansResult run_level2(const data::Dataset& dataset,
   const std::size_t d = dataset.d();
   const std::size_t k_local = plan.k_local;
   const std::size_t eb = machine.elem_bytes;
-  const std::size_t tile_samples =
-      resolve_tile_samples(config.tile_samples, plan, machine);
+  // See level1: too-small LDM downgrades the (bit-identical) GEMM kernel
+  // rather than rejecting a tile that fits without its scratch.
+  const bool gemm_enabled =
+      config.gemm_assign &&
+      gemm_scratch_fits(config.tile_samples, plan, machine,
+                        config.sstep_tiles);
+  const std::size_t tile_samples = resolve_tile_samples(
+      config.tile_samples, plan, machine, config.sstep_tiles, gemm_enabled);
+  if (config.gemm_assign && !gemm_enabled) {
+    SWHKM_WARN << "level2: GEMM scratch for tile_samples="
+               << config.tile_samples
+               << " overflows LDM; using the chain kernel (bit-identical)";
+  }
   const simarch::Topology topo(machine);
 
   KmeansResult result;
@@ -85,6 +96,10 @@ KmeansResult run_level2(const data::Dataset& dataset,
     const std::size_t accum_bytes = (k * d + k) * eb;
     const bool gate = config.gate_assign;
     const bool pipeline = config.pipeline_tiles;
+    const bool gemm = gemm_enabled;
+    // Per-iteration ||c||^2 cache for the GEMM-formulated sweep (see
+    // level1.cpp): gated iterations refresh only the drift-marked rows.
+    detail::CentroidNormCache norm_cache;
 
     // Double-buffered tile slots (see level1.cpp): tile t+1 stages into
     // the spare buffer before tile t's merge retires; ascending retire
@@ -134,6 +149,19 @@ KmeansResult run_level2(const data::Dataset& dataset,
       if (gating) {
         detail::compute_safe_radii(centroids, safe);
       }
+      std::size_t norm_rows = 0;
+      if (gemm) {
+        norm_rows = gating ? norm_cache.refresh_from_drift(centroids, drift)
+                           : norm_cache.refresh_full(centroids);
+        tally.compute_s += static_cast<double>(norm_rows) *
+                           machine.gemm_row_seconds(d);
+        // Norm refresh seconds are charged above, but its O(k d) products
+        // stay out of `flops`, which keeps its exact 2nkd distance-work
+        // meaning (FlopAccountingMatches2nkd) and prices the FLOP *rate*
+        // from the panel product alone.
+      }
+      const std::span<const double> norms(norm_cache.norms.data(),
+                                          norm_cache.norms.size());
 
       // Assign: each CPE group of this CG takes one flow unit's block;
       // every member CPE reads the whole sample (replication factor g) and
@@ -170,7 +198,12 @@ KmeansResult run_level2(const data::Dataset& dataset,
             const std::span<detail::TileScore2> scores(s.scores.data(),
                                                        t1 - t0);
             detail::clear_scores(scores);
-            detail::score_tile(dataset, t0, t1, centroids, 0, k, scores);
+            if (gemm) {
+              detail::score_tile_gemm(dataset, t0, t1, centroids, norms, 0, k,
+                                      scores);
+            } else {
+              detail::score_tile(dataset, t0, t1, centroids, 0, k, scores);
+            }
             return;
           }
           s.ids.clear();
@@ -187,10 +220,14 @@ KmeansResult run_level2(const data::Dataset& dataset,
             const std::span<detail::TileScore2> scores(s.scores.data(),
                                                        s.ids.size());
             detail::clear_scores(scores);
-            detail::score_tile_ids(
-                dataset,
-                std::span<const std::uint32_t>(s.ids.data(), s.ids.size()),
-                centroids, 0, k, scores);
+            const std::span<const std::uint32_t> ids(s.ids.data(),
+                                                     s.ids.size());
+            if (gemm) {
+              detail::score_tile_ids_gemm(dataset, ids, centroids, norms, 0,
+                                          k, scores);
+            } else {
+              detail::score_tile_ids(dataset, ids, centroids, 0, k, scores);
+            }
           }
         };
 
@@ -285,10 +322,14 @@ KmeansResult run_level2(const data::Dataset& dataset,
       }
       const double centroid_dma_s =
           tally.centroid_stream_s - centroid_stream_before;
+      // Swept survivor slice-rows run at the active kernel's rate; tighten
+      // rows are always single-row exact distances (multi-chain).
       const double sweep_compute_s =
-          static_cast<double>(max_group_unresolved * k_local +
-                              max_group_tightened) *
-          machine.assign_row_seconds(d);
+          static_cast<double>(max_group_unresolved * k_local) *
+              (gemm ? machine.gemm_row_seconds(d)
+                    : machine.assign_row_seconds(d)) +
+          static_cast<double>(max_group_tightened) *
+              machine.assign_row_seconds(d);
       tally.compute_s += sweep_compute_s;
 
       // Tile pipeline overlap (see level1.cpp): tile t+1's replicated
@@ -342,6 +383,7 @@ KmeansResult run_level2(const data::Dataset& dataset,
       tally.net_comm_s += topo.reduce_scatter_time(accum_bytes, 0, num_cgs) +
                           topo.allgather_time(publish_bytes, 0, num_cgs);
       tally.net_bytes += accum_bytes + publish_bytes;
+      tally.net_rounds += 2;  // reduce_scatter + allgather
 
       world.fault_point(swmpi::FaultSite::kUpdate, global_iter);
       const double update_start_us = spans_on ? tel->now_us() : 0.0;
@@ -379,7 +421,8 @@ KmeansResult run_level2(const data::Dataset& dataset,
         history.push_back({shift, combined.total_s(),
                            static_cast<double>(combined.pruned_samples) /
                                static_cast<double>(dataset.n()),
-                           combined.net_bytes, combined.dma_bytes});
+                           combined.net_bytes, combined.dma_bytes,
+                           combined.flops, combined.net_rounds});
         if (sim_net != nullptr) {
           sim_net->add(combined.net_bytes);
           sim_dma->add(combined.dma_bytes);

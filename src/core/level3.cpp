@@ -34,8 +34,25 @@ KmeansResult run_level3(const data::Dataset& dataset,
   const std::size_t k_local = plan.k_local;
   const std::size_t d_local = plan.d_local;
   const std::size_t eb = machine.elem_bytes;
-  const std::size_t tile_samples =
-      resolve_tile_samples(config.tile_samples, plan, machine);
+  // See level1: too-small LDM downgrades the (bit-identical) GEMM kernel
+  // rather than rejecting a tile that fits without its scratch.
+  const bool gemm_enabled =
+      config.gemm_assign &&
+      gemm_scratch_fits(config.tile_samples, plan, machine,
+                        config.sstep_tiles);
+  const std::size_t tile_samples = resolve_tile_samples(
+      config.tile_samples, plan, machine, config.sstep_tiles, gemm_enabled);
+  if (config.gemm_assign && !gemm_enabled) {
+    SWHKM_WARN << "level3: GEMM scratch for tile_samples="
+               << config.tile_samples
+               << " overflows LDM; using the chain kernel (bit-identical)";
+  }
+  // s-step deferred reduction: one combine launch per span of `sstep`
+  // consecutive tiles instead of one per tile. The fold stays element-wise
+  // over disjoint sample ranges, so any span size is bit-identical; only
+  // the collective *round* count moves.
+  const std::size_t sstep = config.sstep_tiles;
+  const std::size_t span_samples = tile_samples * sstep;
   const simarch::Topology topo(machine);
 
   KmeansResult result;
@@ -103,28 +120,30 @@ KmeansResult run_level3(const data::Dataset& dataset,
     // with it the centroid bits.
     detail::UpdateAccumulator acc(k, d);
     const bool gate = config.gate_assign;
-    // Double-buffered tile slots: the pipelined loop stages tile t+1
-    // (gate + score + split-combine start) while tile t's combine drains.
-    // Two slots is exactly the depth the overlap needs; the retire order
-    // stays ascending, so the accumulator's summation order — and with it
-    // the centroid bits — cannot move.
-    struct TileSlot {
+    const bool gemm = gemm_enabled;
+    // Per-iteration ||c||^2 cache for the GEMM-formulated slice sweep (see
+    // level1.cpp): gated iterations refresh only the drift-marked rows.
+    detail::CentroidNormCache norm_cache;
+    // Double-buffered span slots: the pipelined loop stages span t+1
+    // (gate + score each sub-tile, one deferred-combine launch) while span
+    // t's combine drains. Two slots is exactly the depth the overlap
+    // needs; the retire order stays ascending, so the accumulator's
+    // summation order — and with it the centroid bits — cannot move.
+    struct SpanSlot {
       std::size_t t0 = 0;
       std::size_t t1 = 0;
       bool valid = false;
       std::vector<std::uint32_t> ids;
-      std::vector<swmpi::MinLoc> scores1;
-      std::vector<swmpi::MinLoc2> scores2;
-      swmpi::SplitAllreduce<swmpi::MinLoc, swmpi::ops::Min> combine1;
-      swmpi::SplitAllreduce<swmpi::MinLoc2, swmpi::CombineMinLoc2> combine2;
+      swmpi::DeferredCombine<swmpi::MinLoc, swmpi::ops::Min> dc1;
+      swmpi::DeferredCombine<swmpi::MinLoc2, swmpi::CombineMinLoc2> dc2;
     };
-    TileSlot slots[2];
-    for (TileSlot& s : slots) {
+    SpanSlot slots[2];
+    for (SpanSlot& s : slots) {
       if (gate) {
-        s.scores2.resize(tile_samples);
-        s.ids.reserve(tile_samples);
+        s.dc2.reserve(span_samples);
+        s.ids.reserve(span_samples);
       } else {
-        s.scores1.resize(tile_samples);
+        s.dc1.reserve(span_samples);
       }
     }
     const bool pipeline = config.pipeline_tiles;
@@ -168,6 +187,19 @@ KmeansResult run_level3(const data::Dataset& dataset,
       if (gating) {
         detail::compute_safe_radii(centroids, safe);
       }
+      std::size_t norm_rows = 0;
+      if (gemm) {
+        norm_rows = gating ? norm_cache.refresh_from_drift(centroids, drift)
+                           : norm_cache.refresh_full(centroids);
+        tally.compute_s += static_cast<double>(norm_rows) *
+                           machine.gemm_row_seconds(d);
+        // Norm refresh seconds are charged above, but its O(k d) products
+        // stay out of `flops`, which keeps its exact 2nkd distance-work
+        // meaning (FlopAccountingMatches2nkd) and prices the FLOP *rate*
+        // from the panel product alone.
+      }
+      const std::span<const double> norms(norm_cache.norms.data(),
+                                          norm_cache.norms.size());
 
       // Assign: every CG of the group reads each unresolved sample (its
       // CPEs taking d_local dims each) and scores its own slice, a tile of
@@ -185,61 +217,91 @@ KmeansResult run_level3(const data::Dataset& dataset,
       double drain_first_us = -1.0;
       double drain_wall_us = 0.0;
 
-      // Stage tile [t0, t1): gate + score it into the slot, then *start*
-      // the argmin combine (the binomial up-phase send posts without
-      // waiting) so the drain can overlap the next tile's sweep.
-      auto stage = [&](TileSlot& s, std::size_t t0, std::size_t t1) {
+      // Stage span [t0, t1): gate + score each of its sub-tiles into the
+      // slot's deferred-combine store, then *launch* the span's single
+      // argmin combine (the binomial up-phase send posts without waiting)
+      // so the drain can overlap the next span's sweep. Sub-tiles claim
+      // records in ascending order, so the combined store maps 1:1 onto
+      // the span's survivors in ascending i.
+      auto stage = [&](SpanSlot& s, std::size_t t0, std::size_t t1) {
         s.t0 = t0;
         s.t1 = t1;
         s.valid = true;
         if (!gate) {
-          const std::span<swmpi::MinLoc> scores(s.scores1.data(), t1 - t0);
-          detail::clear_scores(scores);
-          if (j_begin < j_end) {
-            detail::score_tile(dataset, t0, t1, centroids, j_begin, j_end,
-                               scores);
+          s.dc1.reset();
+          for (std::size_t sub0 = t0; sub0 < t1; sub0 += tile_samples) {
+            const std::size_t sub1 = std::min(t1, sub0 + tile_samples);
+            const std::span<swmpi::MinLoc> scores = s.dc1.claim(sub1 - sub0);
+            detail::clear_scores(scores);
+            if (j_begin < j_end) {
+              if (gemm) {
+                detail::score_tile_gemm(dataset, sub0, sub1, centroids, norms,
+                                        j_begin, j_end, scores);
+              } else {
+                detail::score_tile(dataset, sub0, sub1, centroids, j_begin,
+                                   j_end, scores);
+              }
+            }
           }
-          s.combine1.start(group_comm, scores, swmpi::ops::Min{});
+          if (s.dc1.launch(group_comm, swmpi::ops::Min{}) && p > 1) {
+            tally.net_rounds += 1;
+          }
           return;
         }
         s.ids.clear();
-        if (!gating) {
-          for (std::size_t i = t0; i < t1; ++i) {
-            s.ids.push_back(static_cast<std::uint32_t>(i));
+        s.dc2.reset();
+        for (std::size_t sub0 = t0; sub0 < t1; sub0 += tile_samples) {
+          const std::size_t sub1 = std::min(t1, sub0 + tile_samples);
+          const std::size_t before = s.ids.size();
+          if (!gating) {
+            for (std::size_t i = sub0; i < sub1; ++i) {
+              s.ids.push_back(static_cast<std::uint32_t>(i));
+            }
+          } else {
+            // No tightening at this level: the assigned centroid's row is
+            // dimension-split across the group's CPEs and slice-split
+            // across its CGs, so one exact distance would cost the combine
+            // the gate exists to skip. Bounds + safe radii only.
+            detail::gate_tile(dataset, centroids, sub0, sub1, local_assign,
+                              drift, digest, safe, upper, lower,
+                              /*tighten=*/false, s.ids);
           }
-        } else {
-          // No tightening at this level: the assigned centroid's row is
-          // dimension-split across the group's CPEs and slice-split across
-          // its CGs, so one exact distance would cost the combine the gate
-          // exists to skip. Bounds + safe radii only.
-          detail::gate_tile(dataset, centroids, t0, t1, local_assign, drift,
-                            digest, safe, upper, lower, /*tighten=*/false,
-                            s.ids);
-        }
-        if (survivor_hist != nullptr && gating) {
-          survivor_hist->observe(static_cast<double>(s.ids.size()));
-        }
-        if (!s.ids.empty()) {
-          const std::span<swmpi::MinLoc2> scores(s.scores2.data(),
-                                                 s.ids.size());
+          const std::size_t fresh = s.ids.size() - before;
+          if (survivor_hist != nullptr && gating) {
+            survivor_hist->observe(static_cast<double>(fresh));
+          }
+          if (fresh == 0) {
+            continue;
+          }
+          const std::span<swmpi::MinLoc2> scores = s.dc2.claim(fresh);
           detail::clear_scores(scores);
           if (j_begin < j_end) {
-            detail::score_tile_ids(
-                dataset,
-                std::span<const std::uint32_t>(s.ids.data(), s.ids.size()),
-                centroids, j_begin, j_end, scores);
+            const std::span<const std::uint32_t> ids(s.ids.data() + before,
+                                                     fresh);
+            if (gemm) {
+              detail::score_tile_ids_gemm(dataset, ids, centroids, norms,
+                                          j_begin, j_end, scores);
+            } else {
+              detail::score_tile_ids(dataset, ids, centroids, j_begin, j_end,
+                                     scores);
+            }
           }
-          s.combine2.start(group_comm, scores, swmpi::CombineMinLoc2{});
+        }
+        // A fully-gated span claimed nothing: launch() skips the
+        // collective (every rank computed the same empty compaction, so
+        // the collective discipline holds) and no round is charged.
+        if (s.dc2.launch(group_comm, swmpi::CombineMinLoc2{}) && p > 1) {
+          tally.net_rounds += 1;
         }
       };
 
-      // Retire tile [s.t0, s.t1): drain its combine, then merge the
+      // Retire span [s.t0, s.t1): drain its combine, then merge the
       // resolved winners in ascending-i order (the bit-identity invariant).
-      auto retire = [&](TileSlot& s) {
+      auto retire = [&](SpanSlot& s) {
         if (!gate) {
-          if (s.combine1.active()) {
+          if (s.dc1.active()) {
             const double t_us = spans_on ? tel->now_us() : 0.0;
-            s.combine1.finish();
+            s.dc1.finish();
             if (spans_on) {
               if (drain_first_us < 0) {
                 drain_first_us = t_us;
@@ -247,8 +309,7 @@ KmeansResult run_level3(const data::Dataset& dataset,
               drain_wall_us += tel->now_us() - t_us;
             }
           }
-          const std::span<const swmpi::MinLoc> scores(s.scores1.data(),
-                                                      s.t1 - s.t0);
+          const std::span<const swmpi::MinLoc> scores = s.dc1.records();
           for (std::size_t i = s.t0; i < s.t1; ++i) {
             const auto winner =
                 static_cast<std::uint32_t>(scores[i - s.t0].index);
@@ -263,9 +324,9 @@ KmeansResult run_level3(const data::Dataset& dataset,
           s.valid = false;
           return;
         }
-        if (s.combine2.active()) {
+        if (s.dc2.active()) {
           const double t_us = spans_on ? tel->now_us() : 0.0;
-          s.combine2.finish();
+          s.dc2.finish();
           if (spans_on) {
             if (drain_first_us < 0) {
               drain_first_us = t_us;
@@ -273,8 +334,7 @@ KmeansResult run_level3(const data::Dataset& dataset,
             drain_wall_us += tel->now_us() - t_us;
           }
         }
-        const std::span<const swmpi::MinLoc2> scores(s.scores2.data(),
-                                                     s.ids.size());
+        const std::span<const swmpi::MinLoc2> scores = s.dc2.records();
         std::size_t pos = 0;
         for (std::size_t i = s.t0; i < s.t1; ++i) {
           std::uint32_t winner;
@@ -302,17 +362,17 @@ KmeansResult run_level3(const data::Dataset& dataset,
       };
 
       int cur = 0;
-      for (std::size_t t0 = begin; t0 < end; t0 += tile_samples) {
-        const std::size_t t1 = std::min(end, t0 + tile_samples);
+      for (std::size_t t0 = begin; t0 < end; t0 += span_samples) {
+        const std::size_t t1 = std::min(end, t0 + span_samples);
         stage(slots[cur], t0, t1);
         if (!pipeline) {
           retire(slots[cur]);
           continue;
         }
-        // Tile t-1 retires only after tile t is staged: its combine kept
-        // draining under this tile's gate + sweep, and this tile's combine
+        // Span t-1 retires only after span t is staged: its combine kept
+        // draining under this span's gate + sweep, and this span's combine
         // is already in flight before we block.
-        TileSlot& prev = slots[cur ^ 1];
+        SpanSlot& prev = slots[cur ^ 1];
         if (prev.valid) {
           retire(prev);
         }
@@ -349,9 +409,10 @@ KmeansResult run_level3(const data::Dataset& dataset,
       }
       const double tile_dma_s =
           tally.centroid_stream_s - centroid_stream_before;
-      const double sweep_compute_s = static_cast<double>(unresolved) *
-                                     static_cast<double>(k_local) *
-                                     machine.assign_row_seconds(d_local);
+      const double sweep_compute_s =
+          static_cast<double>(unresolved) * static_cast<double>(k_local) *
+          (gemm ? machine.gemm_row_seconds(d_local)
+                : machine.assign_row_seconds(d_local));
       tally.compute_s += sweep_compute_s;
       tally.flops += unresolved * 2 * (j_end - j_begin) * d;
       if (gating) {
@@ -388,8 +449,9 @@ KmeansResult run_level3(const data::Dataset& dataset,
       // overlaps); leftover window hides the modelled centroid re-stream.
       // Hidden seconds move into the overlapped_* ledgers — total_s()
       // shrinks by exactly what the pipeline bought.
-      if (pipeline && count > tile_samples) {
-        const std::size_t ntiles = (count + tile_samples - 1) / tile_samples;
+      if (pipeline && count > span_samples) {
+        const std::size_t ntiles =
+            (count + span_samples - 1) / span_samples;
         const double window = sweep_compute_s *
                               static_cast<double>(ntiles - 1) /
                               static_cast<double>(ntiles);
@@ -415,6 +477,7 @@ KmeansResult run_level3(const data::Dataset& dataset,
       tally.net_comm_s += topo.reduce_scatter_time(accum_bytes, 0, num_cgs) +
                           topo.allgather_time(publish_bytes, 0, num_cgs);
       tally.net_bytes += accum_bytes + publish_bytes;
+      tally.net_rounds += 2;  // reduce_scatter + allgather
       world.fault_point(swmpi::FaultSite::kUpdate, global_iter);
       const double update_start_us = spans_on ? tel->now_us() : 0.0;
       const detail::UpdateOutcome outcome = detail::reduce_and_update(
@@ -451,7 +514,8 @@ KmeansResult run_level3(const data::Dataset& dataset,
         history.push_back({shift, combined.total_s(),
                            static_cast<double>(combined.pruned_samples) /
                                static_cast<double>(dataset.n()),
-                           combined.net_bytes, combined.dma_bytes});
+                           combined.net_bytes, combined.dma_bytes,
+                           combined.flops, combined.net_rounds});
         if (sim_net != nullptr) {
           sim_net->add(combined.net_bytes);
           sim_dma->add(combined.dma_bytes);

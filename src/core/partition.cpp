@@ -456,19 +456,49 @@ std::string PartitionPlan::describe() const {
 
 std::size_t resolve_tile_samples(std::size_t requested,
                                  const PartitionPlan& plan,
-                                 const simarch::MachineConfig& machine) {
+                                 const simarch::MachineConfig& machine,
+                                 std::size_t sstep_tiles, bool gemm_assign) {
   constexpr std::size_t kScoreBytes = 24;  // sizeof(swmpi::MinLoc2)
+  if (sstep_tiles == 0) {
+    throw InfeasibleError(
+        "sstep_tiles=0: the s-step deferred reduction must fold at least "
+        "one tile per combine (1 reproduces the per-tile combine)");
+  }
+  // Only Level 3 defers combines, so only there do sstep_tiles tiles'
+  // records stay live at once.
+  const std::size_t live_tiles =
+      plan.level == Level::kLevel3 ? sstep_tiles : 1;
+  const std::size_t record_bytes = requested * kScoreBytes * live_tiles;
+  const std::size_t gemm_bytes =
+      gemm_assign ? requested * kGemmSampleScratchBytes +
+                        static_cast<std::size_t>(plan.k_local) * sizeof(double)
+                  : 0;
+  const std::size_t need = record_bytes + gemm_bytes;
   const std::size_t budget = plan.cpes_per_cg * machine.ldm_bytes;
-  if (requested == 0 || requested * kScoreBytes > budget) {
+  if (requested == 0 || need > budget) {
     throw InfeasibleError(
         "tile_samples=" + std::to_string(requested) + " needs " +
-        std::to_string(requested * kScoreBytes) +
-        " bytes of argmin records, but the CG's aggregate LDM holds " +
-        std::to_string(budget) + " bytes (" +
-        std::to_string(plan.cpes_per_cg) + " CPE x " +
+        std::to_string(record_bytes) + " bytes of argmin records (" +
+        std::to_string(live_tiles) + " live tile(s))" +
+        (gemm_bytes > 0 ? " + " + std::to_string(gemm_bytes) +
+                              " bytes of GEMM candidate/norm scratch"
+                        : std::string()) +
+        ", but the CG's aggregate LDM holds " + std::to_string(budget) +
+        " bytes (" + std::to_string(plan.cpes_per_cg) + " CPE x " +
         std::to_string(machine.ldm_bytes) + "); request a smaller tile");
   }
   return requested;
+}
+
+bool gemm_scratch_fits(std::size_t tile_samples, const PartitionPlan& plan,
+                       const simarch::MachineConfig& machine,
+                       std::size_t sstep_tiles) {
+  try {
+    resolve_tile_samples(tile_samples, plan, machine, sstep_tiles, true);
+    return true;
+  } catch (const InfeasibleError&) {
+    return false;
+  }
 }
 
 std::uint64_t max_k_for_level(Level level, std::uint64_t d,

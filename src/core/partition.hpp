@@ -105,16 +105,36 @@ std::vector<std::size_t> candidate_m_groups(
 std::vector<std::size_t> candidate_mprime_groups(
     const simarch::MachineConfig& machine);
 
+/// Per-sample LDM scratch of the GEMM-formulated sweep, on top of the
+/// argmin records: the tau-bounded candidate buffer (kGemmCandidates x 4-byte
+/// ids), the cached ||x||^2 and the running top-two uppers (3 doubles), and
+/// the candidate count.
+inline constexpr std::size_t kGemmSampleScratchBytes = 60;
+
 /// Validate a requested assign-phase tile size against the machine: a
 /// tile's argmin records (24 bytes each — the top-two MinLoc2 width, the
 /// larger of the two record kinds the engines batch) must fit the CG's
 /// aggregate scratchpad, where they time-share with the plan's per-CPE
-/// stream buffers. Throws InfeasibleError (the planner's rejection path —
-/// callers get a diagnosable error, not an assert) for zero or oversized
-/// requests; returns the validated value otherwise.
+/// stream buffers. Level 3's s-step deferred reduction holds `sstep_tiles`
+/// consecutive tiles' records live at once, and the GEMM sweep adds its
+/// per-sample scratch plus the plan's local slice of the centroid-norm
+/// cache (k_local doubles). Throws InfeasibleError (the planner's
+/// rejection path — callers get a diagnosable error, not an assert) for
+/// zero or oversized requests; returns the validated value otherwise.
 std::size_t resolve_tile_samples(std::size_t requested,
                                  const PartitionPlan& plan,
-                                 const simarch::MachineConfig& machine);
+                                 const simarch::MachineConfig& machine,
+                                 std::size_t sstep_tiles = 1,
+                                 bool gemm_assign = true);
+
+/// Whether the GEMM sweep's candidate/norm scratch fits in LDM alongside
+/// the tile's records. The GEMM kernel is an optimisation with
+/// byte-identical output, so the engines consult this and fall back to the
+/// multi-chain kernel — instead of rejecting a configuration that is
+/// feasible without the scratch — when it returns false.
+bool gemm_scratch_fits(std::size_t tile_samples, const PartitionPlan& plan,
+                       const simarch::MachineConfig& machine,
+                       std::size_t sstep_tiles = 1);
 
 /// Largest k (resp. d) the level can handle on `machine` with the other
 /// two shape parameters fixed — powers Table I and the capability bench.

@@ -28,6 +28,9 @@ std::string CostTally::summary() const {
   if (pruned_samples > 0) {
     out << ", pruned " << util::format_count(pruned_samples);
   }
+  if (net_rounds > 0) {
+    out << ", rounds " << util::format_count(net_rounds);
+  }
   return out.str();
 }
 

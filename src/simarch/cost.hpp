@@ -39,6 +39,14 @@ struct CostTally {
   /// Samples the bound gate resolved without a distance sweep this
   /// iteration (0 when gating is off or on the exact first iteration).
   std::uint64_t pruned_samples = 0;
+  /// Network collective *rounds* this rank entered (per-tile argmin
+  /// combines plus the update phase's reduce_scatter + allgather). Rounds
+  /// are the latency-side currency the s-step deferred reduction spends
+  /// less of — bytes can stay constant while rounds drop by the fold
+  /// factor. Combined across ranks as a max (concurrent groups' rounds
+  /// overlap; the busiest rank is the critical path) and summed across
+  /// iterations like the time fields.
+  std::uint64_t net_rounds = 0;
 
   double total_s() const {
     return sample_read_s + centroid_stream_s + compute_s + mesh_comm_s +
@@ -59,6 +67,7 @@ struct CostTally {
     net_bytes += other.net_bytes;
     flops += other.flops;
     pruned_samples += other.pruned_samples;
+    net_rounds += other.net_rounds;
     return *this;
   }
 
@@ -87,6 +96,8 @@ struct CostTally {
     net_bytes += other.net_bytes;
     flops += other.flops;
     pruned_samples += other.pruned_samples;
+    net_rounds =
+        net_rounds > other.net_rounds ? net_rounds : other.net_rounds;
     return *this;
   }
 

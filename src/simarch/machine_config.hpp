@@ -41,6 +41,17 @@ struct MachineConfig {
   /// scoring 8-element rows does almost as much bookkeeping as one scoring
   /// 512-element rows.
   double row_overhead_cycles = 96.0;
+  /// Sustained fraction of peak for the GEMM-formulated sweep. The panel
+  /// product is a register-tiled mul+add kernel over an LDM-resident
+  /// centroid block — the regime where cache-blocked GEMM reaches a large
+  /// fraction of peak instead of the gather-bound 5% above. 30% is the
+  /// conservative end of measured SW26010 DGEMM efficiency, net of the
+  /// exact-rescore tail the bit-identity contract adds.
+  double gemm_efficiency = 0.30;
+  /// Per-(sample, centroid-row) bookkeeping of the GEMM sweep: the panel
+  /// is transposed once per tile and norms come from the per-iteration
+  /// cache, so per-row overhead is a fraction of the multi-chain kernel's.
+  double gemm_row_overhead_cycles = 24.0;
 
   // --- memory system ---
   double dma_bandwidth = 32e9;  ///< B: DDR3 bandwidth shared by one CG (B/s)
@@ -83,6 +94,14 @@ struct MachineConfig {
     return 2.0 * static_cast<double>(row_width) /
                (cpe_flops() * compute_efficiency) +
            row_overhead_cycles / cpe_clock_hz;
+  }
+  /// Same unit of work through the GEMM-formulated sweep (one dot-product
+  /// row of the -2 X C^T panel product): identical 2*row_width flop count,
+  /// sustained at gemm_efficiency with the amortised per-row overhead.
+  double gemm_row_seconds(std::size_t row_width) const {
+    return 2.0 * static_cast<double>(row_width) /
+               (cpe_flops() * gemm_efficiency) +
+           gemm_row_overhead_cycles / cpe_clock_hz;
   }
   double cg_flops() const {
     return cpe_flops() * static_cast<double>(cpes_per_cg);

@@ -50,6 +50,8 @@ void RunReport::write_json(std::ostream& out) const {
   w.kv("seed", config.seed);
   w.kv("tile_samples", static_cast<std::uint64_t>(config.tile_samples));
   w.kv("gate_assign", config.gate_assign);
+  w.kv("gemm_assign", config.gemm_assign);
+  w.kv("sstep_tiles", static_cast<std::uint64_t>(config.sstep_tiles));
   w.kv("iteration_base", static_cast<std::uint64_t>(config.iteration_base));
   w.kv("checkpoint_every",
        static_cast<std::uint64_t>(config.checkpoint_every));
@@ -73,6 +75,8 @@ void RunReport::write_json(std::ostream& out) const {
     w.kv("prune_rate", it.prune_rate);
     w.kv("net_bytes", it.net_bytes);
     w.kv("dma_bytes", it.dma_bytes);
+    w.kv("flops", it.flops);
+    w.kv("net_rounds", it.net_rounds);
     w.kv("retries", it.retries);
     w.kv("recover_s", it.recover_s);
     w.end_object();

@@ -223,14 +223,34 @@ TEST(GatedAssign, Level3ChargesCompactedCollectiveVolumes) {
 
 TEST(GatedAssign, ResolveTileSamplesValidatesAgainstLdm) {
   // tiny(1, 4, 2048): 4 CPEs x 2 KiB LDM = 8192 bytes of aggregate
-  // scratchpad; a 24-byte record caps the tile at 341 samples.
+  // scratchpad; with the GEMM sweep off, a 24-byte record caps the tile at
+  // 341 samples.
   const MachineConfig machine = MachineConfig::tiny(1, 4, 2048);
   const PartitionPlan plan =
       make_plan(Level::kLevel1, ProblemShape{256, 2, 4}, machine);
-  EXPECT_EQ(resolve_tile_samples(256, plan, machine), 256u);
-  EXPECT_EQ(resolve_tile_samples(341, plan, machine), 341u);
-  EXPECT_THROW(resolve_tile_samples(342, plan, machine), InfeasibleError);
+  EXPECT_EQ(resolve_tile_samples(256, plan, machine, 1, false), 256u);
+  EXPECT_EQ(resolve_tile_samples(341, plan, machine, 1, false), 341u);
+  EXPECT_THROW(resolve_tile_samples(342, plan, machine, 1, false),
+               InfeasibleError);
   EXPECT_THROW(resolve_tile_samples(0, plan, machine), InfeasibleError);
+
+  // The GEMM sweep's per-sample candidate scratch (60 bytes) + the
+  // k_local-double norm cache ride on top: 84 bytes/sample + 16 caps the
+  // default-config tile at 97 samples on the same machine.
+  EXPECT_EQ(resolve_tile_samples(97, plan, machine), 97u);
+  EXPECT_THROW(resolve_tile_samples(98, plan, machine), InfeasibleError);
+
+  // s-step folding multiplies the live record footprint on Level 3 only
+  // (the other levels retire each tile's records on the register bus).
+  const MachineConfig l3_machine = MachineConfig::tiny(2, 4, 2048);
+  const PartitionPlan l3_plan =
+      make_plan(Level::kLevel3, ProblemShape{256, 4, 4}, l3_machine, 0, 2);
+  EXPECT_EQ(resolve_tile_samples(85, l3_plan, l3_machine, 4, false), 85u);
+  EXPECT_THROW(resolve_tile_samples(86, l3_plan, l3_machine, 4, false),
+               InfeasibleError);
+  EXPECT_EQ(resolve_tile_samples(341, plan, machine, 4, false), 341u);
+  EXPECT_THROW(resolve_tile_samples(64, plan, machine, 0, false),
+               InfeasibleError);
 
   // The engines reject through the same path.
   const data::Dataset ds = data::make_blobs(64, 4, 2, 9);
