@@ -9,6 +9,13 @@
 ///
 /// Also runs the placement ablation: CG groups packed into supernodes
 /// (the paper's advice) vs scattered across them.
+///
+/// Second sweep, same shape at 512 nodes (two supernodes): the
+/// hierarchical-collective schedule vs the flat one. The flat collectives
+/// push every rank's payload through the central switch at the
+/// supernode-crossing stages — the traffic behind the paper's Fig. 7 step
+/// jumps; the two-level schedule's crossing bytes per iteration and the
+/// resulting jump at the boundary are what this table tracks.
 
 #include "bench_common.hpp"
 
@@ -64,6 +71,40 @@ int main() {
 
   std::cout << "Crossover: Level 3 overtakes Level 2 at d = " << crossover
             << " (paper: 2560; same low-thousands band expected).\n"
-            << "Level 2 infeasible for d > 4096 (paper: the same wall).\n";
+            << "Level 2 infeasible for d > 4096 (paper: the same wall).\n\n";
+
+  // Supernode-boundary sweep: the same shape on 512 nodes (two
+  // supernodes), the best Level 3 plan priced through the flat schedule
+  // and the hierarchical one. The crossing columns are the modeled bytes
+  // through the central switch per iteration — the hierarchical schedule
+  // must cut them, shrinking the boundary jump the flat schedule pays.
+  const simarch::MachineConfig mc512 = simarch::MachineConfig::sw26010(512);
+  util::Table hier_table({"d", "L3 flat s/iter", "L3 hier s/iter",
+                          "flat crossing MB", "hier crossing MB",
+                          "crossing cut"});
+  for (std::uint64_t d : {512ull, 2048ull, 4096ull, 8192ull, 196608ull}) {
+    const ProblemShape shape{kN, kK, d};
+    const auto choice =
+        core::best_plan_for_level(Level::kLevel3, shape, mc512);
+    if (!choice) {
+      continue;
+    }
+    const simarch::CostTally flat = core::model_iteration(
+        choice->plan, mc512, Placement::kPacked, /*hier_collectives=*/false);
+    const simarch::CostTally hier = core::model_iteration(
+        choice->plan, mc512, Placement::kPacked, /*hier_collectives=*/true);
+    hier_table.new_row()
+        .add(std::uint64_t{d})
+        .add(flat.total_s(), 6)
+        .add(hier.total_s(), 6)
+        .add(static_cast<double>(flat.net_crossing_bytes) / 1e6, 2)
+        .add(static_cast<double>(hier.net_crossing_bytes) / 1e6, 2)
+        .add(hier.net_crossing_bytes > 0
+                 ? static_cast<double>(flat.net_crossing_bytes) /
+                       static_cast<double>(hier.net_crossing_bytes)
+                 : 0.0,
+             1);
+  }
+  bench::emit(hier_table, "fig7_hier_crossing");
   return 0;
 }

@@ -680,12 +680,16 @@ TelemetryCell run_telemetry_cell() {
 /// below the strictly sequential mutex side's. Deterministic — the model
 /// does not see host scheduling.
 ///
-/// Host-observed stall (Σ swmpi.recv.stall_s across ranks / elapsed wall
-/// seconds, best of N) rides along as a secondary signal. On shared or
-/// single-core CI hosts the rank threads oversubscribe the machine and
-/// every blocking collective waits on the scheduler regardless of the
-/// transport, so the host numbers are informational only — same caveat as
-/// the other wall-clock cells. Both runs must stay bit-identical.
+/// Host-observed stall (Σ swmpi.recv.stall_s across ranks / aggregate
+/// rank-seconds, i.e. elapsed wall seconds x rank count, best of N) rides
+/// along as a secondary signal. The stall sum spans every rank thread, so
+/// dividing by one host wall clock would let the share exceed 1.0 whenever
+/// more than one rank blocks at once; rank-seconds is the denominator that
+/// makes it a true utilisation fraction. On shared or single-core CI hosts
+/// the rank threads oversubscribe the machine and every blocking
+/// collective waits on the scheduler regardless of the transport, so the
+/// host numbers are informational only — same caveat as the other
+/// wall-clock cells. Both runs must stay bit-identical.
 struct MailboxCell {
   double mutex_stall_share = 0;  ///< modeled net share, sequential mutex side
   double ring_stall_share = 0;   ///< modeled net share, pipelined ring side
@@ -754,7 +758,17 @@ MailboxCell run_mailbox_cell() {
           it != snap.histograms.end()) {
         stall_s = it->second.sum;
       }
-      const double share = wall_s > 0 ? stall_s / wall_s : 0;
+      // Aggregate rank-seconds denominator: stall_s sums over all rank
+      // threads, so the share is per-rank-time, not per-wall-time.
+      const double rank_seconds =
+          wall_s * static_cast<double>(machine.num_cgs());
+      double share = rank_seconds > 0 ? stall_s / rank_seconds : 0;
+      if (share > 1.0) {
+        std::cerr << "wallclock_engines: host stall share " << share
+                  << " > 1.0 (scheduler preemption inflated the stall "
+                     "clocks); clamping\n";
+        share = 1.0;
+      }
       if (rep == 0 || share < side->host_stall_share) {
         side->host_stall_share = share;
       }
@@ -945,6 +959,194 @@ int check_gemm_cell(const GemmCell& gemm) {
   return 0;
 }
 
+/// Hierarchical-collective cell (modeled + engine A/B, deterministic).
+///
+/// Modeled side, at paper scale: the fig7 workload's Level 3 plan on
+/// sw26010(512) — two supernodes, so the flat recursive-doubling
+/// collectives push every rank's payload through the central switch at
+/// the supernode-crossing stages. The same iteration modeled through the
+/// two-level schedule must cut the supernode-crossing bytes at least 2x.
+/// A crossover table (payload -> chosen inter algorithm + modeled
+/// seconds for tree / rs+ag / flat) records where the size-adaptive
+/// selection flips.
+///
+/// Engine side, at test scale: tiny(8, 4, 8192) is 16 CGs over two
+/// 8-rank supernode groups, so the runtime schedule really runs its
+/// inter-supernode stage (pointer-publish intra fold, leader exchange,
+/// fan-out) through every collective of a full Level 3 run — gated, GEMM,
+/// s-step spans draining through the hierarchical SplitAllreduce. The
+/// run must be bit-identical to the flat-schedule run and to serial
+/// Lloyd, and its charged crossing bytes must be nonzero (the inter
+/// stage was actually priced).
+struct HierCell {
+  std::size_t crossover_bytes = 0;      ///< machine-derived threshold
+  std::uint64_t flat_crossing = 0;      ///< modeled, per fig7 iteration
+  std::uint64_t hier_crossing = 0;
+  double crossing_cut = 0;              ///< flat / hier
+  struct Row {
+    std::size_t payload_bytes = 0;
+    const char* algo = "";
+    double tree_s = 0;
+    double rsag_s = 0;
+    double flat_s = 0;
+  };
+  std::vector<Row> table;
+  double hier_net_s = 0;   ///< engine run, modeled collective seconds
+  double flat_net_s = 0;
+  std::uint64_t engine_crossing = 0;  ///< hier engine run, history sum
+  double centroid_max_abs_diff = 0;
+  bool identical = false;
+};
+
+HierCell run_hier_cell() {
+  HierCell cell;
+
+  // --- modeled side: fig7 workload on two supernodes ---
+  const simarch::MachineConfig mc512 = simarch::MachineConfig::sw26010(512);
+  cell.crossover_bytes = mc512.collective_crossover_bytes();
+  const core::ProblemShape shape{1265723, 2000, 196608};
+  const core::PartitionPlan plan =
+      core::make_plan(core::Level::kLevel3, shape, mc512, 0, 16);
+  const simarch::CostTally hier_t = core::model_iteration(
+      plan, mc512, core::Placement::kPacked, /*hier_collectives=*/true);
+  const simarch::CostTally flat_t = core::model_iteration(
+      plan, mc512, core::Placement::kPacked, /*hier_collectives=*/false);
+  cell.flat_crossing = flat_t.net_crossing_bytes;
+  cell.hier_crossing = hier_t.net_crossing_bytes;
+  cell.crossing_cut =
+      cell.hier_crossing > 0
+          ? static_cast<double>(cell.flat_crossing) /
+                static_cast<double>(cell.hier_crossing)
+          : 0;
+
+  // Crossover table: what the size-adaptive selection picks per payload,
+  // with both inter algorithms priced (crossover 0 forces rs+ag,
+  // SIZE_MAX forces the tree) and the flat whole-world charge alongside.
+  const simarch::Topology topo(mc512);
+  const std::size_t cgs = mc512.num_cgs();
+  for (const std::size_t bytes :
+       {std::size_t{72}, std::size_t{1} << 10, std::size_t{1} << 14,
+        std::size_t{1} << 17, std::size_t{1} << 18, std::size_t{1} << 20,
+        std::size_t{1} << 23}) {
+    HierCell::Row row;
+    row.payload_bytes = bytes;
+    const simarch::CollectiveCharge chosen =
+        topo.hier_allreduce_charge(bytes, 0, cgs, cell.crossover_bytes);
+    row.algo = simarch::to_string(chosen.algo);
+    row.tree_s = topo.hier_allreduce_charge(bytes, 0, cgs,
+                                            static_cast<std::size_t>(-1))
+                     .seconds;
+    row.rsag_s = topo.hier_allreduce_charge(bytes, 0, cgs, 0).seconds;
+    row.flat_s = topo.allreduce_time(bytes, 0, cgs);
+    cell.table.push_back(row);
+  }
+
+  // --- engine side: two supernode groups at runtime ---
+  const data::Dataset ds = data::make_blobs(2048, 16, 12, 717);
+  const simarch::MachineConfig machine =
+      simarch::MachineConfig::tiny(8, 4, 8192);  // 16 CGs, 2 supernodes
+  constexpr std::size_t kMprime = 4;
+  core::KmeansConfig config;
+  config.k = 24;
+  config.max_iterations = 30;
+  config.tolerance = 0;
+  config.init = core::InitMethod::kFirstK;
+  config.sstep_tiles = 2;  // spans drain through the hier SplitAllreduce
+  config.tile_samples = 64;
+
+  config.hier_collectives = true;
+  const core::KmeansResult hier_run =
+      core::run_level(core::Level::kLevel3, ds, config, machine, 0, kMprime);
+  config.hier_collectives = false;
+  const core::KmeansResult flat_run =
+      core::run_level(core::Level::kLevel3, ds, config, machine, 0, kMprime);
+  const core::KmeansResult serial = core::lloyd_serial(ds, config);
+
+  cell.hier_net_s = hier_run.cost.net_comm_s;
+  cell.flat_net_s = flat_run.cost.net_comm_s;
+  for (const core::IterationStats& it : hier_run.history) {
+    cell.engine_crossing += it.net_crossing_bytes;
+  }
+  double max_diff = 0;
+  for (std::size_t i = 0; i < serial.centroids.size(); ++i) {
+    max_diff = std::max(
+        max_diff, std::abs(static_cast<double>(hier_run.centroids.data()[i]) -
+                           static_cast<double>(serial.centroids.data()[i])));
+    max_diff = std::max(
+        max_diff, std::abs(static_cast<double>(flat_run.centroids.data()[i]) -
+                           static_cast<double>(serial.centroids.data()[i])));
+  }
+  cell.centroid_max_abs_diff = max_diff;
+  cell.identical =
+      hier_run.iterations == serial.iterations &&
+      flat_run.iterations == serial.iterations &&
+      hier_run.assignments == serial.assignments &&
+      flat_run.assignments == serial.assignments &&
+      std::memcmp(hier_run.centroids.data(), flat_run.centroids.data(),
+                  hier_run.centroids.size() * sizeof(float)) == 0 &&
+      max_diff == 0.0;
+  return cell;
+}
+
+void emit_hier(const HierCell& c, util::JsonWriter& w) {
+  w.key("hier_collectives").begin_object();
+  w.kv("crossover_bytes", static_cast<std::uint64_t>(c.crossover_bytes));
+  w.kv("fig7_flat_crossing_bytes", c.flat_crossing);
+  w.kv("fig7_hier_crossing_bytes", c.hier_crossing);
+  w.kv("crossing_cut", c.crossing_cut);
+  w.key("crossover_table").begin_array();
+  for (const HierCell::Row& row : c.table) {
+    w.begin_object();
+    w.kv("payload_bytes", static_cast<std::uint64_t>(row.payload_bytes));
+    w.kv("algo", row.algo);
+    w.kv("tree_s", row.tree_s);
+    w.kv("rsag_s", row.rsag_s);
+    w.kv("flat_s", row.flat_s);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("engine_hier_net_comm_s", c.hier_net_s);
+  w.kv("engine_flat_net_comm_s", c.flat_net_s);
+  w.kv("engine_hier_crossing_bytes", c.engine_crossing);
+  w.kv("centroid_max_abs_diff", c.centroid_max_abs_diff);
+  w.kv("bit_identical_to_flat_and_serial", c.identical);
+  w.end_object();
+  std::printf(
+      "hier collectives: crossover %zu B, fig7 crossing %llu -> %llu B "
+      "(%.1fx cut); engine net_comm %.3gs vs flat %.3gs, crossing %llu B, "
+      "bit-identical: %s\n",
+      c.crossover_bytes, static_cast<unsigned long long>(c.flat_crossing),
+      static_cast<unsigned long long>(c.hier_crossing), c.crossing_cut,
+      c.hier_net_s, c.flat_net_s,
+      static_cast<unsigned long long>(c.engine_crossing),
+      c.identical ? "yes" : "NO");
+}
+
+/// Shared exit gate: all modeled/bit-identity quantities, deterministic.
+int check_hier_cell(const HierCell& c) {
+  if (!c.identical) {
+    std::fprintf(stderr,
+                 "FATAL: hierarchical-collective run diverged from the flat "
+                 "schedule / serial Lloyd (centroid_max_abs_diff=%g)\n",
+                 c.centroid_max_abs_diff);
+    return 1;
+  }
+  if (c.crossing_cut < 2.0) {
+    std::fprintf(stderr,
+                 "FATAL: hierarchical schedule cut modeled supernode-crossing "
+                 "bytes only %.2fx on the fig7 workload (need >= 2x)\n",
+                 c.crossing_cut);
+    return 1;
+  }
+  if (c.engine_crossing == 0) {
+    std::fprintf(stderr,
+                 "FATAL: engine run on a two-supernode machine charged zero "
+                 "supernode-crossing bytes\n");
+    return 1;
+  }
+  return 0;
+}
+
 int run_smoke() {
   bench::banner("wallclock_engines --smoke",
                 "CI-sized bound-gate check: gated vs ungated assign to "
@@ -953,6 +1155,7 @@ int run_smoke() {
   const TelemetryCell tel = run_telemetry_cell();
   const MailboxCell mbox = run_mailbox_cell();
   const GemmCell gemm = run_gemm_cell();
+  const HierCell hier = run_hier_cell();
   {
     std::ofstream json("BENCH_wallclock.json");
     util::JsonWriter w(json);
@@ -983,6 +1186,7 @@ int run_smoke() {
     w.kv("bit_identical", mbox.identical);
     w.end_object();
     emit_gemm(gemm, w);
+    emit_hier(hier, w);
     w.end_object();
     json << "\n";
   }
@@ -1028,7 +1232,10 @@ int run_smoke() {
                  "history\n");
     return 1;
   }
-  return check_gemm_cell(gemm);
+  if (const int rc = check_gemm_cell(gemm); rc != 0) {
+    return rc;
+  }
+  return check_hier_cell(hier);
 }
 
 int run() {
@@ -1161,6 +1368,7 @@ int run() {
 
   const MailboxCell mbox = run_mailbox_cell();
   const GemmCell gemm = run_gemm_cell();
+  const HierCell hier = run_hier_cell();
 
   std::ofstream json("BENCH_wallclock.json");
   util::JsonWriter w(json);
@@ -1192,6 +1400,7 @@ int run() {
   w.kv("bit_identical", mbox.identical);
   w.end_object();
   emit_gemm(gemm, w);
+  emit_hier(hier, w);
   w.end_object();
   json << "\n";
   std::printf("assign speedup (per-sample / batched): %.2fx\n", speedup);
@@ -1213,6 +1422,9 @@ int run() {
     return 1;
   }
   if (const int rc = check_gemm_cell(gemm); rc != 0) {
+    return rc;
+  }
+  if (const int rc = check_hier_cell(hier); rc != 0) {
     return rc;
   }
   // Exit gates ride on modeled quantities and bit-identity only. The

@@ -1,11 +1,38 @@
 #include "core/engine_common.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "swmpi/collectives.hpp"
+#include "telemetry/registry.hpp"
 #include "util/error.hpp"
 
 namespace swhkm::core::detail {
+
+void tick_collective_charge(telemetry::MetricsShard* shard,
+                            const char* prefix,
+                            const simarch::CollectiveCharge& charge) {
+  if (shard == nullptr) {
+    return;
+  }
+  const std::string base(prefix);
+  const char* algo = nullptr;
+  switch (charge.algo) {
+    case simarch::CollectiveAlgo::kFlat:
+      algo = ".algo_flat";
+      break;
+    case simarch::CollectiveAlgo::kBinomialTree:
+      algo = ".algo_tree";
+      break;
+    case simarch::CollectiveAlgo::kReduceScatterAllgather:
+      algo = ".algo_rsag";
+      break;
+  }
+  shard->counter(base + algo).add(1);
+  shard->counter(base + ".crossing_bytes").add(charge.crossing_bytes);
+  shard->counter(base + ".intra_rounds").add(charge.intra_rounds);
+  shard->counter(base + ".inter_rounds").add(charge.inter_rounds);
+}
 
 simarch::CostTally combine_tallies(swmpi::Comm& comm,
                                    const simarch::CostTally& mine) {
@@ -42,48 +69,6 @@ struct CombineUpdateStats {
   }
 };
 
-/// Stage-pass binomial fold of one contiguous segment across all ranks'
-/// shared partials: out = fold of peer_slice(0..size-1), combined pair
-/// (r, r+s) for s = 1, 2, 4, … — element for element the association of
-/// swmpi::reduce to rank 0 (and of reduce_scatter_ranges), so the summed
-/// bits match the message-passing path exactly. Stream 0 accumulates
-/// straight into `out`; other surviving streams use `scratch`, whose
-/// capacity persists across segments.
-template <typename PeerSlice>
-void fold_binomial_segment(double* out, std::size_t len, int size,
-                           std::vector<std::vector<double>>& scratch,
-                           PeerSlice peer_slice) {
-  if (size == 1) {
-    const double* own = peer_slice(0);
-    std::copy(own, own + len, out);
-    return;
-  }
-  std::vector<const double*> cur(static_cast<std::size_t>(size), nullptr);
-  for (int s = 1; s < size; s <<= 1) {
-    for (int r = 0; r + s < size; r += 2 * s) {
-      const double* b =
-          cur[r + s] != nullptr ? cur[r + s] : peer_slice(r + s);
-      if (cur[r] == nullptr) {
-        double* target = out;
-        if (r != 0) {
-          scratch[r].resize(len);
-          target = scratch[r].data();
-        }
-        const double* a = peer_slice(r);
-        for (std::size_t i = 0; i < len; ++i) {
-          target[i] = a[i] + b[i];
-        }
-        cur[r] = target;
-      } else {
-        double* target = r == 0 ? out : scratch[r].data();
-        for (std::size_t i = 0; i < len; ++i) {
-          target[i] += b[i];
-        }
-      }
-    }
-  }
-}
-
 }  // namespace
 
 UpdateOutcome reduce_and_update(swmpi::Comm& comm, util::Matrix& centroids,
@@ -109,16 +94,21 @@ UpdateOutcome reduce_and_update(swmpi::Comm& comm, util::Matrix& centroids,
 
   // Fold this rank's shard — the contiguous sums rows and counts of
   // block_range(k, size, r) — in the root-0 binomial association, reading
-  // the peers' partials in place.
+  // the peers' partials in place. The fold order lives in one shared,
+  // tested helper (swmpi::fold_binomial_slices) also used by the
+  // hierarchical collectives' intra-supernode stage, so the association
+  // the summed bits depend on exists in exactly one place.
   const auto [j_begin, j_end] =
       block_range(k, static_cast<std::size_t>(size), rank);
   const std::size_t rows = j_end - j_begin;
   std::vector<double> shard(rows * d + rows);
   std::vector<std::vector<double>> scratch(static_cast<std::size_t>(size));
-  fold_binomial_segment(shard.data(), rows * d, size, scratch,
-                        [&](int r) { return refs[r].sums + j_begin * d; });
-  fold_binomial_segment(shard.data() + rows * d, rows, size, scratch,
-                        [&](int r) { return refs[r].counts + j_begin; });
+  swmpi::fold_binomial_slices(
+      shard.data(), rows * d, size, scratch,
+      [&](int r) { return refs[r].sums + j_begin * d; }, swmpi::ops::Plus{});
+  swmpi::fold_binomial_slices(
+      shard.data() + rows * d, rows, size, scratch,
+      [&](int r) { return refs[r].counts + j_begin; }, swmpi::ops::Plus{});
 
   // Parallel apply: every rank rewrites only its own rows of the shared
   // snapshot — writes are disjoint by construction. The per-row drift (if

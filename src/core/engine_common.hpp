@@ -6,8 +6,13 @@
 #include "data/dataset.hpp"
 #include "simarch/cost.hpp"
 #include "simarch/ldm.hpp"
+#include "simarch/topology.hpp"
 #include "swmpi/comm.hpp"
 #include "util/matrix.hpp"
+
+namespace swhkm::telemetry {
+class MetricsShard;
+}
 
 namespace swhkm::core::detail {
 
@@ -77,6 +82,16 @@ void charge_centroid_traffic(simarch::CostTally& tally,
                              const simarch::MachineConfig& machine,
                              const PartitionPlan& plan,
                              std::uint64_t samples_through_cg);
+
+/// Export one modeled hierarchical-collective charge through telemetry:
+/// under `prefix` (e.g. "sim.collective.update_rs") ticks the chosen
+/// algorithm's counter (`.algo_flat` / `.algo_tree` / `.algo_rsag` /
+/// `.algo_doubling`), the supernode-crossing bytes, and the per-stage
+/// round counts. Call on the ledger rank (cg 0) only, mirroring the
+/// sim.* counters; no-op when `shard` is null.
+void tick_collective_charge(telemetry::MetricsShard* shard,
+                            const char* prefix,
+                            const simarch::CollectiveCharge& charge);
 
 /// Validate that the plan's LDM layout actually fits by allocating it
 /// through the scratchpad allocator — throws CapacityError on a planner

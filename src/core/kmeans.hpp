@@ -92,6 +92,15 @@ struct KmeansConfig {
   /// buffer footprint scales with it and is validated at config time by
   /// resolve_tile_samples. 1 reproduces the per-tile combine.
   std::size_t sstep_tiles = 1;
+  /// Topology-aware hierarchical collectives: run the swmpi reduction
+  /// collectives on the two-level schedule (zero-copy intra-supernode
+  /// fold into per-supernode leaders, size-adaptive inter-supernode
+  /// stage) and charge the topology model's hierarchical costs, with the
+  /// crossover threshold derived from the machine's latency/bandwidth
+  /// terms (MachineConfig::collective_crossover_bytes). Bit-identical to
+  /// the flat schedule by construction (DESIGN.md §12); off restores the
+  /// flat collectives and flat charges as the A/B baseline.
+  bool hier_collectives = true;
   /// Optional timeline sink: engines record each rank's per-iteration
   /// phase intervals (simulated time) into it. Not owned; may be null.
   simarch::Trace* trace = nullptr;
@@ -140,6 +149,10 @@ struct IterationStats {
   /// the failed attempts + checkpoint reload cost. Zero everywhere else.
   std::uint32_t retries = 0;
   double recover_s = 0;
+  /// Of net_bytes, the modelled bytes that crossed a supernode boundary
+  /// this iteration (CostTally::net_crossing_bytes). Appended after the
+  /// older fields so existing brace-initialisers keep their meaning.
+  std::uint64_t net_crossing_bytes = 0;
 };
 
 struct KmeansResult {

@@ -48,6 +48,15 @@ KmeansResult run_level2(const data::Dataset& dataset,
                << " overflows LDM; using the chain kernel (bit-identical)";
   }
   const simarch::Topology topo(machine);
+  // Hierarchical-collective schedule (see level1.cpp): supernode-wide
+  // intra groups, machine-derived crossover, RAII runtime install.
+  const bool hier = config.hier_collectives;
+  const std::size_t xover = machine.collective_crossover_bytes();
+  const swmpi::ScopedCollectiveSchedule collective_guard(
+      hier ? swmpi::CollectiveSchedule::kHierarchical
+           : swmpi::CollectiveSchedule::kFlat,
+      {static_cast<int>(machine.cgs_per_node * machine.supernode_nodes),
+       xover});
 
   KmeansResult result;
   result.assignments.assign(dataset.n(), 0);
@@ -380,8 +389,24 @@ KmeansResult run_level2(const data::Dataset& dataset,
       reg.account_allreduce(k_local * d * eb, groups_per_cg);
       const std::size_t publish_bytes =
           k * d * eb + 16 * num_cgs + (gate ? k * sizeof(double) : 0);
-      tally.net_comm_s += topo.reduce_scatter_time(accum_bytes, 0, num_cgs) +
-                          topo.allgather_time(publish_bytes, 0, num_cgs);
+      if (hier) {
+        const simarch::CollectiveCharge rs =
+            topo.hier_reduce_scatter_charge(accum_bytes, 0, num_cgs, xover);
+        const simarch::CollectiveCharge ag =
+            topo.hier_allgather_charge(publish_bytes, 0, num_cgs);
+        tally.net_comm_s += rs.seconds + ag.seconds;
+        tally.net_crossing_bytes += rs.crossing_bytes + ag.crossing_bytes;
+        if (cg == 0) {
+          detail::tick_collective_charge(tshard, "sim.collective.update_rs",
+                                         rs);
+          detail::tick_collective_charge(tshard, "sim.collective.update_ag",
+                                         ag);
+        }
+      } else {
+        tally.net_comm_s +=
+            topo.reduce_scatter_time(accum_bytes, 0, num_cgs) +
+            topo.allgather_time(publish_bytes, 0, num_cgs);
+      }
       tally.net_bytes += accum_bytes + publish_bytes;
       tally.net_rounds += 2;  // reduce_scatter + allgather
 
@@ -423,6 +448,7 @@ KmeansResult run_level2(const data::Dataset& dataset,
                                static_cast<double>(dataset.n()),
                            combined.net_bytes, combined.dma_bytes,
                            combined.flops, combined.net_rounds});
+        history.back().net_crossing_bytes = combined.net_crossing_bytes;
         if (sim_net != nullptr) {
           sim_net->add(combined.net_bytes);
           sim_dma->add(combined.dma_bytes);

@@ -54,6 +54,15 @@ KmeansResult run_level3(const data::Dataset& dataset,
   const std::size_t sstep = config.sstep_tiles;
   const std::size_t span_samples = tile_samples * sstep;
   const simarch::Topology topo(machine);
+  // Hierarchical-collective schedule (see level1.cpp): supernode-wide
+  // intra groups, machine-derived crossover, RAII runtime install.
+  const bool hier = config.hier_collectives;
+  const std::size_t xover = machine.collective_crossover_bytes();
+  const swmpi::ScopedCollectiveSchedule collective_guard(
+      hier ? swmpi::CollectiveSchedule::kHierarchical
+           : swmpi::CollectiveSchedule::kFlat,
+      {static_cast<int>(machine.cgs_per_node * machine.supernode_nodes),
+       xover});
 
   KmeansResult result;
   result.assignments.assign(dataset.n(), 0);
@@ -106,11 +115,22 @@ KmeansResult run_level3(const data::Dataset& dataset,
     // This CG's centroid slice [j_begin, j_end) for the assign phase.
     const std::size_t j_begin = std::min(within * k_local, k);
     const std::size_t j_end = std::min(k, j_begin + k_local);
-    const double group_combine_time = topo.allreduce_time(16, group * p, p);
+    // Group argmin combine price per sample: tiny payloads, so the
+    // hierarchical charge's size-adaptive stage always lands on the
+    // binomial tree (and degenerates to the exact flat charge whenever the
+    // group sits inside one supernode — every group at paper placements).
+    const simarch::CollectiveCharge group_charge =
+        topo.hier_allreduce_charge(16, group * p, p, xover);
+    const double group_combine_time =
+        hier ? group_charge.seconds : topo.allreduce_time(16, group * p, p);
     // Gated tiles carry MinLoc2 records — 8 bytes per sample more than the
     // plain argmin, the price of the exact global runner-up distance.
+    const simarch::CollectiveCharge group_charge2 =
+        topo.hier_allreduce_charge(sizeof(swmpi::MinLoc2), group * p, p,
+                                   xover);
     const double group_combine_time2 =
-        topo.allreduce_time(sizeof(swmpi::MinLoc2), group * p, p);
+        hier ? group_charge2.seconds
+             : topo.allreduce_time(sizeof(swmpi::MinLoc2), group * p, p);
     const std::size_t accum_bytes = (k * d + k) * eb;
 
     double rank_clock = 0;
@@ -441,6 +461,15 @@ KmeansResult run_level3(const data::Dataset& dataset,
       tally.net_bytes +=
           unresolved * (gate ? sizeof(swmpi::MinLoc2) : sizeof(swmpi::MinLoc)) *
           (p - 1);
+      if (hier) {
+        const simarch::CollectiveCharge& gc =
+            gate ? group_charge2 : group_charge;
+        tally.net_crossing_bytes += unresolved * gc.crossing_bytes;
+        if (cg == 0 && p > 1 && unresolved > 0) {
+          detail::tick_collective_charge(tshard, "sim.collective.group_argmin",
+                                         gc);
+        }
+      }
 
       // Tile pipeline overlap: all but the first tile's combine drain (and
       // centroid reload) issue under another tile's distance sweep, so up
@@ -474,8 +503,24 @@ KmeansResult run_level3(const data::Dataset& dataset,
       // header (plus the k-double drift vector when gating).
       const std::size_t publish_bytes =
           k * d * eb + 16 * num_cgs + (gate ? k * sizeof(double) : 0);
-      tally.net_comm_s += topo.reduce_scatter_time(accum_bytes, 0, num_cgs) +
-                          topo.allgather_time(publish_bytes, 0, num_cgs);
+      if (hier) {
+        const simarch::CollectiveCharge rs =
+            topo.hier_reduce_scatter_charge(accum_bytes, 0, num_cgs, xover);
+        const simarch::CollectiveCharge ag =
+            topo.hier_allgather_charge(publish_bytes, 0, num_cgs);
+        tally.net_comm_s += rs.seconds + ag.seconds;
+        tally.net_crossing_bytes += rs.crossing_bytes + ag.crossing_bytes;
+        if (cg == 0) {
+          detail::tick_collective_charge(tshard, "sim.collective.update_rs",
+                                         rs);
+          detail::tick_collective_charge(tshard, "sim.collective.update_ag",
+                                         ag);
+        }
+      } else {
+        tally.net_comm_s +=
+            topo.reduce_scatter_time(accum_bytes, 0, num_cgs) +
+            topo.allgather_time(publish_bytes, 0, num_cgs);
+      }
       tally.net_bytes += accum_bytes + publish_bytes;
       tally.net_rounds += 2;  // reduce_scatter + allgather
       world.fault_point(swmpi::FaultSite::kUpdate, global_iter);
@@ -516,6 +561,7 @@ KmeansResult run_level3(const data::Dataset& dataset,
                                static_cast<double>(dataset.n()),
                            combined.net_bytes, combined.dma_bytes,
                            combined.flops, combined.net_rounds});
+        history.back().net_crossing_bytes = combined.net_crossing_bytes;
         if (sim_net != nullptr) {
           sim_net->add(combined.net_bytes);
           sim_dma->add(combined.dma_bytes);

@@ -37,12 +37,41 @@ double streamed_centroid_bytes(std::uint64_t samples, std::uint64_t k_local,
   return std::min(per_sample, tiled);
 }
 
+/// One rank-set AllReduce under the selected schedule: seconds plus the
+/// supernode-crossing bytes that schedule moves (the flat baseline's
+/// crossing comes from Topology::flat_allreduce_crossing_bytes, so both
+/// sides of the A/B report a comparable crossing ledger).
+struct AllreduceModel {
+  double seconds = 0;
+  std::uint64_t crossing_bytes = 0;
+};
+
+AllreduceModel ranks_allreduce(const Topology& topo, std::size_t bytes,
+                               const std::vector<std::size_t>& ranks,
+                               bool hier, std::size_t xover) {
+  AllreduceModel out;
+  if (hier) {
+    const simarch::CollectiveCharge charge =
+        topo.hier_allreduce_charge(bytes, ranks, xover);
+    out.seconds = charge.seconds;
+    out.crossing_bytes = charge.crossing_bytes;
+  } else {
+    out.seconds = topo.allreduce_time(bytes, ranks);
+    out.crossing_bytes = topo.flat_allreduce_crossing_bytes(bytes, ranks);
+  }
+  return out;
+}
+
 /// Worst-case AllReduce time over every group of `group_size` consecutive
-/// ranks (packed placement) or stride-striped ranks (scattered).
-double worst_group_allreduce(const Topology& topo, std::size_t bytes,
-                             std::size_t num_groups, std::size_t group_size,
-                             Placement placement) {
-  double worst = 0;
+/// ranks (packed placement) or stride-striped ranks (scattered), plus the
+/// crossing bytes summed over *all* groups (the sampled groups repeat the
+/// same boundary pattern, so the sample scales by its stride).
+AllreduceModel worst_group_allreduce(const Topology& topo, std::size_t bytes,
+                                     std::size_t num_groups,
+                                     std::size_t group_size,
+                                     Placement placement, bool hier,
+                                     std::size_t xover) {
+  AllreduceModel out;
   std::vector<std::size_t> ranks(group_size);
   // Groups repeat the same topology pattern within a supernode; sampling
   // up to 128 evenly spaced groups sees every boundary class.
@@ -52,32 +81,47 @@ double worst_group_allreduce(const Topology& topo, std::size_t bytes,
       ranks[i] = placement == Placement::kPacked ? g * group_size + i
                                                  : g + i * num_groups;
     }
-    worst = std::max(worst, topo.allreduce_time(bytes, ranks));
+    const AllreduceModel one = ranks_allreduce(topo, bytes, ranks, hier, xover);
+    out.seconds = std::max(out.seconds, one.seconds);
+    out.crossing_bytes += one.crossing_bytes * step;
   }
-  return worst;
+  return out;
 }
 
 /// AllReduce across the same-slice holders (one rank out of each group):
 /// ranks {j, j + group_size, ...} packed, or {j*num_groups ...} scattered.
-double cross_group_allreduce(const Topology& topo, std::size_t bytes,
-                             std::size_t num_groups, std::size_t group_size,
-                             Placement placement) {
-  double worst = 0;
+/// Crossing bytes scale the sampled slice owners up to all group_size of
+/// them (the pattern repeats).
+AllreduceModel cross_group_allreduce(const Topology& topo, std::size_t bytes,
+                                     std::size_t num_groups,
+                                     std::size_t group_size,
+                                     Placement placement, bool hier,
+                                     std::size_t xover) {
+  AllreduceModel out;
   std::vector<std::size_t> ranks(num_groups);
+  std::uint64_t sampled_crossing = 0;
+  std::size_t sampled = 0;
   for (std::size_t j = 0; j < group_size; ++j) {
     for (std::size_t g = 0; g < num_groups; ++g) {
       ranks[g] = placement == Placement::kPacked ? g * group_size + j
                                                  : j * num_groups + g;
     }
-    worst = std::max(worst, topo.allreduce_time(bytes, ranks));
+    const AllreduceModel one = ranks_allreduce(topo, bytes, ranks, hier, xover);
+    out.seconds = std::max(out.seconds, one.seconds);
+    sampled_crossing += one.crossing_bytes;
+    ++sampled;
     if (group_size > 8 && j >= 8) {
       break;  // sampling the slice owners is enough; pattern repeats
     }
   }
-  return worst;
+  if (sampled > 0) {
+    out.crossing_bytes = sampled_crossing * group_size / sampled;
+  }
+  return out;
 }
 
-CostTally model_level1(const PartitionPlan& plan, const MachineConfig& mc) {
+CostTally model_level1(const PartitionPlan& plan, const MachineConfig& mc,
+                       bool hier) {
   CostTally t;
   RegComm reg(mc, t);
   Topology topo(mc);
@@ -101,7 +145,16 @@ CostTally model_level1(const PartitionPlan& plan, const MachineConfig& mc) {
   // Update: intra-CG accumulator reduction, then machine-wide AllReduce.
   const std::size_t accum_bytes = (s.k * s.d + s.k) * eb;
   t.mesh_comm_s = reg.allreduce_time(accum_bytes, mc.cpes_per_cg);
-  t.net_comm_s = topo.allreduce_time(accum_bytes, 0, mc.num_cgs());
+  if (hier) {
+    const simarch::CollectiveCharge charge = topo.hier_allreduce_charge(
+        accum_bytes, 0, mc.num_cgs(), mc.collective_crossover_bytes());
+    t.net_comm_s = charge.seconds;
+    t.net_crossing_bytes = charge.crossing_bytes;
+  } else {
+    t.net_comm_s = topo.allreduce_time(accum_bytes, 0, mc.num_cgs());
+    t.net_crossing_bytes =
+        topo.flat_allreduce_crossing_bytes(accum_bytes, 0, mc.num_cgs());
+  }
   t.net_bytes += accum_bytes * mc.num_cgs();
   t.update_s = dbl(s.k) * dbl(s.d) * 2.0 /
                    (mc.cg_flops() * mc.compute_efficiency) +
@@ -109,7 +162,8 @@ CostTally model_level1(const PartitionPlan& plan, const MachineConfig& mc) {
   return t;
 }
 
-CostTally model_level2(const PartitionPlan& plan, const MachineConfig& mc) {
+CostTally model_level2(const PartitionPlan& plan, const MachineConfig& mc,
+                       bool hier) {
   CostTally t;
   RegComm reg(mc, t);
   Topology topo(mc);
@@ -153,7 +207,16 @@ CostTally model_level2(const PartitionPlan& plan, const MachineConfig& mc) {
                   reg.allreduce_time(plan.k_local * s.d * eb,
                                      mc.cpes_per_cg / g);
   const std::size_t accum_bytes = (s.k * s.d + s.k) * eb;
-  t.net_comm_s = topo.allreduce_time(accum_bytes, 0, mc.num_cgs());
+  if (hier) {
+    const simarch::CollectiveCharge charge = topo.hier_allreduce_charge(
+        accum_bytes, 0, mc.num_cgs(), mc.collective_crossover_bytes());
+    t.net_comm_s = charge.seconds;
+    t.net_crossing_bytes = charge.crossing_bytes;
+  } else {
+    t.net_comm_s = topo.allreduce_time(accum_bytes, 0, mc.num_cgs());
+    t.net_crossing_bytes =
+        topo.flat_allreduce_crossing_bytes(accum_bytes, 0, mc.num_cgs());
+  }
   t.net_bytes += accum_bytes * mc.num_cgs();
   t.update_s = dbl(plan.k_local) * dbl(s.d) * 2.0 / eff_flops +
                dbl(s.k * s.d * eb) / mc.dma_bandwidth;
@@ -161,7 +224,7 @@ CostTally model_level2(const PartitionPlan& plan, const MachineConfig& mc) {
 }
 
 CostTally model_level3(const PartitionPlan& plan, const MachineConfig& mc,
-                       Placement placement) {
+                       Placement placement, bool hier) {
   CostTally t;
   RegComm reg(mc, t);
   Topology topo(mc);
@@ -205,16 +268,20 @@ CostTally model_level3(const PartitionPlan& plan, const MachineConfig& mc,
   t.mesh_comm_s =
       dbl(n_cgg) * reg.allreduce_time(plan.k_local * eb, mc.cpes_per_cg) +
       reg.allreduce_time(plan.k_local * plan.d_local * eb, 1);
-  const double assign_combine =
-      worst_group_allreduce(topo, kMinLocBytes, cg_groups, p, placement);
-  t.net_comm_s = dbl(n_cgg) * assign_combine;
+  const std::size_t xover = mc.collective_crossover_bytes();
+  const AllreduceModel assign_combine = worst_group_allreduce(
+      topo, kMinLocBytes, cg_groups, p, placement, hier, xover);
+  t.net_comm_s = dbl(n_cgg) * assign_combine.seconds;
+  t.net_crossing_bytes += n_cgg * assign_combine.crossing_bytes;
   t.net_bytes += static_cast<std::uint64_t>(dbl(n_cgg) * kMinLocBytes *
                                             dbl(p) * dbl(cg_groups));
 
   // Update: AllReduce the slice accumulators across same-slice CGs.
   const std::size_t accum_bytes = (plan.k_local * s.d + plan.k_local) * eb;
-  t.net_comm_s +=
-      cross_group_allreduce(topo, accum_bytes, cg_groups, p, placement);
+  const AllreduceModel update_combine = cross_group_allreduce(
+      topo, accum_bytes, cg_groups, p, placement, hier, xover);
+  t.net_comm_s += update_combine.seconds;
+  t.net_crossing_bytes += update_combine.crossing_bytes;
   t.net_bytes += accum_bytes * mc.num_cgs();
   t.update_s = dbl(plan.k_local) * dbl(plan.d_local) * 2.0 / eff_flops +
                dbl(plan.k_local * s.d * eb) / mc.dma_bandwidth;
@@ -224,18 +291,19 @@ CostTally model_level3(const PartitionPlan& plan, const MachineConfig& mc,
 }  // namespace
 
 CostTally model_iteration(const PartitionPlan& plan,
-                          const MachineConfig& machine, Placement placement) {
+                          const MachineConfig& machine, Placement placement,
+                          bool hier_collectives) {
   machine.validate();
   SWHKM_REQUIRE(plan.num_cgs == machine.num_cgs() &&
                     plan.cpes_per_cg == machine.cpes_per_cg,
                 "plan was made for a different machine");
   switch (plan.level) {
     case Level::kLevel1:
-      return model_level1(plan, machine);
+      return model_level1(plan, machine, hier_collectives);
     case Level::kLevel2:
-      return model_level2(plan, machine);
+      return model_level2(plan, machine, hier_collectives);
     case Level::kLevel3:
-      return model_level3(plan, machine, placement);
+      return model_level3(plan, machine, placement, hier_collectives);
   }
   throw InvalidArgument("unknown level");
 }

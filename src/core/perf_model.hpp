@@ -34,9 +34,20 @@ enum class Placement { kPacked, kScattered };
 ///                     this latency floor is why Level 2 wins at small d)
 ///                     plus the end-of-iteration accumulator AllReduce.
 ///  update           — centroid recomputation and writeback.
+///
+/// `hier_collectives` mirrors KmeansConfig::hier_collectives: when true
+/// (the engines' default) the network collectives are priced through the
+/// two-level topology-aware schedule (Topology::hier_*_charge, crossover
+/// from MachineConfig::collective_crossover_bytes); when false they keep
+/// the flat whole-world charges — the A/B baseline. Either way
+/// CostTally::net_crossing_bytes reports the modeled supernode-crossing
+/// traffic of the chosen schedule, so benches can show the cut directly.
+/// On machines spanning a single supernode the two schedules charge
+/// identical seconds (the hierarchy degenerates to the flat pattern).
 simarch::CostTally model_iteration(const PartitionPlan& plan,
                                    const simarch::MachineConfig& machine,
-                                   Placement placement = Placement::kPacked);
+                                   Placement placement = Placement::kPacked,
+                                   bool hier_collectives = true);
 
 /// The paper's own closed-form estimates (Section III analysis): T_read and
 /// T_comm for the plan's level, transcribed literally. Used by the ablation

@@ -31,6 +31,9 @@ std::string CostTally::summary() const {
   if (net_rounds > 0) {
     out << ", rounds " << util::format_count(net_rounds);
   }
+  if (net_crossing_bytes > 0) {
+    out << ", crossing " << util::format_bytes(net_crossing_bytes);
+  }
   return out.str();
 }
 

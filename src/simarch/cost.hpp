@@ -47,6 +47,11 @@ struct CostTally {
   /// overlap; the busiest rank is the critical path) and summed across
   /// iterations like the time fields.
   std::uint64_t net_rounds = 0;
+  /// Of net_bytes, the bytes that crossed a supernode boundary (through
+  /// the central routing switch) — the traffic the Fig. 7 step jumps are
+  /// made of, and what the hierarchical collective schedule exists to
+  /// shrink. A machine-wide volume counter: summed in both combines.
+  std::uint64_t net_crossing_bytes = 0;
 
   double total_s() const {
     return sample_read_s + centroid_stream_s + compute_s + mesh_comm_s +
@@ -68,6 +73,7 @@ struct CostTally {
     flops += other.flops;
     pruned_samples += other.pruned_samples;
     net_rounds += other.net_rounds;
+    net_crossing_bytes += other.net_crossing_bytes;
     return *this;
   }
 
@@ -96,6 +102,7 @@ struct CostTally {
     net_bytes += other.net_bytes;
     flops += other.flops;
     pruned_samples += other.pruned_samples;
+    net_crossing_bytes += other.net_crossing_bytes;
     net_rounds =
         net_rounds > other.net_rounds ? net_rounds : other.net_rounds;
     return *this;

@@ -1,5 +1,7 @@
 #include "simarch/machine_config.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -34,6 +36,19 @@ std::string MachineConfig::summary() const {
       << net_bandwidth / 1e9 << " GB/s, supernode=" << supernode_nodes
       << " nodes";
   return out.str();
+}
+
+std::size_t MachineConfig::collective_crossover_bytes() const {
+  // Evaluate at the machine's own supernode count (at least 2: a machine
+  // that never crosses supernodes still needs a finite threshold for the
+  // runtime schedule it configures).
+  const double supernodes =
+      static_cast<double>(std::max<std::size_t>(2, num_supernodes()));
+  const double lg = std::max(1.0, std::ceil(std::log2(supernodes)));
+  const double frac = (supernodes - 1.0) / supernodes;
+  const double crossover = lg * inter_supernode_latency *
+                           inter_supernode_bandwidth / (lg - frac);
+  return static_cast<std::size_t>(crossover);
 }
 
 MachineConfig MachineConfig::sw26010(std::size_t nodes) {

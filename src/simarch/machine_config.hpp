@@ -110,6 +110,22 @@ struct MachineConfig {
     return (nodes + supernode_nodes - 1) / supernode_nodes;
   }
 
+  /// Payload size (bytes) at which the inter-supernode stage of a
+  /// hierarchical allreduce should switch from the latency-optimal
+  /// binomial tree to the bandwidth-optimal reduce_scatter+allgather
+  /// exchange. Derived from this machine's inter-supernode latency L and
+  /// bandwidth B rather than hard-coded: with S supernode leaders and
+  /// lg = ceil(log2 S), the tree moves the full payload p through
+  /// 2*lg stages (2*lg*(L + p/B)) while the halving/doubling exchange
+  /// pays twice the per-stage message latency (each stage is a
+  /// bidirectional exchange) but only 2*((S-1)/S)*p of bandwidth:
+  /// 4*lg*L + 2*((S-1)/S)*p/B. Equating gives
+  ///   p* = lg * L * B / (lg - (S-1)/S).
+  /// For the SW26010 terms at S = 2 this lands near 152 KB — the 72 B
+  /// gated-tail MinLoc2 records stay on the tree, the multi-MB
+  /// centroid-update payloads take the bandwidth schedule.
+  std::size_t collective_crossover_bytes() const;
+
   /// Throws InvalidArgument when internally inconsistent (mesh geometry,
   /// zero sizes, non-positive bandwidths).
   void validate() const;

@@ -1,11 +1,38 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "simarch/machine_config.hpp"
 
 namespace swhkm::simarch {
+
+/// Which schedule a modeled collective charged: the flat whole-world
+/// pattern (used whenever the rank set sits inside one supernode — the
+/// hierarchy degenerates and the charge must match the original model
+/// exactly), or one of the two inter-supernode algorithms of the
+/// hierarchical schedule.
+enum class CollectiveAlgo {
+  kFlat,
+  kBinomialTree,            ///< latency-optimal inter stage (tiny payloads)
+  kReduceScatterAllgather,  ///< bandwidth-optimal inter stage (large payloads)
+};
+
+const char* to_string(CollectiveAlgo algo);
+
+/// One modeled hierarchical collective: critical-path seconds, the bytes
+/// that crossed supernode boundaries (central-switch traffic — what the
+/// Fig. 7 step jumps are made of), and the per-stage round counts, so the
+/// engines can charge CostTally::net_crossing_bytes and export the
+/// schedule through telemetry.
+struct CollectiveCharge {
+  double seconds = 0;
+  std::uint64_t crossing_bytes = 0;
+  std::uint32_t intra_rounds = 0;  ///< stages inside supernodes
+  std::uint32_t inter_rounds = 0;  ///< stages among supernode leaders
+  CollectiveAlgo algo = CollectiveAlgo::kFlat;
+};
 
 /// TaihuLight interconnect model: CGs sit on nodes (4 per SW26010
 /// processor), nodes sit on supernodes (256 per interconnection board), and
@@ -81,7 +108,68 @@ class Topology {
   /// over the range — latency dominated; used per-sample by Level 3.
   double min_combine_time(std::size_t first_cg, std::size_t count) const;
 
+  /// Two-level allreduce charge over the rank set: binomial fold inside
+  /// each supernode's segment, a size-adaptive stage among the supernode
+  /// leaders (binomial tree at or below `crossover_bytes`, recursive
+  /// halving + doubling above it), and the fan back out. When the set
+  /// spans a single supernode the charge is *exactly* the flat
+  /// allreduce_time with zero crossing bytes — the hierarchy degenerates,
+  /// so sub-supernode machines are unaffected by the schedule. Crossing
+  /// bytes are 2*(S-1)*payload for S supernodes regardless of the inter
+  /// algorithm (the algorithm trades stage latency against stage
+  /// bandwidth; the hierarchy itself is what removes the flat schedule's
+  /// every-rank-crosses-per-stage traffic).
+  CollectiveCharge hier_allreduce_charge(std::size_t bytes,
+                                         std::size_t first_cg,
+                                         std::size_t count,
+                                         std::size_t crossover_bytes) const;
+  CollectiveCharge hier_allreduce_charge(std::size_t bytes,
+                                         const std::vector<std::size_t>& cgs,
+                                         std::size_t crossover_bytes) const;
+
+  /// Two-level reduce_scatter charge: intra-segment recursive halving,
+  /// then the leaders combine across supernodes (halving above the
+  /// crossover, tree + range scatter below it). Flat when S == 1.
+  CollectiveCharge hier_reduce_scatter_charge(
+      std::size_t bytes, std::size_t first_cg, std::size_t count,
+      std::size_t crossover_bytes) const;
+
+  /// Two-level allgather charge: each segment assembles its block, the
+  /// leaders exchange blocks by recursive doubling (concatenation has no
+  /// reduction op, so the bandwidth schedule is always right), and the
+  /// assembled payload fans back out. Flat when S == 1.
+  CollectiveCharge hier_allgather_charge(std::size_t bytes,
+                                         std::size_t first_cg,
+                                         std::size_t count) const;
+
+  /// Supernode-crossing bytes the *flat* recursive-doubling allreduce
+  /// moves over the same rank set — the A/B baseline the bench cells
+  /// compare the hierarchical schedule's crossing_bytes against. Every
+  /// rank exchanges the full payload at every stage, so stages whose
+  /// stride jumps a supernode put the whole world's payload through the
+  /// central switch at once.
+  std::uint64_t flat_allreduce_crossing_bytes(std::size_t bytes,
+                                              std::size_t first_cg,
+                                              std::size_t count) const;
+  std::uint64_t flat_allreduce_crossing_bytes(
+      std::size_t bytes, const std::vector<std::size_t>& cgs) const;
+
  private:
+  /// Partition a rank list into per-supernode segments (first-appearance
+  /// order; contiguous ranges yield contiguous segments).
+  std::vector<std::vector<std::size_t>> segments_by_supernode(
+      const std::vector<std::size_t>& cgs) const;
+  /// Stage-time helpers over arbitrary rank lists, mirroring the
+  /// contiguous-range collectives above: binomial tree (broadcast/reduce
+  /// shape), recursive halving (reduce_scatter shape) and recursive
+  /// doubling (allgather shape).
+  double binomial_tree_time(std::size_t bytes,
+                            const std::vector<std::size_t>& cgs) const;
+  double halving_time(std::size_t bytes,
+                      const std::vector<std::size_t>& cgs) const;
+  double doubling_time(std::size_t bytes,
+                       const std::vector<std::size_t>& cgs) const;
+
   const MachineConfig* config_;
 };
 

@@ -54,6 +54,64 @@ class CollectiveScope {
 
 }  // namespace detail
 
+/// Which schedule the reduction-shaped collectives (allreduce and friends,
+/// reduce_scatter_ranges, allgatherv, SplitAllreduce/DeferredCombine) run.
+/// kFlat is the original single binomial / recursive pattern over the whole
+/// world and stays available as the A/B baseline, the same way the mutex
+/// mailboxes stayed behind MailboxMode::kMutexQueue.
+enum class CollectiveSchedule {
+  kFlat,
+  kHierarchical,
+};
+
+/// Shape and tuning of the two-level schedule. `ranks_per_group` is how
+/// many consecutive ranks share a supernode (the engines pass
+/// cgs_per_node * supernode_nodes); the intra stage folds within aligned
+/// power-of-two blocks of that width, so any value — including non-powers
+/// of two and values larger than the world — yields a valid grouping.
+/// `crossover_bytes` is the payload size above which the inter-group stage
+/// switches from the latency-optimal binomial tree to the
+/// bandwidth-optimal reduce_scatter+allgather exchange; the engines derive
+/// it from MachineConfig::collective_crossover_bytes() instead of
+/// hard-coding it.
+struct HierarchySpec {
+  int ranks_per_group = 1;
+  std::size_t crossover_bytes = 128 * 1024;
+};
+
+/// Process-global schedule selection, read at every collective entry. Set
+/// before ranks launch (or between run_spmd invocations); toggling while
+/// ranks are inside a collective is undefined.
+CollectiveSchedule default_collective_schedule();
+void set_default_collective_schedule(CollectiveSchedule schedule);
+HierarchySpec default_hierarchy_spec();
+void set_default_hierarchy_spec(const HierarchySpec& spec);
+
+/// RAII schedule override: installs (schedule, spec), restores the previous
+/// pair on destruction. The engines wrap each run_spmd in one of these so a
+/// failed run cannot leak a hierarchical default into later flat tests.
+class ScopedCollectiveSchedule {
+ public:
+  ScopedCollectiveSchedule(CollectiveSchedule schedule,
+                           const HierarchySpec& spec)
+      : prev_schedule_(default_collective_schedule()),
+        prev_spec_(default_hierarchy_spec()) {
+    set_default_collective_schedule(schedule);
+    set_default_hierarchy_spec(spec);
+  }
+  ScopedCollectiveSchedule(const ScopedCollectiveSchedule&) = delete;
+  ScopedCollectiveSchedule& operator=(const ScopedCollectiveSchedule&) =
+      delete;
+  ~ScopedCollectiveSchedule() {
+    set_default_collective_schedule(prev_schedule_);
+    set_default_hierarchy_spec(prev_spec_);
+  }
+
+ private:
+  CollectiveSchedule prev_schedule_;
+  HierarchySpec prev_spec_;
+};
+
 /// Dissemination barrier: log2(size) rounds of token passing.
 void barrier(Comm& comm);
 
@@ -135,8 +193,593 @@ struct CombineMinLoc2 {
   }
 };
 
+/// Fold `size` equally-shaped value streams into `out[0..len)` using the
+/// fixed pairing of the root-0 binomial tree: stream r absorbs stream r+s
+/// for s = 1, 2, 4, … with the lower stream always the inout operand —
+/// exactly reduce()'s association, element by element. This is the one
+/// shared copy of the fold order used by both the sharded update phase
+/// (reduce_and_update folding shard slices across CG partials) and the
+/// intra-supernode stage of the hierarchical collectives.
+///
+/// `peer_slice(r)` returns stream r's base pointer; streams are only read.
+/// `out` may alias peer_slice(0): the first combine of stream 0 reads both
+/// operands before writing each element. `scratch` must hold at least
+/// `size` vectors; entries are resized as interior partials need them.
+template <typename T, typename Op, typename PeerSlice>
+void fold_binomial_slices(T* out, std::size_t len, int size,
+                          std::vector<std::vector<T>>& scratch,
+                          PeerSlice&& peer_slice, Op op) {
+  if (size == 1) {
+    const T* own = peer_slice(0);
+    if (own != out) {
+      std::copy(own, own + len, out);
+    }
+    return;
+  }
+  SWHKM_REQUIRE(scratch.size() >= static_cast<std::size_t>(size),
+                "fold_binomial_slices needs one scratch slot per stream");
+  // cur[r] points at the partial currently folded into stream r, or null
+  // while the stream is still untouched (first combine reads the source
+  // buffer directly and materialises the partial).
+  std::vector<const T*> cur(static_cast<std::size_t>(size), nullptr);
+  for (int s = 1; s < size; s <<= 1) {
+    for (int r = 0; r + s < size; r += 2 * s) {
+      const T* b = cur[r + s] != nullptr ? cur[r + s] : peer_slice(r + s);
+      if (cur[r] == nullptr) {
+        T* target = out;
+        if (r != 0) {
+          scratch[r].resize(len);
+          target = scratch[r].data();
+        }
+        const T* a = peer_slice(r);
+        for (std::size_t i = 0; i < len; ++i) {
+          T v = a[i];
+          op(v, b[i]);
+          target[i] = v;
+        }
+        cur[r] = target;
+      } else {
+        T* target = r == 0 ? out : scratch[r].data();
+        for (std::size_t i = 0; i < len; ++i) {
+          op(target[i], b[i]);
+        }
+      }
+    }
+  }
+}
+
 namespace detail {
 inline int binomial_parent(int vrank) { return vrank & (vrank - 1); }
+
+inline int floor_pow2(int v) {
+  int p = 1;
+  while (p * 2 <= v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+inline std::uint32_t ceil_log2(int v) {
+  std::uint32_t lg = 0;
+  int p = 1;
+  while (p < v) {
+    p <<= 1;
+    ++lg;
+  }
+  return lg;
+}
+
+/// How a rank sits in the two-level schedule. Groups are *aligned blocks*
+/// of width `width = floor_pow2(ranks_per_group)`: rounding the configured
+/// group width down to a power of two and aligning blocks at multiples of
+/// it is what makes the nested fold bit-identical to the flat root-0
+/// binomial tree for every world size — in the flat fold, every rank that
+/// survives the steps below `width` is congruent to 0 mod the step, so
+/// after those steps the survivors are exactly the block leaders, and the
+/// remaining steps pair leaders by group index (see DESIGN.md §12).
+struct HierLayout {
+  int group = 0;       ///< group index
+  int leader = 0;      ///< rank of this group's leader (group * width)
+  int local = 0;       ///< index within the group; 0 == leader
+  int group_size = 1;  ///< ranks in this group (tail group may be short)
+  int num_groups = 1;
+  int width = 1;       ///< aligned block width (power of two)
+};
+
+inline HierLayout hier_layout(int rank, int size, int ranks_per_group) {
+  HierLayout l;
+  l.width = floor_pow2(std::clamp(ranks_per_group, 1, size));
+  l.group = rank / l.width;
+  l.leader = l.group * l.width;
+  l.local = rank - l.leader;
+  l.num_groups = (size + l.width - 1) / l.width;
+  l.group_size = std::min(l.width, size - l.leader);
+  return l;
+}
+
+/// Every hierarchical collective reserves the same five-tag block so tag
+/// consumption stays uniform across ranks regardless of each rank's role.
+struct HierTags {
+  int ptr = 0;      ///< member -> leader buffer-pointer publish
+  int inter_a = 0;  ///< inter-group reduce / halving / exchange
+  int inter_b = 0;  ///< inter-group broadcast / doubling / range scatter
+  int down = 0;     ///< leader -> member result delivery
+  int ack = 0;      ///< member -> leader buffer release
+};
+
+inline HierTags reserve_hier_tags(Comm& comm) {
+  HierTags t;
+  t.ptr = comm.next_collective_tag();
+  t.inter_a = comm.next_collective_tag();
+  t.inter_b = comm.next_collective_tag();
+  t.down = comm.next_collective_tag();
+  t.ack = comm.next_collective_tag();
+  return t;
+}
+
+/// The intra stage is zero-copy: ranks of one group share an address
+/// space (they are threads of one process), so a member publishes its
+/// buffer *pointer* and the leader folds the member buffers in place. The
+/// mailbox send/recv pair is the happens-before edge that makes the bytes
+/// behind the pointer visible to the reader.
+inline void publish_ptr(Comm& comm, int dest, int tag, const void* p) {
+  comm.send_value<std::uintptr_t>(dest, tag,
+                                  reinterpret_cast<std::uintptr_t>(p));
+}
+
+template <typename T>
+const T* recv_ptr(Comm& comm, int source, int tag) {
+  return reinterpret_cast<const T*>(
+      comm.recv_value<std::uintptr_t>(source, tag));
+}
+
+/// Per-collective schedule telemetry, ticked once per collective by the
+/// group leaders (not once per rank): which inter algorithm ran and how
+/// many stages each level took. Named counters are the slow path of the
+/// registry, so this only runs when telemetry is attached at all.
+inline void tick_hier_counters(Comm& comm, const char* algo_counter,
+                               const char* intra_counter,
+                               const char* inter_counter,
+                               std::uint64_t intra_rounds,
+                               std::uint64_t inter_rounds) {
+  telemetry::MetricsShard* shard = comm.metrics_shard();
+  if (shard == nullptr) {
+    return;
+  }
+  shard->counter(algo_counter).add(1);
+  if (intra_rounds > 0) {
+    shard->counter(intra_counter).add(intra_rounds);
+  }
+  if (inter_rounds > 0) {
+    shard->counter(inter_counter).add(inter_rounds);
+  }
+}
+
+/// Leader half of the intra stage: collect the member buffer pointers and
+/// fold all group streams into the leader's own buffer with the shared
+/// binomial association (local index j == flat rank leader + j). Members
+/// stay parked in their down-phase receive, so every published pointer
+/// outlives the fold.
+template <typename T, typename Op>
+void hier_intra_fold(Comm& comm, const HierLayout& l, const HierTags& tags,
+                     std::span<T> buf, Op op) {
+  std::vector<const T*> streams(static_cast<std::size_t>(l.group_size),
+                                nullptr);
+  streams[0] = buf.data();
+  for (int j = 1; j < l.group_size; ++j) {
+    streams[static_cast<std::size_t>(j)] =
+        recv_ptr<T>(comm, l.leader + j, tags.ptr);
+  }
+  std::vector<std::vector<T>> scratch(
+      static_cast<std::size_t>(l.group_size));
+  fold_binomial_slices(
+      buf.data(), buf.size(), l.group_size, scratch,
+      [&](int r) { return streams[static_cast<std::size_t>(r)]; }, op);
+}
+
+/// Latency-optimal inter stage: binomial tree over group indices (reduce
+/// to group 0's leader, broadcast back down). Group G absorbing group
+/// G + step with the incoming operand on the right is exactly the flat
+/// tree's steps >= width, so the association is unchanged.
+template <typename T, typename Op>
+void hier_inter_tree(Comm& comm, const HierLayout& l, const HierTags& tags,
+                     std::span<T> buf, Op op) {
+  const int ng = l.num_groups;
+  const int g = l.group;
+  for (int step = 1; step < ng; step <<= 1) {
+    if (g & step) {
+      comm.send<T>(binomial_parent(g) * l.width, tags.inter_a,
+                   std::span<const T>(buf.data(), buf.size()));
+      break;
+    }
+    if (g + step < ng) {
+      std::vector<T> incoming =
+          comm.recv<T>((g + step) * l.width, tags.inter_a);
+      SWHKM_REQUIRE(incoming.size() == buf.size(),
+                    "hier inter-tree payload size mismatch");
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        op(buf[i], incoming[i]);
+      }
+    }
+  }
+  int top = 1;
+  while (top < ng) {
+    top <<= 1;
+  }
+  const int lsb = g == 0 ? top : (g & (-g));
+  if (g != 0) {
+    std::vector<T> incoming =
+        comm.recv<T>(binomial_parent(g) * l.width, tags.inter_b);
+    SWHKM_REQUIRE(incoming.size() == buf.size(),
+                  "hier inter-tree bcast size mismatch");
+    std::copy(incoming.begin(), incoming.end(), buf.begin());
+  }
+  for (int m = lsb >> 1; m >= 1; m >>= 1) {
+    if (g + m < ng) {
+      comm.send<T>((g + m) * l.width, tags.inter_b,
+                   std::span<const T>(buf.data(), buf.size()));
+    }
+  }
+}
+
+/// Even element partition of a buffer over `parts` owners (monotone, may
+/// contain empty ranges); identical on every rank by construction.
+inline std::vector<std::size_t> even_offsets(std::size_t len, int parts) {
+  std::vector<std::size_t> offs(static_cast<std::size_t>(parts) + 1);
+  for (int i = 0; i <= parts; ++i) {
+    offs[static_cast<std::size_t>(i)] =
+        len * static_cast<std::size_t>(i) / static_cast<std::size_t>(parts);
+  }
+  return offs;
+}
+
+/// Bandwidth-optimal inter stage (power-of-two group counts): recursive
+/// halving reduce-scatter over an even element partition, then recursive
+/// doubling allgather. Processing the lowest group bit first with the
+/// lower subtree as the inout operand reproduces the binomial tree's
+/// association element-wise — the same argument as reduce_scatter_ranges —
+/// so switching algorithms by payload size never changes a bit.
+template <typename T, typename Op>
+void hier_inter_rsag(Comm& comm, const HierLayout& l, const HierTags& tags,
+                     std::span<T> buf, Op op) {
+  const int ng = l.num_groups;
+  const int g = l.group;
+  const std::vector<std::size_t> offs = even_offsets(buf.size(), ng);
+  std::vector<T> pack;
+  for (int s = 1; s < ng; s <<= 1) {
+    const int peer = (g ^ s) * l.width;
+    pack.clear();
+    for (int b = 0; b < ng; ++b) {
+      if ((b & (s - 1)) == (g & (s - 1)) && (b & s) != (g & s)) {
+        pack.insert(
+            pack.end(),
+            buf.begin() + static_cast<std::ptrdiff_t>(offs[b]),
+            buf.begin() + static_cast<std::ptrdiff_t>(offs[b + 1]));
+      }
+    }
+    comm.send<T>(peer, tags.inter_a,
+                 std::span<const T>(pack.data(), pack.size()));
+    const std::vector<T> incoming = comm.recv<T>(peer, tags.inter_a);
+    std::size_t at = 0;
+    for (int b = 0; b < ng; ++b) {
+      if ((b & (s - 1)) != (g & (s - 1)) || (b & s) != (g & s)) {
+        continue;
+      }
+      T* mine = buf.data() + offs[b];
+      const std::size_t len = offs[b + 1] - offs[b];
+      SWHKM_REQUIRE(at + len <= incoming.size(),
+                    "hier halving block mismatch");
+      if ((g & s) == 0) {
+        for (std::size_t i = 0; i < len; ++i) {
+          op(mine[i], incoming[at + i]);
+        }
+      } else {
+        for (std::size_t i = 0; i < len; ++i) {
+          T merged = incoming[at + i];
+          op(merged, mine[i]);
+          mine[i] = merged;
+        }
+      }
+      at += len;
+    }
+    SWHKM_REQUIRE(at == incoming.size(), "hier halving payload mismatch");
+  }
+  for (int s = 1; s < ng; s <<= 1) {
+    const int peer_group = g ^ s;
+    const int peer = peer_group * l.width;
+    const int base = g & ~(s - 1);
+    const int pbase = peer_group & ~(s - 1);
+    comm.send<T>(peer, tags.inter_b,
+                 std::span<const T>(buf.data() + offs[base],
+                                    offs[base + s] - offs[base]));
+    const std::vector<T> incoming = comm.recv<T>(peer, tags.inter_b);
+    SWHKM_REQUIRE(incoming.size() == offs[pbase + s] - offs[pbase],
+                  "hier doubling round length mismatch");
+    std::copy(incoming.begin(), incoming.end(),
+              buf.begin() + static_cast<std::ptrdiff_t>(offs[pbase]));
+  }
+}
+
+/// Size-adaptive inter algorithm selection: the bandwidth schedule needs a
+/// power-of-two group count (halving pairs every group each round) and
+/// only pays off above the latency/bandwidth crossover.
+inline bool inter_uses_rsag(const HierLayout& l, std::size_t payload_bytes,
+                            std::size_t crossover_bytes) {
+  return l.num_groups > 1 && payload_bytes > crossover_bytes &&
+         (l.num_groups & (l.num_groups - 1)) == 0;
+}
+
+/// Blocking tail of the hierarchical allreduce: everything after the
+/// member's pointer publish. Split out so SplitAllreduce can post the
+/// publish in start() and run the rest in finish().
+template <typename T, typename Op>
+void hier_allreduce_finish(Comm& comm, const HierLayout& l,
+                           const HierTags& tags, const HierarchySpec& spec,
+                           std::span<T> buf, Op op) {
+  if (l.local != 0) {
+    // Parked here until the leader's fold + inter stage finish; the
+    // publish above keeps this rank's buffer valid for the leader to read.
+    const T* result = recv_ptr<T>(comm, l.leader, tags.down);
+    std::copy(result, result + buf.size(), buf.begin());
+    comm.send_value<std::uint8_t>(l.leader, tags.ack, 1);
+    return;
+  }
+  hier_intra_fold(comm, l, tags, buf, op);
+  const bool rsag = inter_uses_rsag(l, buf.size_bytes(), spec.crossover_bytes);
+  if (l.num_groups > 1) {
+    if (rsag) {
+      hier_inter_rsag(comm, l, tags, buf, op);
+    } else {
+      hier_inter_tree(comm, l, tags, buf, op);
+    }
+  }
+  for (int j = 1; j < l.group_size; ++j) {
+    publish_ptr(comm, l.leader + j, tags.down, buf.data());
+  }
+  for (int j = 1; j < l.group_size; ++j) {
+    (void)comm.recv_value<std::uint8_t>(l.leader + j, tags.ack);
+  }
+  tick_hier_counters(comm,
+                     rsag ? "swmpi.hier.allreduce.algo_rsag"
+                          : "swmpi.hier.allreduce.algo_tree",
+                     "swmpi.hier.allreduce.intra_rounds",
+                     "swmpi.hier.allreduce.inter_rounds",
+                     2 * ceil_log2(l.group_size),
+                     l.num_groups > 1 ? 2 * ceil_log2(l.num_groups) : 0);
+}
+
+/// Two-level allreduce: intra-group zero-copy fold into the leaders, a
+/// size-adaptive inter stage among leaders, then the result pointer fans
+/// back down and members copy it out. Bit-identical to the flat schedule
+/// for every op and world shape (the callers' contract).
+template <typename T, typename Op>
+void hier_allreduce(Comm& comm, std::span<T> buf, Op op,
+                    const HierarchySpec& spec) {
+  const HierLayout l = hier_layout(comm.rank(), comm.size(),
+                                   spec.ranks_per_group);
+  const HierTags tags = reserve_hier_tags(comm);
+  if (l.local != 0) {
+    publish_ptr(comm, l.leader, tags.ptr, buf.data());
+  }
+  hier_allreduce_finish(comm, l, tags, spec, buf, op);
+}
+
+/// Two-level reduce_scatter_ranges: intra fold into the leaders, inter
+/// stage over *group ranges* (each group's range is the concatenation of
+/// its members' ranges), then each leader hands members their slice as
+/// plain bytes — members need no ack since they only receive.
+template <typename T, typename Op>
+std::vector<T> hier_reduce_scatter_ranges(
+    Comm& comm, std::span<T> buf, std::span<const std::size_t> offsets,
+    Op op, const HierarchySpec& spec) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const HierLayout l = hier_layout(rank, size, spec.ranks_per_group);
+  const HierTags tags = reserve_hier_tags(comm);
+  if (l.local != 0) {
+    publish_ptr(comm, l.leader, tags.ptr, buf.data());
+    std::vector<T> mine = comm.recv<T>(l.leader, tags.down);
+    SWHKM_REQUIRE(mine.size() == offsets[rank + 1] - offsets[rank],
+                  "hier reduce_scatter_ranges slice size mismatch");
+    return mine;
+  }
+  hier_intra_fold(comm, l, tags, buf, op);
+  const int ng = l.num_groups;
+  // Group q's range covers its member ranges: [goff(q), goff(q + 1)).
+  const auto goff = [&](int q) {
+    return offsets[std::min(static_cast<std::size_t>(q) *
+                                static_cast<std::size_t>(l.width),
+                            static_cast<std::size_t>(size))];
+  };
+  const bool rsag = inter_uses_rsag(l, buf.size_bytes(), spec.crossover_bytes);
+  if (ng > 1) {
+    const int g = l.group;
+    if (rsag) {
+      // Recursive halving over group ranges, lowest group bit first — the
+      // flat pow2 path of reduce_scatter_ranges transposed to group space.
+      std::vector<T> pack;
+      for (int s = 1; s < ng; s <<= 1) {
+        const int peer = (g ^ s) * l.width;
+        pack.clear();
+        for (int b = 0; b < ng; ++b) {
+          if ((b & (s - 1)) == (g & (s - 1)) && (b & s) != (g & s)) {
+            pack.insert(
+                pack.end(),
+                buf.begin() + static_cast<std::ptrdiff_t>(goff(b)),
+                buf.begin() + static_cast<std::ptrdiff_t>(goff(b + 1)));
+          }
+        }
+        comm.send<T>(peer, tags.inter_a,
+                     std::span<const T>(pack.data(), pack.size()));
+        const std::vector<T> incoming = comm.recv<T>(peer, tags.inter_a);
+        std::size_t at = 0;
+        for (int b = 0; b < ng; ++b) {
+          if ((b & (s - 1)) != (g & (s - 1)) || (b & s) != (g & s)) {
+            continue;
+          }
+          T* mine = buf.data() + goff(b);
+          const std::size_t len = goff(b + 1) - goff(b);
+          SWHKM_REQUIRE(at + len <= incoming.size(),
+                        "hier group-halving block mismatch");
+          if ((g & s) == 0) {
+            for (std::size_t i = 0; i < len; ++i) {
+              op(mine[i], incoming[at + i]);
+            }
+          } else {
+            for (std::size_t i = 0; i < len; ++i) {
+              T merged = incoming[at + i];
+              op(merged, mine[i]);
+              mine[i] = merged;
+            }
+          }
+          at += len;
+        }
+        SWHKM_REQUIRE(at == incoming.size(),
+                      "hier group-halving payload mismatch");
+      }
+    } else {
+      // Tree reduce over group indices to group 0's leader, which then
+      // sends every other leader its group range.
+      for (int step = 1; step < ng; step <<= 1) {
+        if (g & step) {
+          comm.send<T>(binomial_parent(g) * l.width, tags.inter_a,
+                       std::span<const T>(buf.data(), buf.size()));
+          break;
+        }
+        if (g + step < ng) {
+          std::vector<T> incoming =
+              comm.recv<T>((g + step) * l.width, tags.inter_a);
+          SWHKM_REQUIRE(incoming.size() == buf.size(),
+                        "hier inter-tree payload size mismatch");
+          for (std::size_t i = 0; i < buf.size(); ++i) {
+            op(buf[i], incoming[i]);
+          }
+        }
+      }
+      if (g == 0) {
+        for (int q = 1; q < ng; ++q) {
+          comm.send<T>(q * l.width, tags.inter_b,
+                       std::span<const T>(buf.data() + goff(q),
+                                          goff(q + 1) - goff(q)));
+        }
+      } else {
+        std::vector<T> range = comm.recv<T>(0, tags.inter_b);
+        SWHKM_REQUIRE(range.size() == goff(g + 1) - goff(g),
+                      "hier group range size mismatch");
+        std::copy(range.begin(), range.end(),
+                  buf.begin() + static_cast<std::ptrdiff_t>(goff(g)));
+      }
+    }
+  }
+  for (int j = 1; j < l.group_size; ++j) {
+    const int r = l.leader + j;
+    comm.send<T>(r, tags.down,
+                 std::span<const T>(buf.data() + offsets[r],
+                                    offsets[r + 1] - offsets[r]));
+  }
+  tick_hier_counters(
+      comm,
+      rsag ? "swmpi.hier.reduce_scatter_ranges.algo_rsag"
+           : "swmpi.hier.reduce_scatter_ranges.algo_tree",
+      "swmpi.hier.reduce_scatter_ranges.intra_rounds",
+      "swmpi.hier.reduce_scatter_ranges.inter_rounds",
+      ceil_log2(l.group_size),
+      ng > 1 ? (rsag ? ceil_log2(ng) : ceil_log2(ng) + 1) : 0);
+  return std::vector<T>(
+      buf.begin() + static_cast<std::ptrdiff_t>(offsets[rank]),
+      buf.begin() + static_cast<std::ptrdiff_t>(offsets[rank + 1]));
+}
+
+/// Two-level allgatherv: members publish their contribution pointers, each
+/// leader assembles its group block straight from the member buffers, the
+/// leaders exchange blocks (recursive doubling when the group count is a
+/// power of two, direct exchange otherwise — concatenation has no
+/// reduction op, so the bandwidth schedule is always the right one), and
+/// the assembled result fans back down by pointer. `all` arrives with the
+/// caller's own contribution already placed and leaves fully assembled.
+template <typename T>
+void hier_allgatherv_fill(Comm& comm, std::span<const T> mine,
+                          std::span<const std::size_t> offsets,
+                          std::vector<T>& all, const HierarchySpec& spec) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const HierLayout l = hier_layout(rank, size, spec.ranks_per_group);
+  const HierTags tags = reserve_hier_tags(comm);
+  if (l.local != 0) {
+    publish_ptr(comm, l.leader, tags.ptr, mine.data());
+    const T* result = recv_ptr<T>(comm, l.leader, tags.down);
+    std::copy(result, result + all.size(), all.begin());
+    comm.send_value<std::uint8_t>(l.leader, tags.ack, 1);
+    return;
+  }
+  for (int j = 1; j < l.group_size; ++j) {
+    const int r = l.leader + j;
+    const T* src = recv_ptr<T>(comm, r, tags.ptr);
+    std::copy(src, src + (offsets[r + 1] - offsets[r]),
+              all.begin() + static_cast<std::ptrdiff_t>(offsets[r]));
+  }
+  const int ng = l.num_groups;
+  const auto goff = [&](int q) {
+    return offsets[std::min(static_cast<std::size_t>(q) *
+                                static_cast<std::size_t>(l.width),
+                            static_cast<std::size_t>(size))];
+  };
+  const bool doubling = ng > 1 && (ng & (ng - 1)) == 0;
+  if (ng > 1) {
+    const int g = l.group;
+    if (doubling) {
+      for (int s = 1; s < ng; s <<= 1) {
+        const int peer_group = g ^ s;
+        const int peer = peer_group * l.width;
+        const int base = g & ~(s - 1);
+        const int pbase = peer_group & ~(s - 1);
+        comm.send<T>(peer, tags.inter_a,
+                     std::span<const T>(all.data() + goff(base),
+                                        goff(base + s) - goff(base)));
+        const std::vector<T> incoming = comm.recv<T>(peer, tags.inter_a);
+        SWHKM_REQUIRE(incoming.size() == goff(pbase + s) - goff(pbase),
+                      "hier allgatherv round length mismatch");
+        std::copy(incoming.begin(), incoming.end(),
+                  all.begin() + static_cast<std::ptrdiff_t>(goff(pbase)));
+      }
+    } else {
+      for (int q = 0; q < ng; ++q) {
+        if (q != g) {
+          comm.send<T>(q * l.width, tags.inter_a,
+                       std::span<const T>(all.data() + goff(g),
+                                          goff(g + 1) - goff(g)));
+        }
+      }
+      for (int q = 0; q < ng; ++q) {
+        if (q == g) {
+          continue;
+        }
+        const std::vector<T> incoming =
+            comm.recv<T>(q * l.width, tags.inter_a);
+        SWHKM_REQUIRE(incoming.size() == goff(q + 1) - goff(q),
+                      "hier allgatherv block length mismatch");
+        std::copy(incoming.begin(), incoming.end(),
+                  all.begin() + static_cast<std::ptrdiff_t>(goff(q)));
+      }
+    }
+  }
+  for (int j = 1; j < l.group_size; ++j) {
+    publish_ptr(comm, l.leader + j, tags.down, all.data());
+  }
+  for (int j = 1; j < l.group_size; ++j) {
+    (void)comm.recv_value<std::uint8_t>(l.leader + j, tags.ack);
+  }
+  tick_hier_counters(comm,
+                     doubling ? "swmpi.hier.allgatherv.algo_doubling"
+                              : "swmpi.hier.allgatherv.algo_direct",
+                     "swmpi.hier.allgatherv.intra_rounds",
+                     "swmpi.hier.allgatherv.inter_rounds",
+                     2 * ceil_log2(l.group_size),
+                     ng > 1 ? (doubling ? ceil_log2(ng)
+                                        : static_cast<std::uint32_t>(1))
+                            : 0);
+}
+
 }  // namespace detail
 
 /// Broadcast `buf` from `root` to all ranks (binomial tree).
@@ -208,11 +851,19 @@ void reduce(Comm& comm, int root, std::span<T> buf, Op op) {
 }
 
 /// AllReduce: reduce to rank 0, then broadcast. Every rank ends up with the
-/// identical (bit-for-bit) combined buffer.
+/// identical (bit-for-bit) combined buffer. Under the hierarchical
+/// schedule the same bits come from the two-level path instead (intra
+/// zero-copy fold, size-adaptive inter stage); the flat path is the A/B
+/// baseline.
 template <typename T, typename Op>
 void allreduce(Comm& comm, std::span<T> buf, Op op) {
   detail::CollectiveScope scope(comm, telemetry::CollectiveKind::kAllreduce,
                                 buf.size_bytes());
+  if (comm.size() > 1 &&
+      default_collective_schedule() == CollectiveSchedule::kHierarchical) {
+    detail::hier_allreduce(comm, buf, op, default_hierarchy_spec());
+    return;
+  }
   reduce(comm, 0, buf, op);
   bcast(comm, 0, buf);
 }
@@ -268,6 +919,23 @@ class SplitAllreduce {
     comm_ = &comm;
     buf_ = buf;
     op_ = op;
+    hier_ = comm.size() > 1 && default_collective_schedule() ==
+                                   CollectiveSchedule::kHierarchical;
+    if (hier_) {
+      // Hierarchical split-phase: a member's entire up phase is one
+      // pointer publish, so its contribution goes into flight immediately
+      // — the overlap start() exists for. The leader's receives all
+      // block, so its whole schedule defers to finish(). `buf` must stay
+      // untouched between the phases: the leader reads it in place.
+      spec_ = default_hierarchy_spec();
+      layout_ = detail::hier_layout(comm.rank(), comm.size(),
+                                    spec_.ranks_per_group);
+      tags_ = detail::reserve_hier_tags(comm);
+      if (layout_.local != 0) {
+        detail::publish_ptr(comm, layout_.leader, tags_.ptr, buf_.data());
+      }
+      return;
+    }
     reduce_tag_ = comm.next_collective_tag();
     bcast_tag_ = comm.next_collective_tag();
     resume_step_ = 0;  // 0 = up phase already complete
@@ -297,6 +965,11 @@ class SplitAllreduce {
     Comm& comm = *comm_;
     detail::CollectiveScope scope(comm, telemetry::CollectiveKind::kAllreduce,
                                   buf_.size_bytes());
+    if (hier_) {
+      detail::hier_allreduce_finish(comm, layout_, tags_, spec_, buf_, op_);
+      comm_ = nullptr;
+      return;
+    }
     const int size = comm.size();
     const int vrank = comm.rank();
     if (size > 1) {
@@ -350,6 +1023,10 @@ class SplitAllreduce {
   int reduce_tag_ = 0;
   int bcast_tag_ = 0;
   int resume_step_ = 0;
+  bool hier_ = false;  ///< schedule captured at start(); finish() replays it
+  HierarchySpec spec_{};
+  detail::HierLayout layout_{};
+  detail::HierTags tags_{};
 };
 
 /// s-step deferred reduction: accumulate several tiles' combine records in
@@ -619,6 +1296,10 @@ std::vector<T> reduce_scatter_ranges(Comm& comm, std::span<T> buf,
   if (size == 1) {
     return std::vector<T>(buf.begin(), buf.end());
   }
+  if (default_collective_schedule() == CollectiveSchedule::kHierarchical) {
+    return detail::hier_reduce_scatter_ranges(comm, buf, offsets, op,
+                                              default_hierarchy_spec());
+  }
   const bool pow2 = (size & (size - 1)) == 0;
   if (!pow2) {
     // Binomial reduce to rank 0, then scatter the ranges. The combine
@@ -735,6 +1416,13 @@ std::vector<T> allgatherv(Comm& comm, std::span<const T> mine,
   std::copy(mine.begin(), mine.end(),
             all.begin() + static_cast<std::ptrdiff_t>(offsets[rank]));
   if (size == 1) {
+    return all;
+  }
+  if (default_collective_schedule() == CollectiveSchedule::kHierarchical) {
+    detail::hier_allgatherv_fill(
+        comm, mine,
+        std::span<const std::size_t>(offsets.data(), offsets.size()), all,
+        default_hierarchy_spec());
     return all;
   }
   const int tag = comm.next_collective_tag();

@@ -77,6 +77,7 @@ void RunReport::write_json(std::ostream& out) const {
     w.kv("dma_bytes", it.dma_bytes);
     w.kv("flops", it.flops);
     w.kv("net_rounds", it.net_rounds);
+    w.kv("net_crossing_bytes", it.net_crossing_bytes);
     w.kv("retries", it.retries);
     w.kv("recover_s", it.recover_s);
     w.end_object();

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstring>
 #include <limits>
 #include <thread>
+#include <tuple>
 
 #include "swmpi/collectives.hpp"
 #include "swmpi/mailbox.hpp"
@@ -491,6 +494,217 @@ TEST(DeferredCombine, ClaimAfterLaunchRejected) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, DeferredCombineTest,
                          ::testing::Values(1, 2, 3, 5, 8));
+
+// ------------------------------- hierarchical schedule property suite
+
+/// Association-sensitive deterministic value: magnitudes spread over ~12
+/// binary orders so any change in the FP fold order moves the result bits.
+double hier_spread(int rank, std::size_t i) {
+  const int e = static_cast<int>(
+                    (i * 13 + static_cast<std::size_t>(rank) * 7) % 25) -
+                12;
+  return std::ldexp(1.0 + 0.001 * static_cast<double>(i) +
+                        0.01 * static_cast<double>(rank),
+                    e);
+}
+
+template <typename T>
+std::vector<std::byte> to_bytes(const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::byte> b(v.size() * sizeof(T));
+  if (!b.empty()) {
+    std::memcpy(b.data(), v.data(), b.size());
+  }
+  return b;
+}
+
+/// Run `body` on `world` ranks under (schedule, spec) and collect each
+/// rank's serialized result, so a flat-schedule reference run and a
+/// hierarchical run of the same body can be compared bit for bit.
+template <typename Fn>
+std::vector<std::vector<std::byte>> run_under_schedule(
+    int world, CollectiveSchedule sched, const HierarchySpec& spec,
+    Fn&& body) {
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(world));
+  const ScopedCollectiveSchedule guard(sched, spec);
+  run_spmd(world, [&](Comm& comm) {
+    out[static_cast<std::size_t>(comm.rank())] = body(comm);
+  });
+  return out;
+}
+
+/// (world size, ranks_per_group selector); selector 0 means "the whole
+/// world in one group". Covers non-pow2 worlds, groups that do not divide
+/// the world (3), degenerate one-rank groups (the flat pattern expressed
+/// hierarchically), and a single all-rank group (no inter stage).
+class HierScheduleTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  int world() const { return std::get<0>(GetParam()); }
+  HierarchySpec spec(std::size_t crossover_bytes) const {
+    const int sel = std::get<1>(GetParam());
+    return {sel == 0 ? world() : sel, crossover_bytes};
+  }
+  /// Compare a flat reference run of `body` against hierarchical runs at
+  /// each crossover, so both inter algorithms (binomial tree and
+  /// reduce_scatter+allgather) are forced regardless of payload size.
+  template <typename Fn>
+  void expect_hier_matches_flat(Fn&& body, const char* what) {
+    const auto flat =
+        run_under_schedule(world(), CollectiveSchedule::kFlat, {}, body);
+    for (const std::size_t xover :
+         {std::size_t{0}, std::size_t{64},
+          std::numeric_limits<std::size_t>::max()}) {
+      const auto hier = run_under_schedule(
+          world(), CollectiveSchedule::kHierarchical, spec(xover), body);
+      EXPECT_EQ(flat, hier)
+          << what << " world=" << world() << " rpg="
+          << spec(xover).ranks_per_group << " xover=" << xover;
+    }
+  }
+};
+
+TEST_P(HierScheduleTest, AllreduceDoublesMatchesFlatBitForBit) {
+  // 3 doubles (24 B) sit below the 64-byte crossover, 16 (128 B) above —
+  // one payload per inter algorithm at that spec, and the 0/max extremes
+  // force the other algorithm onto each payload too.
+  for (const std::size_t len : {std::size_t{3}, std::size_t{16}}) {
+    expect_hier_matches_flat(
+        [len](Comm& comm) {
+          std::vector<double> buf(len);
+          for (std::size_t i = 0; i < len; ++i) {
+            buf[i] = hier_spread(comm.rank(), i);
+          }
+          allreduce(comm, std::span<double>(buf), ops::Plus{});
+          return to_bytes(buf);
+        },
+        "allreduce");
+  }
+}
+
+TEST_P(HierScheduleTest, Minloc2MatchesFlat) {
+  expect_hier_matches_flat(
+      [](Comm& comm) {
+        std::vector<MinLoc2> buf(7);
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+          // Cross-rank ties on value so the index tie-break and the
+          // runner-up tracking both matter.
+          buf[i] = {static_cast<double>(
+                        (static_cast<std::size_t>(comm.rank()) + i) % 3) +
+                        0.25,
+                    static_cast<std::uint64_t>(comm.rank()) * 100 + i,
+                    std::numeric_limits<double>::max()};
+        }
+        allreduce_minloc2(comm, std::span<MinLoc2>(buf));
+        return to_bytes(buf);
+      },
+      "minloc2");
+}
+
+TEST_P(HierScheduleTest, ReduceScatterRangesMatchesFlat) {
+  // 23 elements: ragged block ranges over every world here, empty ranges
+  // once the world outgrows the payload.
+  expect_hier_matches_flat(
+      [](Comm& comm) {
+        const std::size_t total = 23;
+        std::vector<double> buf(total);
+        for (std::size_t i = 0; i < total; ++i) {
+          buf[i] = hier_spread(comm.rank(), i);
+        }
+        std::vector<std::size_t> offsets(
+            static_cast<std::size_t>(comm.size()) + 1);
+        for (int r = 0; r <= comm.size(); ++r) {
+          offsets[static_cast<std::size_t>(r)] =
+              static_cast<std::size_t>(r) * total /
+              static_cast<std::size_t>(comm.size());
+        }
+        return to_bytes(reduce_scatter_ranges(
+            comm, std::span<const double>(buf.data(), buf.size()),
+            std::span<const std::size_t>(offsets.data(), offsets.size()),
+            ops::Plus{}));
+      },
+      "reduce_scatter_ranges");
+}
+
+TEST_P(HierScheduleTest, AllgathervMatchesFlat) {
+  expect_hier_matches_flat(
+      [](Comm& comm) {
+        // Ragged contributions with rank-0's (and every 4th) empty.
+        const auto rank = static_cast<std::size_t>(comm.rank());
+        std::vector<std::uint64_t> mine(rank % 4);
+        for (std::size_t i = 0; i < mine.size(); ++i) {
+          mine[i] = rank * 1000 + i;
+        }
+        return to_bytes(allgatherv(
+            comm, std::span<const std::uint64_t>(mine.data(), mine.size())));
+      },
+      "allgatherv");
+}
+
+TEST_P(HierScheduleTest, SplitAllreduceMatchesFlat) {
+  expect_hier_matches_flat(
+      [](Comm& comm) {
+        std::vector<double> buf(9);
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+          buf[i] = hier_spread(comm.rank(), i);
+        }
+        SplitAllreduce<double, ops::Plus> op;
+        op.start(comm, std::span<double>(buf), ops::Plus{});
+        op.finish();
+        return to_bytes(buf);
+      },
+      "split_allreduce");
+}
+
+TEST_P(HierScheduleTest, DeferredCombineMatchesFlat) {
+  expect_hier_matches_flat(
+      [](Comm& comm) {
+        DeferredCombine<MinLoc2, CombineMinLoc2> dc;
+        dc.reserve(6);
+        dc.reset();
+        std::size_t sample = 0;
+        for (const std::size_t count :
+             {std::size_t{2}, std::size_t{1}, std::size_t{3}}) {
+          std::span<MinLoc2> claim = dc.claim(count);
+          for (std::size_t t = 0; t < count; ++t, ++sample) {
+            claim[t] = {
+                static_cast<double>(
+                    (static_cast<std::size_t>(comm.rank()) + sample) % 2) +
+                    0.25,
+                static_cast<std::uint64_t>(comm.rank()) * 100 + sample,
+                std::numeric_limits<double>::max()};
+          }
+        }
+        dc.launch(comm, CombineMinLoc2{});
+        dc.finish();
+        const std::span<const MinLoc2> got = dc.records();
+        return to_bytes(std::vector<MinLoc2>(got.begin(), got.end()));
+      },
+      "deferred_combine");
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HierScheduleTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5, 8,
+                                                              16),
+                                            ::testing::Values(1, 3, 0)));
+
+TEST(HierSchedule, ScopedGuardInstallsAndRestores) {
+  const CollectiveSchedule before = default_collective_schedule();
+  const HierarchySpec before_spec = default_hierarchy_spec();
+  {
+    const ScopedCollectiveSchedule guard(CollectiveSchedule::kHierarchical,
+                                         {4, 99});
+    EXPECT_EQ(default_collective_schedule(),
+              CollectiveSchedule::kHierarchical);
+    EXPECT_EQ(default_hierarchy_spec().ranks_per_group, 4);
+    EXPECT_EQ(default_hierarchy_spec().crossover_bytes, 99u);
+  }
+  EXPECT_EQ(default_collective_schedule(), before);
+  EXPECT_EQ(default_hierarchy_spec().ranks_per_group,
+            before_spec.ranks_per_group);
+  EXPECT_EQ(default_hierarchy_spec().crossover_bytes,
+            before_spec.crossover_bytes);
+}
 
 }  // namespace
 }  // namespace swhkm::swmpi
