@@ -54,6 +54,18 @@
 /// path is exercised). Time-to-recover and the recovery report go to
 /// BENCH_faults.json; the cell fails if the recovered run is not
 /// bit-identical to the clean one.
+///
+/// `--sdc` drills the silent-data-corruption defense instead of fail-stop:
+/// every engine level takes four deterministic exponent-bit flips (centroid
+/// snapshot, GEMM tile scratch, update-accumulator sums, update-accumulator
+/// counts) and the transport CRC takes a transient and a persistent wire
+/// corruption on a collective workload. The gates: every injection is
+/// detected, detection is handled by a localized in-memory leg retry (no
+/// checkpoint rollback), every drilled run lands bit-identical to the clean
+/// defense-off run, a corruption-free defense-on run is bit-identical too
+/// (centroid_max_abs_diff == 0.0), and the defense's modeled overhead stays
+/// bounded. Results go to BENCH_sdc.json; `--smoke` embeds the same cell in
+/// BENCH_wallclock.json.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -66,6 +78,7 @@
 #include "core/engine_common.hpp"
 #include "core/engine_util.hpp"
 #include "core/lloyd.hpp"
+#include "core/metrics.hpp"
 #include "core/planner.hpp"
 #include "swmpi/collectives.hpp"
 #include "swmpi/fault.hpp"
@@ -576,6 +589,376 @@ int run_faults() {
     return 1;
   }
   return 0;
+}
+
+/// The SDC-defense drill matrix (see the file comment, `--sdc`). One cell
+/// aggregates every drill: injections scheduled vs detections raised, the
+/// recovery shape (localized in-memory retries vs checkpoint rollbacks),
+/// bit-identity of every drilled run against the clean defense-off run, and
+/// the modeled cost of arming the defense on a corruption-free run.
+struct SdcCell {
+  struct PerLevel {
+    core::Level level = core::Level::kLevel1;
+    std::size_t injections = 0;
+    std::size_t detected = 0;
+    std::size_t localized_retries = 0;
+    std::size_t rollbacks = 0;
+    std::uint64_t abft_recomputed = 0;  ///< GEMM panels repaired in place
+    bool bit_identical = true;
+    double clean_max_abs_diff = 0;  ///< defense-on vs off, no faults
+  };
+  std::vector<PerLevel> levels;
+  std::size_t injections = 0;
+  std::size_t detected = 0;
+  double detection_rate = 0;
+  std::size_t localized_retries = 0;
+  std::size_t rollbacks = 0;  ///< checkpoint rollbacks across drills (want 0)
+  std::uint64_t abft_recomputed = 0;
+  std::uint64_t transient_crc_fails = 0;
+  std::uint64_t transient_retransmits = 0;
+  bool persistent_escalated = false;  ///< CorruptMessageError was raised
+  bool all_bit_identical = true;
+  double clean_max_abs_diff = 0;  ///< max over levels (want exactly 0.0)
+  double modeled_off_s = 0;       ///< Level 3 clean modeled time, defense off
+  double modeled_on_s = 0;        ///< ... and with sdc_checks armed
+  double overhead_frac = 0;       ///< modeled cost of the armed defense
+};
+
+SdcCell run_sdc_cell() {
+  const data::Dataset ds = data::make_blobs(2048, 6, 10, 4242);
+  const simarch::MachineConfig machine =
+      simarch::MachineConfig::tiny(2, 4, 8192);
+  core::KmeansConfig base;
+  base.k = 8;
+  base.max_iterations = 10;
+  base.tolerance = -1;  // fixed-iteration run: every variant does 10 rounds
+  base.init = core::InitMethod::kFirstK;
+  base.checkpoint_every = 4;
+  // Ungated, so every iteration builds GEMM panels and the tile-scratch
+  // flip always has a panel to land in on every level.
+  base.gate_assign = false;
+  // An exponent-bit flip: high-magnitude corruption that every detector is
+  // guaranteed to see. (Sub-tolerance mantissa flips can be legitimately
+  // absorbed by the ABFT tau margin — see DESIGN.md §13.)
+  constexpr std::uint64_t kMask = 1ull << 62;
+  // Global iteration 5 sits inside the second checkpoint leg (cadence 4),
+  // so a localized retry — not a rollback — is the expected recovery.
+  constexpr std::uint64_t kFlipIter = 5;
+  const std::size_t sums_bytes = base.k * ds.d() * sizeof(double);
+
+  SdcCell cell;
+  const auto identical = [&](const core::KmeansResult& a,
+                             const core::KmeansResult& b) {
+    return a.iterations == b.iterations && a.assignments == b.assignments &&
+           std::memcmp(a.centroids.data(), b.centroids.data(),
+                       base.k * ds.d() * sizeof(float)) == 0;
+  };
+  // One drill under the RecoveryDriver: the armed flip must be detected
+  // (driver classifies the fault as SDC) and recovered by re-running the
+  // leg from the in-memory centroids — no checkpoint reload.
+  const auto driver_drill = [&](core::Level level, swmpi::FaultPlan& plan,
+                                const core::KmeansResult& ref,
+                                SdcCell::PerLevel& out) {
+    core::KmeansConfig config = base;
+    config.sdc_checks = true;
+    config.fault_plan = &plan;
+    core::RecoveryOptions options;
+    options.checkpoint_path = "BENCH_sdc.ckpt";
+    core::RecoveryDriver driver(machine, options);
+    const core::KmeansResult got = driver.run(level, ds, config);
+    const core::RecoveryReport& rep = driver.report();
+    out.injections += 1;
+    if (rep.sdc_detections > 0) {
+      out.detected += 1;
+    }
+    out.localized_retries += rep.localized_retries;
+    out.rollbacks += rep.retries;
+    out.bit_identical = out.bit_identical && !rep.resumed_from_checkpoint &&
+                        identical(ref, got);
+    std::remove(options.checkpoint_path.c_str());
+  };
+
+  constexpr core::Level kLevels[] = {core::Level::kLevel1,
+                                     core::Level::kLevel2,
+                                     core::Level::kLevel3};
+  for (const core::Level level : kLevels) {
+    SdcCell::PerLevel out;
+    out.level = level;
+    // Defense-off reference: the bits every drill must reproduce.
+    const core::KmeansResult ref =
+        core::HierarchicalKmeans(machine).fit_level(level, ds, base);
+    // Corruption-free defense-on run: arming the detectors must not move a
+    // single bit, and its modeled cost is the price of the defense.
+    core::KmeansConfig armed_config = base;
+    armed_config.sdc_checks = true;
+    const core::KmeansResult armed =
+        core::HierarchicalKmeans(machine).fit_level(level, ds, armed_config);
+    out.clean_max_abs_diff =
+        core::centroid_max_abs_diff(ref.centroids, armed.centroids);
+    out.bit_identical = identical(ref, armed) && out.clean_max_abs_diff == 0.0;
+    if (level == core::Level::kLevel3) {
+      cell.modeled_off_s = ref.cost.total_s();
+      cell.modeled_on_s = armed.cost.total_s();
+    }
+
+    // Snapshot flip -> the post-barrier CRC scrub catches it.
+    {
+      swmpi::FaultPlan plan;
+      plan.flip_memory(0, kFlipIter, swmpi::MemorySite::kSnapshot, 0, kMask);
+      driver_drill(level, plan, ref, out);
+    }
+    // Accumulator sums flip -> the pre-reduce accumulator CRC catches it.
+    {
+      swmpi::FaultPlan plan;
+      plan.flip_memory(1, kFlipIter, swmpi::MemorySite::kUpdateAccum, 0,
+                       kMask);
+      driver_drill(level, plan, ref, out);
+    }
+    // Accumulator counts flip (offset past the sums array) -> the counts
+    // CRC deliberately excludes it; the global counts-conservation guard
+    // (sum == n) in reduce_and_update catches it instead.
+    {
+      swmpi::FaultPlan plan;
+      plan.flip_memory(1, kFlipIter, swmpi::MemorySite::kUpdateAccum,
+                       sums_bytes, kMask);
+      driver_drill(level, plan, ref, out);
+    }
+    // Tile-scratch flip -> ABFT checksum columns detect it and repair the
+    // panel in place by recompute; no throw, no driver needed, and the run
+    // still lands on the reference bits.
+    {
+      swmpi::FaultPlan plan;
+      plan.flip_memory(0, kFlipIter, swmpi::MemorySite::kTileScratch, 0,
+                       kMask);
+      core::KmeansConfig faulty = base;
+      faulty.sdc_checks = true;
+      faulty.fault_plan = &plan;
+      const core::KmeansResult got =
+          core::HierarchicalKmeans(machine).fit_level(level, ds, faulty);
+      std::uint64_t recomputed = 0;
+      for (const auto& it : got.history) {
+        recomputed += it.sdc_recomputed;
+      }
+      out.injections += 1;
+      if (recomputed > 0) {
+        out.detected += 1;
+      }
+      out.abft_recomputed += recomputed;
+      out.bit_identical = out.bit_identical && identical(ref, got);
+    }
+
+    cell.injections += out.injections;
+    cell.detected += out.detected;
+    cell.localized_retries += out.localized_retries;
+    cell.rollbacks += out.rollbacks;
+    cell.abft_recomputed += out.abft_recomputed;
+    cell.all_bit_identical = cell.all_bit_identical && out.bit_identical;
+    cell.clean_max_abs_diff =
+        std::max(cell.clean_max_abs_diff, out.clean_max_abs_diff);
+    cell.levels.push_back(out);
+  }
+
+  // Transport drills. Engine traffic includes zero-byte barrier tokens,
+  // which genuinely cannot carry corruption (an empty CRC body stays
+  // valid), so the wire drills target payload-bearing collective sends
+  // where an armed corruption always lands on real bytes.
+  const auto collective_run = [&](swmpi::FaultPlan* plan,
+                                  telemetry::MetricsRegistry* reg) {
+    std::vector<double> out(4, 0);
+    swmpi::run_spmd(
+        4,
+        [&](swmpi::Comm& comm) {
+          std::vector<double> v(8);
+          for (int round = 0; round < 4; ++round) {
+            for (std::size_t j = 0; j < v.size(); ++j) {
+              v[j] = static_cast<double>(comm.rank() + 1) * (round + 1) +
+                     static_cast<double>(j);
+            }
+            swmpi::allreduce_sum(comm, std::span<double>(v));
+          }
+          if (comm.rank() == 0) {
+            std::copy(v.begin(), v.begin() + 4, out.begin());
+          }
+        },
+        plan, reg);
+    return out;
+  };
+  const std::vector<double> clean_collective = collective_run(nullptr, nullptr);
+  // Transient wire corruption: the frame CRC fails on the receiver, the
+  // NACK/resend handshake fetches the retained clean copy, and the run
+  // completes on the clean values — detection with silent healing.
+  {
+    swmpi::FaultPlan plan;
+    plan.corrupt_send(/*rank=*/1, /*nth_send=*/2, kMask, /*offset=*/0,
+                      /*persistent=*/false);
+    telemetry::MetricsRegistry reg;
+    const std::vector<double> got = collective_run(&plan, &reg);
+    const telemetry::MetricsSnapshot snap = reg.merged();
+    cell.transient_crc_fails = snap.counter_or_zero("swmpi.recv.crc_fail");
+    cell.transient_retransmits = snap.counter_or_zero("swmpi.send.retransmit");
+    cell.injections += 1;
+    if (cell.transient_crc_fails > 0 && got == clean_collective) {
+      cell.detected += 1;
+    }
+    cell.all_bit_identical =
+        cell.all_bit_identical && got == clean_collective;
+  }
+  // Persistent corruption (a bad source buffer): every resend is equally
+  // corrupt, so after the bounded retransmit budget the transport escalates
+  // with sender/sequence attribution instead of recovering silently.
+  {
+    swmpi::FaultPlan plan;
+    plan.corrupt_send(/*rank=*/1, /*nth_send=*/2, kMask, /*offset=*/0,
+                      /*persistent=*/true);
+    cell.injections += 1;
+    try {
+      (void)collective_run(&plan, nullptr);
+    } catch (const CorruptMessageError&) {
+      cell.persistent_escalated = true;
+      cell.detected += 1;
+    }
+  }
+
+  cell.detection_rate =
+      cell.injections == 0
+          ? 0.0
+          : static_cast<double>(cell.detected) /
+                static_cast<double>(cell.injections);
+  cell.overhead_frac = cell.modeled_off_s > 0
+                           ? cell.modeled_on_s / cell.modeled_off_s - 1.0
+                           : 0.0;
+  return cell;
+}
+
+void emit_sdc(const SdcCell& s, util::JsonWriter& w) {
+  w.key("sdc").begin_object();
+  w.kv("injections", static_cast<std::uint64_t>(s.injections));
+  w.kv("detected", static_cast<std::uint64_t>(s.detected));
+  w.kv("detection_rate", s.detection_rate);
+  w.kv("localized_retries", static_cast<std::uint64_t>(s.localized_retries));
+  w.kv("checkpoint_rollbacks", static_cast<std::uint64_t>(s.rollbacks));
+  w.kv("abft_recomputed_panels", s.abft_recomputed);
+  w.kv("transient_crc_fails", s.transient_crc_fails);
+  w.kv("transient_retransmits", s.transient_retransmits);
+  w.kv("persistent_escalated", s.persistent_escalated);
+  w.kv("all_bit_identical_to_defense_off", s.all_bit_identical);
+  w.kv("clean_centroid_max_abs_diff", s.clean_max_abs_diff);
+  w.kv("modeled_defense_off_s", s.modeled_off_s);
+  w.kv("modeled_defense_on_s", s.modeled_on_s);
+  w.kv("modeled_overhead_frac", s.overhead_frac);
+  w.key("levels").begin_array();
+  for (const auto& pl : s.levels) {
+    w.begin_object();
+    w.kv("level", std::string_view(core::level_name(pl.level)));
+    w.kv("injections", static_cast<std::uint64_t>(pl.injections));
+    w.kv("detected", static_cast<std::uint64_t>(pl.detected));
+    w.kv("localized_retries",
+         static_cast<std::uint64_t>(pl.localized_retries));
+    w.kv("checkpoint_rollbacks", static_cast<std::uint64_t>(pl.rollbacks));
+    w.kv("abft_recomputed_panels", pl.abft_recomputed);
+    w.kv("bit_identical_to_defense_off", pl.bit_identical);
+    w.kv("clean_centroid_max_abs_diff", pl.clean_max_abs_diff);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+int check_sdc_cell(const SdcCell& s) {
+  if (s.detection_rate != 1.0) {
+    std::fprintf(stderr,
+                 "FATAL: an injected corruption went undetected (%zu/%zu "
+                 "drills caught)\n",
+                 s.detected, s.injections);
+    return 1;
+  }
+  if (s.rollbacks != 0) {
+    std::fprintf(stderr,
+                 "FATAL: SDC drills burned %zu checkpoint rollback(s) — "
+                 "detection should recover with a localized in-memory "
+                 "retry\n",
+                 s.rollbacks);
+    return 1;
+  }
+  if (s.localized_retries == 0) {
+    std::fprintf(stderr,
+                 "FATAL: no drill engaged the localized recovery path\n");
+    return 1;
+  }
+  if (!s.all_bit_identical) {
+    std::fprintf(stderr,
+                 "FATAL: a drilled run diverged from the clean defense-off "
+                 "run\n");
+    return 1;
+  }
+  if (s.clean_max_abs_diff != 0.0) {
+    std::fprintf(stderr,
+                 "FATAL: arming the defense moved a corruption-free run "
+                 "(centroid_max_abs_diff %.17g)\n",
+                 s.clean_max_abs_diff);
+    return 1;
+  }
+  if (!(s.overhead_frac > 0.0 && s.overhead_frac < 0.15)) {
+    // Zero means the scrub/ABFT charges stopped landing in the cost model;
+    // above the bound means the defense got too expensive to always arm.
+    std::fprintf(stderr,
+                 "FATAL: modeled defense overhead %.4f out of bounds "
+                 "(need 0 < frac < 0.15)\n",
+                 s.overhead_frac);
+    return 1;
+  }
+  return 0;
+}
+
+int run_sdc() {
+  bench::banner("wallclock_engines --sdc",
+                "CI-sized SDC-defense drill matrix: deterministic bit flips "
+                "and wire corruption vs the layered detectors "
+                "(n=2048, k=8, d=6)");
+  const SdcCell cell = run_sdc_cell();
+  util::Table table({"cell", "injections", "detected", "localized_retries",
+                     "rollbacks", "bit_identical"});
+  for (const auto& pl : cell.levels) {
+    table.new_row()
+        .add(core::level_name(pl.level))
+        .add(static_cast<std::uint64_t>(pl.injections))
+        .add(static_cast<std::uint64_t>(pl.detected))
+        .add(static_cast<std::uint64_t>(pl.localized_retries))
+        .add(static_cast<std::uint64_t>(pl.rollbacks))
+        .add(pl.bit_identical ? "yes" : "NO");
+  }
+  table.new_row()
+      .add("transport")
+      .add(std::uint64_t{2})
+      .add(static_cast<std::uint64_t>(
+          (cell.transient_crc_fails > 0 ? 1 : 0) +
+          (cell.persistent_escalated ? 1 : 0)))
+      .add(std::uint64_t{0})
+      .add(std::uint64_t{0})
+      .add("yes");
+  {
+    std::ofstream json("BENCH_sdc.json");
+    util::JsonWriter w(json);
+    w.begin_object();
+    w.key("workload").begin_object();
+    w.kv("n", std::uint64_t{2048});
+    w.kv("k", std::uint64_t{8});
+    w.kv("d", std::uint64_t{6});
+    w.end_object();
+    emit_sdc(cell, w);
+    w.end_object();
+    json << "\n";
+  }
+  bench::emit(table, "wallclock_sdc");
+  std::printf("sdc detection: %zu/%zu (rate %.2f), localized retries %zu, "
+              "rollbacks %zu, abft-repaired panels %llu, modeled defense "
+              "overhead %.2f%%\n",
+              cell.detected, cell.injections, cell.detection_rate,
+              cell.localized_retries, cell.rollbacks,
+              static_cast<unsigned long long>(cell.abft_recomputed),
+              cell.overhead_frac * 100.0);
+  std::printf("(json: BENCH_sdc.json)\n");
+  return check_sdc_cell(cell);
 }
 
 /// A/B telemetry cell: the same Level 3 run with the telemetry session off
@@ -1156,6 +1539,7 @@ int run_smoke() {
   const MailboxCell mbox = run_mailbox_cell();
   const GemmCell gemm = run_gemm_cell();
   const HierCell hier = run_hier_cell();
+  const SdcCell sdc = run_sdc_cell();
   {
     std::ofstream json("BENCH_wallclock.json");
     util::JsonWriter w(json);
@@ -1168,6 +1552,7 @@ int run_smoke() {
     w.kv("group_cgs", static_cast<std::uint64_t>(kGroupCgs));
     w.end_object();
     emit_gated(g, w);
+    emit_sdc(sdc, w);
     w.key("telemetry").begin_object();
     w.kv("plain_s", tel.plain_s);
     w.kv("instrumented_s", tel.instrumented_s);
@@ -1201,6 +1586,10 @@ int run_smoke() {
               mbox.improvement, mbox.host_mutex_stall_share * 100.0,
               mbox.host_ring_stall_share * 100.0,
               mbox.identical ? "yes" : "NO");
+  std::printf("sdc defense: %zu/%zu injections detected, %zu localized "
+              "retries, %zu rollbacks, modeled overhead %.2f%%\n",
+              sdc.detected, sdc.injections, sdc.localized_retries,
+              sdc.rollbacks, sdc.overhead_frac * 100.0);
   std::printf("(artifacts: BENCH_wallclock.json, trace.json, report.json)\n");
   if (!g.identical) {
     std::fprintf(stderr,
@@ -1233,6 +1622,9 @@ int run_smoke() {
     return 1;
   }
   if (const int rc = check_gemm_cell(gemm); rc != 0) {
+    return rc;
+  }
+  if (const int rc = check_sdc_cell(sdc); rc != 0) {
     return rc;
   }
   return check_hier_cell(hier);
@@ -1447,6 +1839,9 @@ int main(int argc, char** argv) {
     }
     if (std::string(argv[i]) == "--faults") {
       return swhkm::run_faults();
+    }
+    if (std::string(argv[i]) == "--sdc") {
+      return swhkm::run_sdc();
     }
   }
   return swhkm::run();

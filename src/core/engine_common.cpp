@@ -73,7 +73,8 @@ struct CombineUpdateStats {
 
 UpdateOutcome reduce_and_update(swmpi::Comm& comm, util::Matrix& centroids,
                                 const UpdateAccumulator& acc,
-                                std::span<double> drift_out) {
+                                std::span<double> drift_out,
+                                std::uint64_t sdc_expect_count) {
   const std::size_t k = acc.k();
   const std::size_t d = acc.d();
   const int size = comm.size();
@@ -109,6 +110,30 @@ UpdateOutcome reduce_and_update(swmpi::Comm& comm, util::Matrix& centroids,
   swmpi::fold_binomial_slices(
       shard.data() + rows * d, rows, size, scratch,
       [&](int r) { return refs[r].counts + j_begin; }, swmpi::ops::Plus{});
+
+  // Counts-conservation invariant: every sample lands in exactly one
+  // cluster, so after the fold the machine-wide Σcounts must equal n
+  // exactly (small integers in double). The per-shard sums already exist;
+  // one scalar allreduce totals them. A violation means a count was
+  // corrupted between accumulation and fold — the cheap algorithmic net
+  // under the CRC scrubbers, and the detector the kUpdateAccum counts
+  // flips are aimed at. Collective discipline: sdc_expect_count is a
+  // config-derived constant, identical on every rank.
+  if (sdc_expect_count > 0) {
+    double total = 0;
+    for (std::size_t j = 0; j < rows; ++j) {
+      total += shard[rows * d + j];
+    }
+    swmpi::allreduce(comm, std::span<double>(&total, 1), swmpi::ops::Plus{});
+    if (total != static_cast<double>(sdc_expect_count)) {
+      throw SilentCorruptionError(
+          "sdc: counts conservation violated after the sharded update — "
+          "sum(counts) = " +
+          std::to_string(total) + " but n = " +
+          std::to_string(sdc_expect_count) +
+          " (an update accumulator count was corrupted)");
+    }
+  }
 
   // Parallel apply: every rank rewrites only its own rows of the shared
   // snapshot — writes are disjoint by construction. The per-row drift (if

@@ -62,9 +62,18 @@ simarch::CostTally combine_tallies(swmpi::Comm& comm,
 /// so all ranks hold bit-identical drifts — the determinism the replicated
 /// bound gate rests on. The engines charge the extra k doubles to the
 /// publish allgather in the topology model.
+/// Counts-conservation guard (KmeansConfig::sdc_checks): when
+/// `sdc_expect_count` is nonzero it is the dataset's sample count, and the
+/// folded per-shard counts are summed machine-wide (one extra scalar
+/// allreduce) and required to equal it exactly — counts are small integers,
+/// exactly representable in double, so Σcounts != n can only mean a count
+/// was corrupted between accumulation and fold. Violation throws
+/// SilentCorruptionError on every rank. 0 disables the guard (and the extra
+/// collective), keeping defense-off charges untouched.
 UpdateOutcome reduce_and_update(swmpi::Comm& comm, util::Matrix& centroids,
                                 const UpdateAccumulator& acc,
-                                std::span<double> drift_out = {});
+                                std::span<double> drift_out = {},
+                                std::uint64_t sdc_expect_count = 0);
 
 /// Charge a per-CG sample stream: `bytes` through the CG's DMA at
 /// bandwidth B, plus `critical_transfers` issue overheads (transfers on

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <span>
 #include <utility>
@@ -391,6 +393,28 @@ inline const SampleBlockFn dot_block_chains = resolve_dot_block_chains();
 inline constexpr auto dot_block_chains = &dot_block_chains_generic;
 #endif
 
+/// ABFT instrumentation of the GEMM tile sweep (KmeansConfig::sdc_checks).
+///
+/// `flip` (optional) exposes each freshly-built scratch panel to the fault
+/// plan's deterministic flip_memory events — the injection side. `check`
+/// arms the checksum-column defense: per block the clean panel's column
+/// sums chk[u] = sum_jj panel[u*bw+jj] (and an absolute-value twin for the
+/// error bound) are captured *before* the flip hook runs, and per sample
+/// sum_jj dots[jj] is compared against x . chk — two floating-point
+/// evaluations of the same real bilinear form, whose spread is bounded by
+/// the summation-error tolerance below. A mismatch means the panel no
+/// longer holds the centroid bits it was built from: the panel is rebuilt
+/// from the (authoritative, separately-scrubbed) centroid matrix and the
+/// sample's dots recomputed through the *same* kernel — detector plus
+/// bit-identical corrector, so a caught flip changes no result bytes, only
+/// the `detected`/`recomputed` tallies.
+struct GemmSdcHooks {
+  std::function<void(std::span<std::byte>)> flip;
+  bool check = false;
+  std::uint64_t detected = 0;    ///< checksum mismatches observed
+  std::uint64_t recomputed = 0;  ///< panels rebuilt + samples rescored
+};
+
 /// Forward-error radius of the GEMM value: |g_j - d_j| <= tau_j where d_j
 /// is the exact-kernel (squared_distance) value. Both are floating-point
 /// evaluations of the same real quantity; the summation bounds give
@@ -426,7 +450,8 @@ inline void score_tile_gemm_gen(const data::Dataset& dataset,
                                 const util::Matrix& centroids,
                                 std::span<const double> norms,
                                 std::size_t j_begin, std::size_t j_end,
-                                std::span<MinLocT> scores) {
+                                std::span<MinLocT> scores,
+                                GemmSdcHooks* sdc = nullptr) {
   const std::size_t d = centroids.cols();
   const double tau_scale = gemm_tau_scale(d);
   std::vector<double> panel(kCentroidRowBlock * d);
@@ -435,28 +460,87 @@ inline void score_tile_gemm_gen(const data::Dataset& dataset,
   std::vector<double> u2(count, std::numeric_limits<double>::max());
   std::vector<std::uint32_t> cand(count * kGemmCandidates);
   std::vector<std::uint32_t> cand_n(count, 0);
+  // ABFT checksum column of the current panel and its absolute-value twin
+  // (the error-bound magnitude). Captured from the clean panel before the
+  // flip hook can damage it.
+  std::vector<double> chk;
+  std::vector<double> chkabs;
   for (std::size_t t = 0; t < count; ++t) {
     nx[t] = row_squared_norm(dataset.sample(sample_index(t)));
   }
   for (std::size_t jb = j_begin; jb < j_end; jb += kCentroidRowBlock) {
     const std::size_t bw = std::min(j_end - jb, kCentroidRowBlock);
-    for (std::size_t u = 0; u < d; ++u) {
-      for (std::size_t jj = 0; jj < bw; ++jj) {
-        panel[u * bw + jj] = static_cast<double>(centroids.at(jb + jj, u));
+    const auto build_panel = [&] {
+      for (std::size_t u = 0; u < d; ++u) {
+        for (std::size_t jj = 0; jj < bw; ++jj) {
+          panel[u * bw + jj] = static_cast<double>(centroids.at(jb + jj, u));
+        }
       }
+    };
+    const auto capture_checksums = [&] {
+      chk.assign(d, 0.0);
+      chkabs.assign(d, 0.0);
+      for (std::size_t u = 0; u < d; ++u) {
+        for (std::size_t jj = 0; jj < bw; ++jj) {
+          const double v = panel[u * bw + jj];
+          chk[u] += v;
+          chkabs[u] += std::abs(v);
+        }
+      }
+    };
+    build_panel();
+    if (sdc != nullptr && sdc->check) {
+      capture_checksums();
+    }
+    if (sdc != nullptr && sdc->flip) {
+      sdc->flip(std::as_writable_bytes(
+          std::span<double>(panel.data(), bw * d)));
     }
     for (std::size_t t = 0; t < count; ++t) {
       const auto x = dataset.sample(sample_index(t));
       double dots[kCentroidRowBlock] = {};
-      if (bw == kCentroidRowBlock) {
-        dot_block_chains(x.data(), panel.data(), d, dots);
-      } else {
+      const auto sweep_dots = [&] {
+        if (bw == kCentroidRowBlock) {
+          dot_block_chains(x.data(), panel.data(), d, dots);
+        } else {
+          for (std::size_t u = 0; u < d; ++u) {
+            const double xu = static_cast<double>(x[u]);
+            const double* row = panel.data() + u * bw;
+            for (std::size_t jj = 0; jj < bw; ++jj) {
+              dots[jj] += xu * row[jj];
+            }
+          }
+        }
+      };
+      sweep_dots();
+      if (sdc != nullptr && sdc->check) {
+        // sum_jj dots[jj] and x . chk are two summation orders of the same
+        // real bilinear form sum_{u,jj} x[u] * panel[u*bw+jj]; their spread
+        // is bounded by (d + bw) roundings against the absolute-value
+        // magnitude, with a 64x margin. A violation means the panel's bits
+        // are not the centroid bits the checksum saw — rebuild and rescore
+        // this sample through the identical kernel (bit-identical repair;
+        // samples after this one see the clean panel too).
+        double got = 0;
+        for (std::size_t jj = 0; jj < bw; ++jj) {
+          got += dots[jj];
+        }
+        double ref = 0;
+        double mag = 0;
         for (std::size_t u = 0; u < d; ++u) {
           const double xu = static_cast<double>(x[u]);
-          const double* row = panel.data() + u * bw;
-          for (std::size_t jj = 0; jj < bw; ++jj) {
-            dots[jj] += xu * row[jj];
-          }
+          ref += xu * chk[u];
+          mag += std::abs(xu) * chkabs[u];
+        }
+        const double tol = 64.0 * static_cast<double>(d + bw) *
+                           std::numeric_limits<double>::epsilon() * mag;
+        if (!(std::abs(got - ref) <= tol)) {
+          ++sdc->detected;
+          build_panel();
+          capture_checksums();
+          std::fill(dots, dots + kCentroidRowBlock, 0.0);
+          sweep_dots();
+          ++sdc->recomputed;
         }
       }
       for (std::size_t jj = 0; jj < bw; ++jj) {
@@ -505,10 +589,11 @@ template <typename MinLocT>
 inline void score_tile_gemm(const data::Dataset& dataset, std::size_t i_begin,
                             std::size_t i_end, const util::Matrix& centroids,
                             std::span<const double> norms, std::size_t j_begin,
-                            std::size_t j_end, std::span<MinLocT> scores) {
+                            std::size_t j_end, std::span<MinLocT> scores,
+                            GemmSdcHooks* sdc = nullptr) {
   score_tile_gemm_gen(
       dataset, [i_begin](std::size_t t) { return i_begin + t; },
-      i_end - i_begin, centroids, norms, j_begin, j_end, scores);
+      i_end - i_begin, centroids, norms, j_begin, j_end, scores, sdc);
 }
 
 /// Compacted GEMM entry point (mirrors score_tile_ids).
@@ -518,11 +603,12 @@ inline void score_tile_ids_gemm(const data::Dataset& dataset,
                                 const util::Matrix& centroids,
                                 std::span<const double> norms,
                                 std::size_t j_begin, std::size_t j_end,
-                                std::span<MinLocT> scores) {
+                                std::span<MinLocT> scores,
+                                GemmSdcHooks* sdc = nullptr) {
   score_tile_gemm_gen(
       dataset,
       [ids](std::size_t t) { return static_cast<std::size_t>(ids[t]); },
-      ids.size(), centroids, norms, j_begin, j_end, scores);
+      ids.size(), centroids, norms, j_begin, j_end, scores, sdc);
 }
 
 /// Top-two centroid drifts of one update, with the argmax. What a Hamerly

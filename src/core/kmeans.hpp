@@ -101,6 +101,19 @@ struct KmeansConfig {
   /// the flat schedule by construction (DESIGN.md §12); off restores the
   /// flat collectives and flat charges as the A/B baseline.
   bool hier_collectives = true;
+  /// Layered silent-data-corruption defense in the engines: CRC scrubbing
+  /// of the published centroid snapshot and the update accumulators
+  /// against deterministic reference captures, ABFT checksum columns on
+  /// the GEMM assign panels (mismatch triggers an exact bit-identical
+  /// panel recompute — detector + corrector, never a result change), and
+  /// counts-conservation (Σcounts == n) after the sharded update. Detected
+  /// uncorrectable corruption raises SilentCorruptionError, which the
+  /// RecoveryDriver answers with a localized (iteration-scope) retry
+  /// before any checkpoint rollback. Corruption-free runs stay
+  /// byte-identical with the defense on or off; the extra scrub collectives
+  /// and trailer bytes are charged to the cost model only when enabled, so
+  /// pinned model numbers do not move for defense-off runs. Off by default.
+  bool sdc_checks = false;
   /// Optional timeline sink: engines record each rank's per-iteration
   /// phase intervals (simulated time) into it. Not owned; may be null.
   simarch::Trace* trace = nullptr;
@@ -153,6 +166,12 @@ struct IterationStats {
   /// this iteration (CostTally::net_crossing_bytes). Appended after the
   /// older fields so existing brace-initialisers keep their meaning.
   std::uint64_t net_crossing_bytes = 0;
+  /// SDC story (KmeansConfig::sdc_checks): localized iteration-scope
+  /// retries the RecoveryDriver burned before this iteration ran (stamped
+  /// like `retries`, zero elsewhere), and machine-wide GEMM panels the
+  /// ABFT checksum caught and bit-identically recomputed this iteration.
+  std::uint32_t sdc_retries = 0;
+  std::uint64_t sdc_recomputed = 0;
 };
 
 struct KmeansResult {

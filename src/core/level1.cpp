@@ -10,6 +10,7 @@
 #include "swmpi/collectives.hpp"
 #include "swmpi/runtime.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 
 namespace swhkm::core {
@@ -107,6 +108,24 @@ KmeansResult run_level1(const data::Dataset& dataset,
     const bool gate = config.gate_assign;
     const bool pipeline = config.pipeline_tiles;
     const bool gemm = gemm_enabled;
+    // SDC defense (KmeansConfig::sdc_checks): snapshot/accumulator CRC
+    // scrubbing, ABFT checksum columns on the GEMM panels, counts
+    // conservation in the sharded update. sdc_iter feeds the tile-scratch
+    // flip hook the current global iteration; snap_crc is this rank's
+    // reference CRC of the published snapshot bits.
+    const bool sdc = config.sdc_checks;
+    std::uint64_t sdc_iter = 0;
+    std::uint32_t snap_crc = 0;
+    bool snap_crc_valid = false;
+    detail::GemmSdcHooks gemm_sdc;
+    if (sdc) {
+      gemm_sdc.check = true;
+      gemm_sdc.flip = [&world, &sdc_iter](std::span<std::byte> bytes) {
+        world.memory_fault_point(swmpi::MemorySite::kTileScratch, sdc_iter,
+                                 bytes);
+      };
+    }
+    detail::GemmSdcHooks* const gemm_hooks = sdc ? &gemm_sdc : nullptr;
     // Per-iteration ||c||^2 cache for the GEMM-formulated sweep. Gated
     // iterations refresh only the rows the published drift marks moved —
     // an unmoved row's stored float bits are unchanged, so its cached norm
@@ -153,10 +172,40 @@ KmeansResult run_level1(const data::Dataset& dataset,
       // legs, and fault schedules / trace rows are addressed globally.
       const std::uint64_t global_iter = config.iteration_base + iter;
       world.fault_point(swmpi::FaultSite::kAssign, global_iter);
+      if (sdc) {
+        // Snapshot scrub phase. Protocol: capture the reference CRC (cold
+        // start only — warm iterations captured it right after the update
+        // published the rows), barrier, expose the shared snapshot to
+        // flip_memory (at most one rank writes), barrier, then every rank
+        // re-reads and verifies. The barriers order the injected write
+        // against all ranks' reads; capture-after-update needs none (the
+        // update's closing allreduce orders the writes, and the next
+        // update's entry allgather orders this read before new writes).
+        sdc_iter = global_iter;
+        const std::span<float> snap = centroids.flat();
+        if (!snap_crc_valid) {
+          snap_crc = util::crc32(std::as_bytes(snap));
+          snap_crc_valid = true;
+        }
+        swmpi::barrier(world);
+        world.memory_fault_point(swmpi::MemorySite::kSnapshot, global_iter,
+                                 std::as_writable_bytes(snap));
+        swmpi::barrier(world);
+        if (util::crc32(std::as_bytes(snap)) != snap_crc) {
+          if (tshard != nullptr) {
+            tshard->counter("sdc.snapshot.crc_fail").add(1);
+          }
+          throw SilentCorruptionError(
+              "sdc: centroid snapshot CRC mismatch at iteration " +
+              std::to_string(global_iter) +
+              " — published centroid bits were corrupted in memory");
+        }
+      }
       const double assign_start_us = spans_on ? tel->now_us() : 0.0;
       acc.reset();
       simarch::CostTally tally;
       simarch::RegComm reg(machine, tally);
+      const std::uint64_t abft_recomputed_before = gemm_sdc.recomputed;
 
       // Iteration 0 has no bounds yet — every sample sweeps (and the
       // trajectory stays exact from the very first assignment).
@@ -218,7 +267,7 @@ KmeansResult run_level1(const data::Dataset& dataset,
             detail::clear_scores(scores);
             if (gemm) {
               detail::score_tile_gemm(dataset, t0, t1, centroids, norms, 0, k,
-                                      scores);
+                                      scores, gemm_hooks);
             } else {
               detail::score_tile(dataset, t0, t1, centroids, 0, k, scores);
             }
@@ -239,7 +288,7 @@ KmeansResult run_level1(const data::Dataset& dataset,
                                                      s.ids.size());
             if (gemm) {
               detail::score_tile_ids_gemm(dataset, ids, centroids, norms, 0,
-                                          k, scores);
+                                          k, scores, gemm_hooks);
             } else {
               detail::score_tile_ids(dataset, ids, centroids, 0, k, scores);
             }
@@ -373,6 +422,28 @@ KmeansResult run_level1(const data::Dataset& dataset,
       tally.pruned_samples += rank_samples - rank_unresolved;
       distance_comps += rank_unresolved * k + rank_tightened;
       lloyd_equivalent += rank_samples * k;
+      if (sdc) {
+        // Modeled SDC overhead, charged only when the defense is armed so
+        // defense-off model numbers stay pinned: the ABFT checksum adds two
+        // extra dot chains per 16-row panel (1/8 of the sweep rate), the
+        // snapshot + accumulator CRC scrubs stream their bytes once, and
+        // the frame trailers + conservation allreduce ride the network.
+        tally.compute_s +=
+            static_cast<double>(rank_unresolved) * sweep_row_s * 0.125;
+        tally.compute_s +=
+            static_cast<double>(k * d * eb + accum_bytes) /
+            machine.dma_bandwidth;
+        const std::uint64_t sdc_net = 16 * 2 * num_cgs + sizeof(double);
+        tally.net_comm_s += topo.allgather_time(sdc_net, 0, num_cgs);
+        tally.net_bytes += sdc_net;
+        tally.net_rounds += 1;  // the counts-conservation allreduce
+        tally.sdc_recomputed += gemm_sdc.recomputed - abft_recomputed_before;
+        if (tshard != nullptr &&
+            gemm_sdc.recomputed != abft_recomputed_before) {
+          tshard->counter("sdc.abft.detected")
+              .add(gemm_sdc.recomputed - abft_recomputed_before);
+        }
+      }
 
       // Update: register-comm reduce inside the CG, then the machine-wide
       // sharded phase — reduce_scatter of the fused accumulator, every CG
@@ -405,11 +476,43 @@ KmeansResult run_level1(const data::Dataset& dataset,
       tally.net_bytes += accum_bytes + publish_bytes;
       tally.net_rounds += 2;  // reduce_scatter + allgather
       world.fault_point(swmpi::FaultSite::kUpdate, global_iter);
+      if (sdc) {
+        // Accumulator scrub: capture the sums CRC at accumulation end,
+        // expose the (sums, counts) pair to flip_memory — the modeled DRAM
+        // flip between accumulation and fold — and verify the sums before
+        // they enter the reduction. Counts are deliberately left out of
+        // the CRC: a counts flip is caught by the Σcounts == n
+        // conservation guard inside reduce_and_update, keeping both
+        // detectors honest.
+        const std::span<double> sums(acc.sums.data(), acc.sums.size());
+        const std::span<double> counts(acc.counts.data(), acc.counts.size());
+        const std::uint32_t sums_crc = util::crc32(std::as_bytes(sums));
+        world.memory_fault_point(swmpi::MemorySite::kUpdateAccum, global_iter,
+                                 std::as_writable_bytes(sums),
+                                 std::as_writable_bytes(counts));
+        if (util::crc32(std::as_bytes(sums)) != sums_crc) {
+          if (tshard != nullptr) {
+            tshard->counter("sdc.accum.crc_fail").add(1);
+          }
+          throw SilentCorruptionError(
+              "sdc: update accumulator CRC mismatch on rank " +
+              std::to_string(world.global_rank()) + " at iteration " +
+              std::to_string(global_iter) +
+              " — accumulator sums were corrupted before the fold");
+        }
+      }
       const double update_start_us = spans_on ? tel->now_us() : 0.0;
       const detail::UpdateOutcome outcome = detail::reduce_and_update(
           world, centroids, acc,
           gate ? std::span<double>(drift.data(), drift.size())
-               : std::span<double>{});
+               : std::span<double>{},
+          sdc ? dataset.n() : 0);
+      if (sdc) {
+        // Re-capture the reference CRC from the freshly published rows (see
+        // the scrub-phase comment for the ordering argument).
+        snap_crc = util::crc32(std::as_bytes(centroids.flat()));
+        snap_crc_valid = true;
+      }
       if (spans_on) {
         tel->spans().record("update", static_cast<std::uint32_t>(cg),
                             static_cast<std::uint32_t>(global_iter),
@@ -443,6 +546,7 @@ KmeansResult run_level1(const data::Dataset& dataset,
                            combined.net_bytes, combined.dma_bytes,
                            combined.flops, combined.net_rounds});
         history.back().net_crossing_bytes = combined.net_crossing_bytes;
+        history.back().sdc_recomputed = combined.sdc_recomputed;
         if (sim_net != nullptr) {
           sim_net->add(combined.net_bytes);
           sim_dma->add(combined.dma_bytes);

@@ -10,6 +10,7 @@
 #include "swmpi/collectives.hpp"
 #include "swmpi/runtime.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 
 namespace swhkm::core {
@@ -141,6 +142,24 @@ KmeansResult run_level3(const data::Dataset& dataset,
     detail::UpdateAccumulator acc(k, d);
     const bool gate = config.gate_assign;
     const bool gemm = gemm_enabled;
+    // SDC defense (KmeansConfig::sdc_checks) — see level1.cpp for the full
+    // protocol. Scrub barriers and flip points run on `world` (the group
+    // split only covers the assign-phase argmin): the snapshot and the
+    // accumulators are machine-wide state, and the barrier must order the
+    // injected write against *every* rank's reads.
+    const bool sdc = config.sdc_checks;
+    std::uint64_t sdc_iter = 0;
+    std::uint32_t snap_crc = 0;
+    bool snap_crc_valid = false;
+    detail::GemmSdcHooks gemm_sdc;
+    if (sdc) {
+      gemm_sdc.check = true;
+      gemm_sdc.flip = [&world, &sdc_iter](std::span<std::byte> bytes) {
+        world.memory_fault_point(swmpi::MemorySite::kTileScratch, sdc_iter,
+                                 bytes);
+      };
+    }
+    detail::GemmSdcHooks* const gemm_hooks = sdc ? &gemm_sdc : nullptr;
     // Per-iteration ||c||^2 cache for the GEMM-formulated slice sweep (see
     // level1.cpp): gated iterations refresh only the drift-marked rows.
     detail::CentroidNormCache norm_cache;
@@ -193,10 +212,34 @@ KmeansResult run_level3(const data::Dataset& dataset,
       // legs, and fault schedules / trace rows are addressed globally.
       const std::uint64_t global_iter = config.iteration_base + iter;
       world.fault_point(swmpi::FaultSite::kAssign, global_iter);
+      if (sdc) {
+        // Snapshot scrub: capture / barrier / flip point / barrier /
+        // verify — see level1.cpp for the ordering argument.
+        sdc_iter = global_iter;
+        const std::span<float> snap = centroids.flat();
+        if (!snap_crc_valid) {
+          snap_crc = util::crc32(std::as_bytes(snap));
+          snap_crc_valid = true;
+        }
+        swmpi::barrier(world);
+        world.memory_fault_point(swmpi::MemorySite::kSnapshot, global_iter,
+                                 std::as_writable_bytes(snap));
+        swmpi::barrier(world);
+        if (util::crc32(std::as_bytes(snap)) != snap_crc) {
+          if (tshard != nullptr) {
+            tshard->counter("sdc.snapshot.crc_fail").add(1);
+          }
+          throw SilentCorruptionError(
+              "sdc: centroid snapshot CRC mismatch at iteration " +
+              std::to_string(global_iter) +
+              " — published centroid bits were corrupted in memory");
+        }
+      }
       const double assign_start_us = spans_on ? tel->now_us() : 0.0;
       acc.reset();
       simarch::CostTally tally;
       simarch::RegComm reg(machine, tally);
+      const std::uint64_t abft_recomputed_before = gemm_sdc.recomputed;
 
       const auto [begin, end] =
           detail::block_range(dataset.n(), cg_groups, group);
@@ -256,7 +299,7 @@ KmeansResult run_level3(const data::Dataset& dataset,
             if (j_begin < j_end) {
               if (gemm) {
                 detail::score_tile_gemm(dataset, sub0, sub1, centroids, norms,
-                                        j_begin, j_end, scores);
+                                        j_begin, j_end, scores, gemm_hooks);
               } else {
                 detail::score_tile(dataset, sub0, sub1, centroids, j_begin,
                                    j_end, scores);
@@ -300,7 +343,7 @@ KmeansResult run_level3(const data::Dataset& dataset,
                                                      fresh);
             if (gemm) {
               detail::score_tile_ids_gemm(dataset, ids, centroids, norms,
-                                          j_begin, j_end, scores);
+                                          j_begin, j_end, scores, gemm_hooks);
             } else {
               detail::score_tile_ids(dataset, ids, centroids, j_begin, j_end,
                                      scores);
@@ -449,6 +492,28 @@ KmeansResult run_level3(const data::Dataset& dataset,
       }
       distance_comps += unresolved * (j_end - j_begin);
       lloyd_equivalent += count * (j_end - j_begin);
+      if (sdc) {
+        // Modeled SDC overhead (see level1.cpp): ABFT checksum chains at
+        // 1/8 of the slice-sweep rate, one streaming pass for the snapshot
+        // + accumulator scrubs, frame trailers + the conservation allreduce
+        // on the network. Charged only when the defense is armed.
+        tally.compute_s += static_cast<double>(unresolved) *
+                           (gemm ? machine.gemm_row_seconds(d_local)
+                                 : machine.assign_row_seconds(d_local)) *
+                           0.125;
+        tally.compute_s += static_cast<double>(k * d * eb + accum_bytes) /
+                           machine.dma_bandwidth;
+        const std::uint64_t sdc_net = 16 * 2 * num_cgs + sizeof(double);
+        tally.net_comm_s += topo.allgather_time(sdc_net, 0, num_cgs);
+        tally.net_bytes += sdc_net;
+        tally.net_rounds += 1;  // the counts-conservation allreduce
+        tally.sdc_recomputed += gemm_sdc.recomputed - abft_recomputed_before;
+        if (tshard != nullptr &&
+            gemm_sdc.recomputed != abft_recomputed_before) {
+          tshard->counter("sdc.abft.detected")
+              .add(gemm_sdc.recomputed - abft_recomputed_before);
+        }
+      }
 
       // Per-sample mesh reduce of the CPEs' distance partials, then the
       // per-sample network argmin across the CG group — both compacted to
@@ -524,11 +589,36 @@ KmeansResult run_level3(const data::Dataset& dataset,
       tally.net_bytes += accum_bytes + publish_bytes;
       tally.net_rounds += 2;  // reduce_scatter + allgather
       world.fault_point(swmpi::FaultSite::kUpdate, global_iter);
+      if (sdc) {
+        // Accumulator scrub (see level1.cpp): CRC covers the sums only;
+        // counts flips fall to the Σcounts == n guard in the fold.
+        const std::span<double> sums(acc.sums.data(), acc.sums.size());
+        const std::span<double> counts(acc.counts.data(), acc.counts.size());
+        const std::uint32_t sums_crc = util::crc32(std::as_bytes(sums));
+        world.memory_fault_point(swmpi::MemorySite::kUpdateAccum, global_iter,
+                                 std::as_writable_bytes(sums),
+                                 std::as_writable_bytes(counts));
+        if (util::crc32(std::as_bytes(sums)) != sums_crc) {
+          if (tshard != nullptr) {
+            tshard->counter("sdc.accum.crc_fail").add(1);
+          }
+          throw SilentCorruptionError(
+              "sdc: update accumulator CRC mismatch on rank " +
+              std::to_string(world.global_rank()) + " at iteration " +
+              std::to_string(global_iter) +
+              " — accumulator sums were corrupted before the fold");
+        }
+      }
       const double update_start_us = spans_on ? tel->now_us() : 0.0;
       const detail::UpdateOutcome outcome = detail::reduce_and_update(
           world, centroids, acc,
           gate ? std::span<double>(drift.data(), drift.size())
-               : std::span<double>{});
+               : std::span<double>{},
+          sdc ? dataset.n() : 0);
+      if (sdc) {
+        snap_crc = util::crc32(std::as_bytes(centroids.flat()));
+        snap_crc_valid = true;
+      }
       if (spans_on) {
         tel->spans().record("update", static_cast<std::uint32_t>(cg),
                             static_cast<std::uint32_t>(global_iter),
@@ -562,6 +652,7 @@ KmeansResult run_level3(const data::Dataset& dataset,
                            combined.net_bytes, combined.dma_bytes,
                            combined.flops, combined.net_rounds});
         history.back().net_crossing_bytes = combined.net_crossing_bytes;
+        history.back().sdc_recomputed = combined.sdc_recomputed;
         if (sim_net != nullptr) {
           sim_net->add(combined.net_bytes);
           sim_dma->add(combined.dma_bytes);

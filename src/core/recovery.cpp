@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -112,6 +114,15 @@ KmeansResult RecoveryDriver::run(Level level, const data::Dataset& dataset,
   std::size_t failed_attempts = 0;
   std::uint32_t retries_pending = 0;
   double recover_pending_s = 0;
+  // Localized-SDC bookkeeping: in-memory retries burned on the in-flight
+  // leg (bounded by options_.max_sdc_retries), the count to stamp onto the
+  // next good leg's first IterationStats, and the inertia floor the
+  // monotonicity invariant checks each finished leg against (Lloyd never
+  // increases the objective, so a rise can only be an undetected
+  // corruption that slipped into the published state).
+  std::size_t sdc_retries_this_leg = 0;
+  std::uint32_t sdc_retries_pending = 0;
+  double inertia_floor = std::numeric_limits<double>::infinity();
 
   while (!converged && done < config.max_iterations) {
     KmeansConfig leg_config = config;
@@ -120,12 +131,24 @@ KmeansResult RecoveryDriver::run(Level level, const data::Dataset& dataset,
     const auto attempt_start = std::chrono::steady_clock::now();
     try {
       leg = run_leg(level, dataset, leg_config, machine_, plan, centroids);
+      if (config.sdc_checks &&
+          leg.inertia > inertia_floor + std::abs(inertia_floor) * 1e-9) {
+        throw SilentCorruptionError(
+            "sdc: Lloyd inertia rose across a leg (" +
+            std::to_string(inertia_floor) + " -> " +
+            std::to_string(leg.inertia) +
+            ") — the objective is monotone, so corrupt state reached the "
+            "published centroids undetected");
+      }
     } catch (const RuntimeFault& fault) {
       const double wall = seconds_since(attempt_start);
+      const bool sdc_fault =
+          dynamic_cast<const SilentCorruptionError*>(&fault) != nullptr ||
+          dynamic_cast<const CorruptMessageError*>(&fault) != nullptr;
       report_.faults += 1;
       report_.recover_wall_s += wall;
       report_.events.push_back(
-          FaultEvent{done, fault.what(), wall});
+          FaultEvent{done, fault.what(), wall, sdc_fault});
       recover_pending_s += wall;
       if (config.trace != nullptr) {
         config.trace->record_fault(static_cast<std::uint32_t>(done),
@@ -134,6 +157,29 @@ KmeansResult RecoveryDriver::run(Level level, const data::Dataset& dataset,
       if (host_shard != nullptr) {
         host_shard->counter("recovery.faults").add(1);
         host_shard->histogram("recovery.attempt_wall_s").observe(wall);
+      }
+      if (sdc_fault) {
+        report_.sdc_detections += 1;
+        if (host_shard != nullptr) {
+          host_shard->counter("recovery.sdc_detections").add(1);
+        }
+        if (sdc_retries_this_leg < options_.max_sdc_retries) {
+          // Localized recovery: the detectors fire before corrupt bits can
+          // reach the published state and the engines took the centroids
+          // by value, so the driver's pre-leg copy is still valid — re-run
+          // just this leg in memory, no checkpoint rollback, no charge
+          // against the fail-stop retry budget.
+          sdc_retries_this_leg += 1;
+          sdc_retries_pending += 1;
+          report_.localized_retries += 1;
+          if (host_shard != nullptr) {
+            host_shard->counter("recovery.localized_retries").add(1);
+          }
+          SWHKM_INFO_AT("recovery", -1, done)
+              << "localized SDC retry " << sdc_retries_this_leg
+              << ": re-running the leg from the in-memory centroids";
+          continue;
+        }
       }
       failed_attempts += 1;
       if (failed_attempts > options_.max_retries) {
@@ -192,6 +238,7 @@ KmeansResult RecoveryDriver::run(Level level, const data::Dataset& dataset,
         host_shard->counter("recovery.retries").add(1);
         host_shard->histogram("recovery.reload_s").observe(reload);
       }
+      sdc_retries_this_leg = 0;  // the rollback opens a fresh SDC budget
       if (options_.backoff_s > 0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(
             options_.backoff_s * static_cast<double>(failed_attempts + 1)));
@@ -213,10 +260,16 @@ KmeansResult RecoveryDriver::run(Level level, const data::Dataset& dataset,
       leg.history.front().retries = retries_pending;
       leg.history.front().recover_s = recover_pending_s;
     }
+    if (!leg.history.empty() && sdc_retries_pending > 0) {
+      leg.history.front().sdc_retries = sdc_retries_pending;
+    }
     history.insert(history.end(), leg.history.begin(), leg.history.end());
     retries_pending = 0;
     recover_pending_s = 0;
     failed_attempts = 0;
+    sdc_retries_pending = 0;
+    sdc_retries_this_leg = 0;
+    inertia_floor = leg.inertia;
 
     KmeansResult snapshot;
     snapshot.centroids = centroids;

@@ -30,6 +30,16 @@ struct RecoveryOptions {
   bool allow_degradation = true;
   /// Floor for degradation: never shrink below this many core groups.
   std::size_t min_cgs = 1;
+  /// Localized SDC recovery budget per leg: a leg that dies with a
+  /// detected silent corruption (SilentCorruptionError /
+  /// CorruptMessageError) is retried this many times *in memory* — from
+  /// the driver's still-valid pre-leg centroids, no checkpoint reload, no
+  /// charge against `max_retries` — before the fault falls through to the
+  /// ordinary checkpoint-rollback path. Valid because the engines take
+  /// their centroids by value (a corrupted attempt cannot poison the
+  /// driver's copy) and every detector fires *before* corrupt bits can
+  /// reach the published state.
+  std::size_t max_sdc_retries = 2;
   /// When non-empty, the driver writes a telemetry::RunReport JSON here at
   /// the end of run() — config, outcome, the full fault/recovery story and
   /// the merged metrics snapshot (when config.telemetry is armed).
@@ -41,6 +51,7 @@ struct FaultEvent {
   std::size_t iteration = 0;  ///< global iteration the failed leg started at
   std::string what;           ///< the fault's message
   double wall_s = 0;          ///< wall-clock seconds the failed attempt cost
+  bool sdc = false;           ///< detected silent corruption (vs fail-stop)
 };
 
 /// What the driver did to finish the run.
@@ -53,6 +64,13 @@ struct RecoveryReport {
   std::size_t final_cgs = 0; ///< core groups of the topology that finished
   bool degraded = false;
   bool resumed_from_checkpoint = false;
+  /// Silent corruptions the layered defense caught (transport CRC, scrub
+  /// CRCs, counts conservation, inertia monotonicity) — the faults that
+  /// would have been wrong answers without it.
+  std::size_t sdc_detections = 0;
+  /// Legs re-run in memory from the pre-leg centroids after a detected
+  /// SDC — recovery that engaged *before* any checkpoint rollback.
+  std::size_t localized_retries = 0;
   std::vector<FaultEvent> events;
 };
 

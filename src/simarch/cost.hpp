@@ -52,6 +52,11 @@ struct CostTally {
   /// made of, and what the hierarchical collective schedule exists to
   /// shrink. A machine-wide volume counter: summed in both combines.
   std::uint64_t net_crossing_bytes = 0;
+  /// GEMM assign panels the ABFT checksum column caught corrupt and
+  /// recomputed bit-identically (KmeansConfig::sdc_checks). A machine-wide
+  /// volume counter: summed in both combines, so per-rank detections reach
+  /// the cg-0 history through the existing tally exchange.
+  std::uint64_t sdc_recomputed = 0;
 
   double total_s() const {
     return sample_read_s + centroid_stream_s + compute_s + mesh_comm_s +
@@ -74,6 +79,7 @@ struct CostTally {
     pruned_samples += other.pruned_samples;
     net_rounds += other.net_rounds;
     net_crossing_bytes += other.net_crossing_bytes;
+    sdc_recomputed += other.sdc_recomputed;
     return *this;
   }
 
@@ -103,6 +109,7 @@ struct CostTally {
     flops += other.flops;
     pruned_samples += other.pruned_samples;
     net_crossing_bytes += other.net_crossing_bytes;
+    sdc_recomputed += other.sdc_recomputed;
     net_rounds =
         net_rounds > other.net_rounds ? net_rounds : other.net_rounds;
     return *this;

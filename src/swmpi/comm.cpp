@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
+#include "util/crc32.hpp"
+
 namespace swhkm::swmpi {
 
 namespace detail {
+
+/// Corrupted sends retained for resend, per world. A ring this small is
+/// plenty: only FaultPlan-corrupted payloads land here, and a receiver
+/// NACKs within the same collective round the send belongs to.
+constexpr std::size_t kRetainedSendCapacity = 64;
 
 World::World(int world_size, FaultPlan* faults,
              telemetry::MetricsRegistry* metrics_registry)
@@ -15,6 +22,36 @@ World::World(int world_size, FaultPlan* faults,
     // lane per member rank, and each member rank is one thread.
     boxes.push_back(std::make_unique<Mailbox>(world_size));
   }
+  send_seqs =
+      std::make_unique<std::atomic<std::uint64_t>[]>(
+          static_cast<std::size_t>(world_size));
+}
+
+void World::retain_send(int source, std::uint64_t seq,
+                        std::span<const std::byte> body) {
+  std::lock_guard lock(resend_mutex);
+  RetainedSend entry;
+  entry.source = source;
+  entry.seq = seq;
+  entry.body.assign(body.begin(), body.end());
+  if (retained_sends.size() < kRetainedSendCapacity) {
+    retained_sends.push_back(std::move(entry));
+  } else {
+    retained_sends[retained_next] = std::move(entry);
+    retained_next = (retained_next + 1) % kRetainedSendCapacity;
+  }
+}
+
+bool World::fetch_retained(int source, std::uint64_t seq,
+                           std::vector<std::byte>& out) {
+  std::lock_guard lock(resend_mutex);
+  for (const RetainedSend& entry : retained_sends) {
+    if (entry.source == source && entry.seq == seq) {
+      out = entry.body;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace detail
@@ -25,28 +62,95 @@ void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
   Message message;
   message.source = rank_;
   message.tag = tag;
-  message.payload.assign(payload.begin(), payload.end());
-  if (world_->fault_plan != nullptr &&
-      !world_->fault_plan->on_send(
-          global_rank_, std::span<std::byte>(message.payload.data(),
-                                             message.payload.size()))) {
-    // Scheduled drop: the peer's watchdog turns this into a fault. Ledger
-    // it as a drop, not a delivery — the send counters must describe
-    // traffic that actually reached a mailbox.
-    if (tshard_ != nullptr) {
-      tshard_->p2p_dropped.add(1);
-    }
-    return;
+  const std::size_t body = payload.size();
+  message.payload.resize(body + sizeof(detail::FrameTrailer));
+  if (body > 0) {
+    std::memcpy(message.payload.data(), payload.data(), body);
   }
+  // Frame integrity: CRC over the *clean* body, sequence from the world's
+  // per-sender counter. The trailer is appended after fault injection runs,
+  // so an injected corruption always disagrees with the CRC the sender
+  // framed — exactly like a wire flip under a checksummed link.
+  detail::FrameTrailer trailer;
+  trailer.seq = world_->send_seqs[static_cast<std::size_t>(rank_)].fetch_add(
+      1, std::memory_order_relaxed);
+  trailer.crc = util::crc32(payload);
+  trailer.magic = detail::kFrameMagic;
+  if (world_->fault_plan != nullptr) {
+    const std::span<std::byte> body_span(message.payload.data(), body);
+    const SendVerdict verdict =
+        world_->fault_plan->on_send(global_rank_, body_span);
+    if (!verdict.deliver) {
+      // Scheduled drop: the peer's watchdog turns this into a fault.
+      // Ledger it as a drop, not a delivery — the send counters must
+      // describe traffic that actually reached a mailbox.
+      if (tshard_ != nullptr) {
+        tshard_->p2p_dropped.add(1);
+      }
+      return;
+    }
+    if (verdict.corrupted) {
+      // Retain the resend copy the receiver's NACK will fetch: the clean
+      // pre-corruption bytes for transient ("wire") damage, the corrupted
+      // bytes for persistent ("source buffer") damage.
+      world_->retain_send(rank_, trailer.seq,
+                          verdict.persistent
+                              ? std::span<const std::byte>(body_span)
+                              : payload);
+    }
+  }
+  std::memcpy(message.payload.data() + body, &trailer, sizeof(trailer));
   const bool waited =
       world_->boxes[static_cast<std::size_t>(dest)]->push(std::move(message));
   if (tshard_ != nullptr) {
     tshard_->p2p_sends.add(1);
-    tshard_->p2p_send_bytes.add(payload.size());
+    // Charged at the user payload size: the 16-byte trailer is transport
+    // overhead, priced by the cost model's SDC cell, not part of the
+    // traffic ledger tests reconcile against collective payloads.
+    tshard_->p2p_send_bytes.add(body);
     if (waited) {
       tshard_->send_ring_waits.add(1);
     }
   }
+}
+
+std::vector<std::byte> Comm::unframe(int source, int tag,
+                                     std::vector<std::byte>&& framed) {
+  SWHKM_REQUIRE(framed.size() >= sizeof(detail::FrameTrailer),
+                "swmpi: popped frame shorter than its integrity trailer");
+  detail::FrameTrailer trailer;
+  std::memcpy(&trailer, framed.data() + framed.size() - sizeof(trailer),
+              sizeof(trailer));
+  framed.resize(framed.size() - sizeof(trailer));
+  const auto clean = [&](std::span<const std::byte> body) {
+    return trailer.magic == detail::kFrameMagic &&
+           util::crc32(body) == trailer.crc;
+  };
+  if (clean(framed)) {
+    return std::move(framed);
+  }
+  if (tshard_ != nullptr) {
+    tshard_->counter("swmpi.recv.crc_fail").add(1);
+  }
+  // Bounded NACK/resend handshake: ask the sender's retransmit store for
+  // the retained copy. A transient corruption recovers on the first
+  // attempt (the store holds the clean bytes); persistent source-buffer
+  // corruption keeps failing the CRC and escalates.
+  for (int attempt = 0; attempt < detail::kMaxRetransmits; ++attempt) {
+    if (tshard_ != nullptr) {
+      tshard_->counter("swmpi.send.retransmit").add(1);
+    }
+    std::vector<std::byte> copy;
+    if (world_->fetch_retained(source, trailer.seq, copy) && clean(copy)) {
+      return copy;
+    }
+  }
+  throw CorruptMessageError(
+      "swmpi: rank " + std::to_string(global_rank_) +
+      " received a corrupt payload from rank " + std::to_string(source) +
+      " (seq " + std::to_string(trailer.seq) + ", tag " +
+      std::to_string(tag) + "): CRC mismatch survived " +
+      std::to_string(detail::kMaxRetransmits) + " retransmit attempts");
 }
 
 std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
@@ -95,12 +199,19 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
     message = box.pop_matching(source, tag, &parked);
   }
   observe_stall(parked);
-  return std::move(message.payload);
+  return unframe(message.source, tag, std::move(message.payload));
 }
 
 void Comm::fault_point(FaultSite site, std::uint64_t iteration) {
   if (world_ != nullptr && world_->fault_plan != nullptr) {
     world_->fault_plan->on_fault_point(global_rank_, site, iteration);
+  }
+}
+
+void Comm::memory_fault_point(MemorySite site, std::uint64_t iteration,
+                              std::span<std::byte> a, std::span<std::byte> b) {
+  if (world_ != nullptr && world_->fault_plan != nullptr) {
+    world_->fault_plan->on_memory(global_rank_, iteration, site, a, b);
   }
 }
 
@@ -121,8 +232,12 @@ Comm Comm::split(int color, int key) {
     entries[0] = mine;
     for (int r = 1; r < size(); ++r) {
       Message m = world_->boxes[0]->pop_matching(r, tag);
-      SWHKM_REQUIRE(m.payload.size() == sizeof(Entry), "bad split payload");
-      std::memcpy(&entries[static_cast<std::size_t>(r)], m.payload.data(),
+      // Same unframe path as recv_bytes: split's direct pop must not be a
+      // hole in the transport's integrity coverage.
+      const std::vector<std::byte> body =
+          unframe(m.source, tag, std::move(m.payload));
+      SWHKM_REQUIRE(body.size() == sizeof(Entry), "bad split payload");
+      std::memcpy(&entries[static_cast<std::size_t>(r)], body.data(),
                   sizeof(Entry));
     }
     for (int r = 1; r < size(); ++r) {

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -23,6 +25,34 @@ inline constexpr int kReservedTagBase = 1 << 24;
 namespace detail {
 
 struct World;
+
+/// 16-byte integrity trailer Comm::send_bytes appends to every mailbox
+/// payload. `seq` is the sender's per-world monotone send sequence (the
+/// retransmit-store key), `crc` the CRC-32 over the body bytes as framed by
+/// the sender, `magic` a sanity tag so a torn/short frame is told apart
+/// from a bit-flipped one.
+struct FrameTrailer {
+  std::uint64_t seq;
+  std::uint32_t crc;
+  std::uint32_t magic;
+};
+
+inline constexpr std::uint32_t kFrameMagic = 0x53574652;  // "SWFR"
+
+/// Bounded NACK/resend attempts the receiver makes before escalating a CRC
+/// mismatch to CorruptMessageError.
+inline constexpr int kMaxRetransmits = 2;
+
+/// One sender-side retained copy of a payload the FaultPlan corrupted in
+/// flight: the receiver's NACK fetches it by (source, seq). Transient
+/// ("wire") corruption retains the clean pre-corruption body, so the
+/// handshake recovers; persistent ("source buffer") corruption retains the
+/// damaged bytes, so it cannot.
+struct RetainedSend {
+  int source = -1;
+  std::uint64_t seq = 0;
+  std::vector<std::byte> body;
+};
 
 /// Rendezvous registry used by Comm::split: every member of a new
 /// sub-communicator must end up holding the *same* World object, so the
@@ -55,6 +85,26 @@ struct World {
   /// How many members still have to pick this world up out of the parent's
   /// split registry (only meaningful while registered there).
   int pickups_remaining = 0;
+
+  /// Per-member monotone send sequence counters (indexed by this world's
+  /// local rank) — the frame trailer's `seq`. Atomic because a rank may
+  /// send on several sub-communicators backed by the same world object
+  /// only from its own thread, but telemetry-free sends must stay
+  /// wait-free regardless.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> send_seqs;
+
+  /// Retransmit store: only payloads the FaultPlan corrupted are retained
+  /// (a clean send can never fail the CRC check), so the store is armed
+  /// only when a plan is present and stays empty on clean runs. Bounded
+  /// ring; the receiver's NACK looks a copy up by (source, seq).
+  std::mutex resend_mutex;
+  std::vector<RetainedSend> retained_sends;
+  std::size_t retained_next = 0;
+
+  void retain_send(int source, std::uint64_t seq,
+                   std::span<const std::byte> body);
+  bool fetch_retained(int source, std::uint64_t seq,
+                      std::vector<std::byte>& out);
 
   /// Sub-worlds created by split(); abort_all() must reach ranks blocked in
   /// a sub-communicator's recv too. `aborted` (guarded by children_mutex)
@@ -152,6 +202,16 @@ class Comm {
   /// without a plan.
   void fault_point(FaultSite site, std::uint64_t iteration);
 
+  /// Engines call this where they expose a memory region to the fault
+  /// plan's deterministic bit flips (global iteration numbering): any armed
+  /// flip_memory event matching (this rank, site, iteration) XORs its
+  /// window into the region. Two-span form for regions stored as a pair of
+  /// arrays (an accumulator's sums then counts); offsets address the
+  /// concatenation. No-op without a plan.
+  void memory_fault_point(MemorySite site, std::uint64_t iteration,
+                          std::span<std::byte> a,
+                          std::span<std::byte> b = {});
+
   /// This rank's metrics shard, or null when the world carries no
   /// registry. Collectives use it for their fast-path ledgers; engines may
   /// hang named metrics off it too.
@@ -171,6 +231,15 @@ class Comm {
   void abort_world();
 
  private:
+  /// Strip and verify the integrity trailer of one popped mailbox payload.
+  /// On CRC/magic mismatch runs the bounded NACK/resend handshake against
+  /// the world's retransmit store and, if no clean copy materialises,
+  /// throws CorruptMessageError with sender/seq/tag attribution. Shared by
+  /// recv_bytes and split()'s direct rank-0 pops so *every* delivery path
+  /// is covered.
+  std::vector<std::byte> unframe(int source, int tag,
+                                 std::vector<std::byte>&& framed);
+
   Comm(std::shared_ptr<detail::World> world, int rank, int global_rank)
       : world_(std::move(world)), rank_(rank), global_rank_(global_rank) {
     if (world_ != nullptr && world_->metrics != nullptr) {

@@ -1,6 +1,9 @@
 #include "swmpi/fault.hpp"
 
+#include <algorithm>
 #include <cstring>
+
+#include "telemetry/registry.hpp"
 
 namespace swhkm::swmpi {
 
@@ -16,6 +19,39 @@ const char* fault_site_name(FaultSite site) {
   return "?";
 }
 
+const char* memory_site_name(MemorySite site) {
+  switch (site) {
+    case MemorySite::kSnapshot:
+      return "snapshot";
+    case MemorySite::kTileScratch:
+      return "tile_scratch";
+    case MemorySite::kUpdateAccum:
+      return "update_accum";
+  }
+  return "?";
+}
+
+namespace {
+
+/// XOR an 8-byte window at `offset` into the concatenation a ++ b, clamping
+/// to the available bytes (a window that straddles the a/b seam or the end
+/// writes only the bytes that exist). The one shared damage primitive, so
+/// corrupt_send and flip_memory always stay in-bounds.
+void xor_window(std::span<std::byte> a, std::span<std::byte> b,
+                std::size_t offset, std::uint64_t mask) {
+  const auto bytes = std::as_bytes(std::span<const std::uint64_t>(&mask, 1));
+  for (std::size_t i = 0; i < sizeof(mask); ++i) {
+    const std::size_t pos = offset + i;
+    if (pos < a.size()) {
+      a[pos] ^= bytes[i];
+    } else if (pos - a.size() < b.size()) {
+      b[pos - a.size()] ^= bytes[i];
+    }
+  }
+}
+
+}  // namespace
+
 FaultPlan& FaultPlan::crash(int rank, std::uint64_t iteration, FaultSite site,
                             int fires) {
   SWHKM_REQUIRE(rank >= 0, "crash rank must be non-negative");
@@ -27,17 +63,36 @@ FaultPlan& FaultPlan::crash(int rank, std::uint64_t iteration, FaultSite site,
 
 FaultPlan& FaultPlan::corrupt_send(int rank, std::uint64_t nth_send,
                                    std::uint64_t xor_mask) {
+  return corrupt_send(rank, nth_send, xor_mask, /*offset=*/0,
+                      /*persistent=*/false);
+}
+
+FaultPlan& FaultPlan::corrupt_send(int rank, std::uint64_t nth_send,
+                                   std::uint64_t xor_mask, std::size_t offset,
+                                   bool persistent) {
   SWHKM_REQUIRE(rank >= 0, "corrupt rank must be non-negative");
   SWHKM_REQUIRE(xor_mask != 0, "a zero XOR mask corrupts nothing");
   std::lock_guard lock(mutex_);
-  sends_.push_back({rank, nth_send, xor_mask, /*drop=*/false, /*fired=*/false});
+  sends_.push_back({rank, nth_send, xor_mask, offset, /*drop=*/false,
+                    persistent, /*fired=*/false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::flip_memory(int rank, std::uint64_t iteration,
+                                  MemorySite site, std::size_t offset,
+                                  std::uint64_t xor_mask) {
+  SWHKM_REQUIRE(rank >= 0, "flip rank must be non-negative");
+  SWHKM_REQUIRE(xor_mask != 0, "a zero XOR mask flips nothing");
+  std::lock_guard lock(mutex_);
+  flips_.push_back({rank, iteration, site, offset, xor_mask, /*fired=*/false});
   return *this;
 }
 
 FaultPlan& FaultPlan::drop_send(int rank, std::uint64_t nth_send) {
   SWHKM_REQUIRE(rank >= 0, "drop rank must be non-negative");
   std::lock_guard lock(mutex_);
-  sends_.push_back({rank, nth_send, 0, /*drop=*/true, /*fired=*/false});
+  sends_.push_back({rank, nth_send, 0, 0, /*drop=*/true, /*persistent=*/false,
+                    /*fired=*/false});
   return *this;
 }
 
@@ -50,6 +105,13 @@ FaultPlan& FaultPlan::watchdog(std::chrono::milliseconds timeout) {
 std::chrono::milliseconds FaultPlan::watchdog_timeout() const {
   std::lock_guard lock(mutex_);
   return watchdog_;
+}
+
+bool FaultPlan::has_armed_drops() const {
+  std::lock_guard lock(mutex_);
+  return std::any_of(sends_.begin(), sends_.end(), [](const SendEvent& e) {
+    return e.drop && !e.fired;
+  });
 }
 
 void FaultPlan::on_fault_point(int rank, FaultSite site,
@@ -77,9 +139,10 @@ void FaultPlan::on_fault_point(int rank, FaultSite site,
   }
 }
 
-bool FaultPlan::on_send(int rank, std::span<std::byte> payload) {
+SendVerdict FaultPlan::on_send(int rank, std::span<std::byte> payload) {
   std::lock_guard lock(mutex_);
   const std::uint64_t seq = send_seq_[rank]++;
+  SendVerdict verdict;
   for (SendEvent& event : sends_) {
     if (event.fired || event.rank != rank || event.nth != seq) {
       continue;
@@ -87,19 +150,32 @@ bool FaultPlan::on_send(int rank, std::span<std::byte> payload) {
     event.fired = true;
     if (event.drop) {
       ++fired_drops_;
-      return false;
+      verdict.deliver = false;
+      return verdict;
     }
-    // XOR the first word only: deterministic damage with a bounded blast
+    // XOR one clamped word: deterministic damage with a bounded blast
     // radius (tests aim it at value fields, not at indices or the
     // shared-fold pointer exchange).
-    std::uint64_t word = 0;
-    const std::size_t width = std::min(payload.size(), sizeof(word));
-    std::memcpy(&word, payload.data(), width);
-    word ^= event.mask;
-    std::memcpy(payload.data(), &word, width);
+    xor_window(payload, {}, event.offset, event.mask);
+    verdict.corrupted = true;
+    verdict.persistent = verdict.persistent || event.persistent;
     ++fired_corruptions_;
   }
-  return true;
+  return verdict;
+}
+
+void FaultPlan::on_memory(int rank, std::uint64_t iteration, MemorySite site,
+                          std::span<std::byte> a, std::span<std::byte> b) {
+  std::lock_guard lock(mutex_);
+  for (MemFlipEvent& event : flips_) {
+    if (event.fired || event.rank != rank || event.iteration != iteration ||
+        event.site != site) {
+      continue;
+    }
+    event.fired = true;
+    xor_window(a, b, event.offset, event.mask);
+    ++fired_flips_;
+  }
 }
 
 std::uint64_t FaultPlan::fired_crashes() const {
@@ -115,6 +191,41 @@ std::uint64_t FaultPlan::fired_corruptions() const {
 std::uint64_t FaultPlan::fired_drops() const {
   std::lock_guard lock(mutex_);
   return fired_drops_;
+}
+
+std::uint64_t FaultPlan::fired_flips() const {
+  std::lock_guard lock(mutex_);
+  return fired_flips_;
+}
+
+void FaultPlan::export_fired(telemetry::MetricsShard& shard) {
+  std::uint64_t d_crashes = 0;
+  std::uint64_t d_corruptions = 0;
+  std::uint64_t d_drops = 0;
+  std::uint64_t d_flips = 0;
+  {
+    std::lock_guard lock(mutex_);
+    d_crashes = fired_crashes_ - exported_crashes_;
+    d_corruptions = fired_corruptions_ - exported_corruptions_;
+    d_drops = fired_drops_ - exported_drops_;
+    d_flips = fired_flips_ - exported_flips_;
+    exported_crashes_ = fired_crashes_;
+    exported_corruptions_ = fired_corruptions_;
+    exported_drops_ = fired_drops_;
+    exported_flips_ = fired_flips_;
+  }
+  if (d_crashes > 0) {
+    shard.counter("fault.fired_crashes").add(d_crashes);
+  }
+  if (d_corruptions > 0) {
+    shard.counter("fault.fired_corruptions").add(d_corruptions);
+  }
+  if (d_drops > 0) {
+    shard.counter("fault.fired_drops").add(d_drops);
+  }
+  if (d_flips > 0) {
+    shard.counter("fault.fired_flips").add(d_flips);
+  }
 }
 
 }  // namespace swhkm::swmpi

@@ -11,6 +11,10 @@
 
 #include "util/error.hpp"
 
+namespace swhkm::telemetry {
+class MetricsShard;
+}
+
 namespace swhkm::swmpi {
 
 /// Engine-visible iteration boundaries where a scheduled crash can fire.
@@ -24,12 +28,36 @@ enum class FaultSite : int {
 
 const char* fault_site_name(FaultSite site);
 
+/// Engine-visible memory regions a scheduled bit flip can target — the
+/// silent-data-corruption counterpart of FaultSite. The engines expose each
+/// region through Comm::memory_fault_point at a deterministic spot in the
+/// iteration, so a schedule names "flip bit 62 of byte 40 in rank 1's
+/// update accumulator at iteration 3" exactly.
+enum class MemorySite : int {
+  kSnapshot = 0,     ///< the shared read-only centroid snapshot
+  kTileScratch = 1,  ///< a GEMM assign scratch panel (per-rank, per-tile)
+  kUpdateAccum = 2,  ///< a rank's (sums, counts) update accumulator
+};
+
+const char* memory_site_name(MemorySite site);
+
 /// The exception a scheduled crash raises — a deliberately induced
 /// RuntimeFault, distinguishable from organic runtime bugs so run_spmd's
 /// error preference and the tests can tell them apart.
 class InjectedFault : public RuntimeFault {
  public:
   explicit InjectedFault(const std::string& what) : RuntimeFault(what) {}
+};
+
+/// What FaultPlan::on_send decided about one outgoing payload.
+struct SendVerdict {
+  bool deliver = true;     ///< false: blackhole the message
+  bool corrupted = false;  ///< an XOR event mutated the payload in place
+  /// Corruption survives retransmission (models corruption at the source —
+  /// a bad buffer — rather than on the wire): the transport's NACK/resend
+  /// handshake fetches an equally corrupt copy, so detection must escalate
+  /// to CorruptMessageError instead of recovering silently.
+  bool persistent = false;
 };
 
 /// Deterministic, seed-free fault-injection schedule for the swmpi
@@ -40,15 +68,27 @@ class InjectedFault : public RuntimeFault {
 ///                            `site` boundary (engines report global
 ///                            iteration numbers, so schedules survive
 ///                            checkpoint/resume legs);
-///   corrupt_send(r, n, mask) the n-th payload rank r sends (counting every
+///   corrupt_send(r, n, mask [, offset, persistent])
+///                            the n-th payload rank r sends (counting every
 ///                            send the rank issues, on any communicator of
-///                            the world) has its first 8 bytes XORed with
-///                            `mask`;
+///                            the world) has the 8-byte window at `offset`
+///                            XORed with `mask` (clamped to the payload;
+///                            an offset past the end corrupts nothing but
+///                            still counts as fired). Transient by default:
+///                            the transport's retained clean copy survives,
+///                            so the CRC handshake recovers; `persistent`
+///                            poisons the retained copy too;
+///   flip_memory(r, i, site, offset, mask)
+///                            XOR the 8-byte window at `offset` of rank r's
+///                            `site` region when the engine exposes it at
+///                            iteration i — the deterministic DRAM bit
+///                            flip. One-shot;
 ///   drop_send(r, n)          the n-th send from rank r is blackholed — the
 ///                            deterministic "mailbox stall", which the
 ///                            receiving rank's watchdog converts into a
 ///                            WatchdogTimeout (a drop schedule without a
-///                            watchdog would deadlock, so pair them);
+///                            watchdog would deadlock; run_spmd rejects the
+///                            combination at entry);
 ///   watchdog(t)              every blocking recv in the world fails with
 ///                            WatchdogTimeout after waiting `t`.
 ///
@@ -75,9 +115,25 @@ class FaultPlan {
 
   /// XOR the first 8 bytes of rank `rank`'s `nth_send`-th outgoing payload
   /// (0-based, counted across the rank's whole lifetime) with `xor_mask`.
-  /// One-shot.
+  /// One-shot, transient (see the class comment).
   FaultPlan& corrupt_send(int rank, std::uint64_t nth_send,
                           std::uint64_t xor_mask);
+
+  /// Generalized corruption: XOR the 8-byte window starting at byte
+  /// `offset` of the payload (clamped to the payload size — a sub-8-byte
+  /// tail gets a sub-8-byte XOR, and an offset at/past the end mutates
+  /// nothing). `persistent` extends the damage to the transport's retained
+  /// resend copy, turning silent transport recovery into an escalated
+  /// CorruptMessageError. One-shot.
+  FaultPlan& corrupt_send(int rank, std::uint64_t nth_send,
+                          std::uint64_t xor_mask, std::size_t offset,
+                          bool persistent = false);
+
+  /// XOR the 8-byte window at `offset` of rank `rank`'s `site` memory
+  /// region with `xor_mask` when the engine exposes that region at global
+  /// iteration `iteration` (clamped like corrupt_send). One-shot.
+  FaultPlan& flip_memory(int rank, std::uint64_t iteration, MemorySite site,
+                         std::size_t offset, std::uint64_t xor_mask);
 
   /// Blackhole rank `rank`'s `nth_send`-th outgoing payload. One-shot.
   FaultPlan& drop_send(int rank, std::uint64_t nth_send);
@@ -86,6 +142,10 @@ class FaultPlan {
   FaultPlan& watchdog(std::chrono::milliseconds timeout);
   std::chrono::milliseconds watchdog_timeout() const;
 
+  /// True while any drop_send event is still armed (has not fired). Used by
+  /// run_spmd's entry check: a drop with no watchdog deadlocks silently.
+  bool has_armed_drops() const;
+
   // --- runtime hooks (called by Comm; not for user code) ---
 
   /// Throws InjectedFault when an armed crash matches (rank, site,
@@ -93,13 +153,27 @@ class FaultPlan {
   void on_fault_point(int rank, FaultSite site, std::uint64_t iteration);
 
   /// Counts the send and applies any matching corruption in place.
-  /// Returns false when the message must be dropped.
-  bool on_send(int rank, std::span<std::byte> payload);
+  SendVerdict on_send(int rank, std::span<std::byte> payload);
+
+  /// Applies any armed flip whose (rank, iteration, site) matches. The
+  /// region may be exposed as two spans (an accumulator's sums then counts
+  /// arrays); offsets address their concatenation `a ++ b`.
+  void on_memory(int rank, std::uint64_t iteration, MemorySite site,
+                 std::span<std::byte> a, std::span<std::byte> b = {});
 
   // --- telemetry, for tests and the bench JSON ---
   std::uint64_t fired_crashes() const;
   std::uint64_t fired_corruptions() const;
   std::uint64_t fired_drops() const;
+  std::uint64_t fired_flips() const;
+
+  /// Add the fired_* tallies to `shard`'s named counters
+  /// ("fault.fired_crashes", ".fired_corruptions", ".fired_drops",
+  /// ".fired_flips"), so injection activity lands in report.json next to
+  /// the detection counters instead of only behind getter methods.
+  /// Idempotent across calls: only the delta since the previous export is
+  /// added, so run_spmd can export after every leg of a multi-leg run.
+  void export_fired(telemetry::MetricsShard& shard);
 
  private:
   struct CrashEvent {
@@ -112,18 +186,35 @@ class FaultPlan {
     int rank;
     std::uint64_t nth;
     std::uint64_t mask;  ///< 0 with drop=true for blackholes
+    std::size_t offset;  ///< first byte of the XOR window
     bool drop;
+    bool persistent;
+    bool fired;
+  };
+  struct MemFlipEvent {
+    int rank;
+    std::uint64_t iteration;
+    MemorySite site;
+    std::size_t offset;
+    std::uint64_t mask;
     bool fired;
   };
 
   mutable std::mutex mutex_;
   std::vector<CrashEvent> crashes_;
   std::vector<SendEvent> sends_;
+  std::vector<MemFlipEvent> flips_;
   std::map<int, std::uint64_t> send_seq_;  ///< per-world-rank send counter
   std::chrono::milliseconds watchdog_{0};
   std::uint64_t fired_crashes_ = 0;
   std::uint64_t fired_corruptions_ = 0;
   std::uint64_t fired_drops_ = 0;
+  std::uint64_t fired_flips_ = 0;
+  // export_fired watermarks: fired counts already pushed to telemetry.
+  std::uint64_t exported_crashes_ = 0;
+  std::uint64_t exported_corruptions_ = 0;
+  std::uint64_t exported_drops_ = 0;
+  std::uint64_t exported_flips_ = 0;
 };
 
 }  // namespace swhkm::swmpi

@@ -11,6 +11,15 @@ namespace swhkm::swmpi {
 void run_spmd(int nranks, const std::function<void(Comm&)>& body,
               FaultPlan* faults, telemetry::MetricsRegistry* metrics) {
   SWHKM_REQUIRE(nranks >= 1, "need at least one rank");
+  // A blackholed send with no watchdog is an undetectable deadlock: the
+  // receiver blocks forever on a message nobody will ever push. Reject the
+  // schedule up front instead of hanging the test that armed it.
+  SWHKM_REQUIRE(
+      faults == nullptr || !faults->has_armed_drops() ||
+          faults->watchdog_timeout().count() > 0,
+      "a FaultPlan with armed drop_send events needs a watchdog() timeout — "
+      "a dropped message with no recv watchdog deadlocks the receiver "
+      "silently");
   std::vector<Comm> comms = Comm::create_world(nranks, faults, metrics);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
 
@@ -57,6 +66,17 @@ void run_spmd(int nranks, const std::function<void(Comm&)>& body,
       if (!first_primary_fault) {
         first_primary_fault = error;
       }
+    } catch (const CorruptMessageError&) {
+      // A failed CRC handshake is the root cause of its drill, like an
+      // injected crash — peers that died aborting behind it are secondary.
+      if (!first_primary_fault) {
+        first_primary_fault = error;
+      }
+    } catch (const SilentCorruptionError&) {
+      // Same standing for the compute-layer SDC detectors.
+      if (!first_primary_fault) {
+        first_primary_fault = error;
+      }
     } catch (const RuntimeFault&) {
       // likely a secondary abort; keep looking
     } catch (...) {
@@ -65,6 +85,13 @@ void run_spmd(int nranks, const std::function<void(Comm&)>& body,
       }
     }
   }
+  // Injection activity belongs in the metrics snapshot (and report.json)
+  // alongside the detection counters, not only behind getters. Exported
+  // before rethrowing so failed legs report what was injected into them.
+  if (faults != nullptr && metrics != nullptr) {
+    faults->export_fired(metrics->host_shard());
+  }
+
   if (first_real) {
     std::rethrow_exception(first_real);
   }

@@ -80,6 +80,8 @@ void RunReport::write_json(std::ostream& out) const {
     w.kv("net_crossing_bytes", it.net_crossing_bytes);
     w.kv("retries", it.retries);
     w.kv("recover_s", it.recover_s);
+    w.kv("sdc_retries", it.sdc_retries);
+    w.kv("sdc_recomputed", it.sdc_recomputed);
     w.end_object();
   }
   w.end_array();
@@ -103,12 +105,16 @@ void RunReport::write_json(std::ostream& out) const {
     w.kv("final_cgs", static_cast<std::uint64_t>(recovery.final_cgs));
     w.kv("degraded", recovery.degraded);
     w.kv("resumed_from_checkpoint", recovery.resumed_from_checkpoint);
+    w.kv("sdc_detections", static_cast<std::uint64_t>(recovery.sdc_detections));
+    w.kv("localized_retries",
+         static_cast<std::uint64_t>(recovery.localized_retries));
     w.key("events").begin_array();
     for (const auto& e : recovery.events) {
       w.begin_object();
       w.kv("iteration", static_cast<std::uint64_t>(e.iteration));
       w.kv("what", std::string_view(e.what));
       w.kv("wall_s", e.wall_s);
+      w.kv("sdc", e.sdc);
       w.end_object();
     }
     w.end_array();

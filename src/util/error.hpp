@@ -60,6 +60,30 @@ class WatchdogTimeout : public RuntimeFault {
   explicit WatchdogTimeout(const std::string& what) : RuntimeFault(what) {}
 };
 
+/// The transport layer's CRC-32 trailer check failed and the bounded
+/// NACK/resend handshake could not produce a clean copy — the payload that
+/// reached this rank is not the payload the sender framed. Carries sender /
+/// sequence / tag attribution in what(). Like every RuntimeFault, the
+/// RecoveryDriver can retry the leg; unlike a crash, the still-valid
+/// in-memory snapshot makes a localized (iteration-scope) retry sufficient.
+class CorruptMessageError : public RuntimeFault {
+ public:
+  explicit CorruptMessageError(const std::string& what) : RuntimeFault(what) {}
+};
+
+/// A compute-layer SDC detector fired: the centroid snapshot's CRC no
+/// longer matches the published bits, an update accumulator was mutated
+/// outside its owner's arithmetic, or an algorithmic invariant (counts
+/// conservation, inertia monotonicity) broke. The state that produced this
+/// iteration is untrustworthy, but the last published snapshot is not —
+/// the RecoveryDriver retries the iteration from it before escalating to
+/// checkpoint rollback.
+class SilentCorruptionError : public RuntimeFault {
+ public:
+  explicit SilentCorruptionError(const std::string& what)
+      : RuntimeFault(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_invalid(const std::string& what) {
   throw InvalidArgument(what);

@@ -39,6 +39,30 @@ TEST(PerfModel, FlopCountIsExactly2nkd) {
   }
 }
 
+TEST(PerfModel, SdcDefenseOverheadIsSmallAndAdditive) {
+  const MachineConfig machine = MachineConfig::sw26010(16);
+  const ProblemShape shape{100000, 1000, 64};
+  for (Level level : {Level::kLevel1, Level::kLevel2, Level::kLevel3}) {
+    if (!check_level(level, shape, machine).ok) {
+      continue;
+    }
+    const PartitionPlan plan = make_plan(level, shape, machine);
+    const CostTally base = model_iteration(plan, machine);
+    const CostTally sdc = sdc_defense_overhead(plan, machine);
+    // The armed defense always costs something (checksum chains, scrubs,
+    // one extra network round) but must stay a small fraction of the
+    // iteration — the always-on-defense argument of DESIGN.md section 13.
+    EXPECT_GT(sdc.total_s(), 0.0) << level_name(level);
+    EXPECT_LT(sdc.total_s(), base.total_s() * 0.20) << level_name(level);
+    EXPECT_EQ(sdc.net_rounds, 1u) << level_name(level);
+    EXPECT_GT(sdc.net_bytes, 0u) << level_name(level);
+    // model_iteration itself never includes the defense: calling it twice
+    // with the same plan stays byte-stable regardless of sdc arming.
+    EXPECT_EQ(base.total_s(), model_iteration(plan, machine).total_s())
+        << level_name(level);
+  }
+}
+
 TEST(PerfModel, MoreNodesNeverSlowerLevel3) {
   const ProblemShape shape{1265723, 2000, 196608};
   double prev = 1e300;
