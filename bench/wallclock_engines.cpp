@@ -479,6 +479,10 @@ struct FaultCell {
   double faulted_wall_s = 0;
   core::RecoveryReport report;
   bool identical = false;
+  std::size_t postmortem_ranks = 0;  ///< rings captured at the first fault
+  /// The flight-recorder postmortem names every participant: the host ring
+  /// plus one ring per core group that ran, each with recorded events.
+  bool postmortem_complete = false;
 };
 
 FaultCell run_fault_cell(core::Level level, const data::Dataset& ds,
@@ -517,6 +521,28 @@ FaultCell run_fault_cell(core::Level level, const data::Dataset& ds,
   cell.report = driver.report();
   std::remove(options.checkpoint_path.c_str());
 
+  // The crash must have left a complete postmortem: one flight-recorder
+  // snapshot per rank that ran (every core group plus the host ring), each
+  // with its last events intact — the report_faults.json forensics story.
+  if (!driver.postmortems().empty()) {
+    const telemetry::FaultPostmortem& pm = driver.postmortems().front();
+    cell.postmortem_ranks = pm.ranks.size();
+    bool host_seen = false;
+    std::size_t worker_rings = 0;
+    bool all_have_events = true;
+    for (const telemetry::FlightSnapshot& snap : pm.ranks) {
+      all_have_events = all_have_events && !snap.events.empty();
+      if (snap.rank == telemetry::MetricsRegistry::kHostRank) {
+        host_seen = true;
+      } else {
+        ++worker_rings;
+      }
+    }
+    cell.postmortem_complete =
+        all_have_events && host_seen &&
+        worker_rings >= cell.report.final_cgs;
+  }
+
   cell.identical =
       clean.iterations == recovered.iterations &&
       clean.assignments == recovered.assignments &&
@@ -538,10 +564,11 @@ int run_faults() {
                                      core::Level::kLevel3};
   util::Table table({"level", "clean_wall_s", "faulted_wall_s",
                      "time_to_recover_s", "retries", "resumed_from_ckpt",
-                     "bit_identical"});
+                     "postmortem_ranks", "bit_identical"});
   std::ofstream json("BENCH_faults.json");
   util::JsonWriter w(json);
   w.begin_object();
+  bench::emit_run_metadata(w);
   w.key("workload").begin_object();
   w.kv("n", std::uint64_t{2048});
   w.kv("k", std::uint64_t{8});
@@ -553,10 +580,12 @@ int run_faults() {
   w.kv("report", "report_faults.json");
   w.key("levels").begin_array();
   bool all_identical = true;
+  bool all_postmortems = true;
   for (std::size_t li = 0; li < 3; ++li) {
     const core::Level level = kLevels[li];
     const FaultCell cell = run_fault_cell(level, ds, machine);
     all_identical = all_identical && cell.identical;
+    all_postmortems = all_postmortems && cell.postmortem_complete;
     table.new_row()
         .add(core::level_name(level))
         .add(cell.clean_wall_s, 6)
@@ -564,6 +593,7 @@ int run_faults() {
         .add(cell.report.recover_wall_s, 6)
         .add(static_cast<std::uint64_t>(cell.report.retries))
         .add(cell.report.resumed_from_checkpoint ? "yes" : "no")
+        .add(static_cast<std::uint64_t>(cell.postmortem_ranks))
         .add(cell.identical ? "yes" : "NO");
     w.begin_object();
     w.kv("level", static_cast<std::int64_t>(level));
@@ -575,6 +605,9 @@ int run_faults() {
     w.kv("replans", static_cast<std::uint64_t>(cell.report.replans));
     w.kv("resumed_from_checkpoint", cell.report.resumed_from_checkpoint);
     w.kv("final_cgs", static_cast<std::uint64_t>(cell.report.final_cgs));
+    w.kv("postmortem_ranks",
+         static_cast<std::uint64_t>(cell.postmortem_ranks));
+    w.kv("postmortem_complete", cell.postmortem_complete);
     w.kv("bit_identical_to_clean_run", cell.identical);
     w.end_object();
   }
@@ -586,6 +619,12 @@ int run_faults() {
   if (!all_identical) {
     std::fprintf(stderr,
                  "FATAL: a recovered run diverged from its clean run\n");
+    return 1;
+  }
+  if (!all_postmortems) {
+    std::fprintf(stderr,
+                 "FATAL: a fault left an incomplete flight-recorder "
+                 "postmortem (missing ranks or empty rings)\n");
     return 1;
   }
   return 0;
@@ -940,6 +979,7 @@ int run_sdc() {
     std::ofstream json("BENCH_sdc.json");
     util::JsonWriter w(json);
     w.begin_object();
+    bench::emit_run_metadata(w);
     w.key("workload").begin_object();
     w.kv("n", std::uint64_t{2048});
     w.kv("k", std::uint64_t{8});
@@ -971,6 +1011,13 @@ struct TelemetryCell {
   double overhead_frac = 0;
   bool identical = false;   ///< results bit-identical, telemetry on vs off
   bool reconciled = false;  ///< report metrics agree with iteration history
+  bool flight_identical = false;  ///< flight recorder on vs off, same session
+  /// Cross-check of the two independent timing paths: per iteration,
+  /// max |Σ critical-path phase attributions − history simulated_s| and
+  /// |Σ attributions − critical_s|. Exact-zero by construction (same
+  /// doubles, same max, same sum order); gated at 1e-9.
+  double attribution_max_abs_err = 0;
+  telemetry::CriticalPathReport critical_path;
 };
 
 TelemetryCell run_telemetry_cell() {
@@ -1025,6 +1072,44 @@ TelemetryCell run_telemetry_cell() {
         std::memcmp(plain.centroids.data(), instrumented.centroids.data(),
                     plain.centroids.size() * sizeof(float)) == 0;
 
+    // Flight-recorder-specific identity: the plain side above has no
+    // telemetry at all; this run keeps the session but disarms only the
+    // rings, so a recorder-induced divergence can't hide behind the
+    // coarser on/off check.
+    {
+      telemetry::TelemetryConfig no_flight;
+      no_flight.flight = false;
+      telemetry::Telemetry off_session(no_flight);
+      core::KmeansConfig off_config = config;
+      off_config.telemetry = &off_session;
+      const core::KmeansResult off = core::run_level(
+          core::Level::kLevel3, ds, off_config, machine);
+      cell.flight_identical =
+          off.iterations == instrumented.iterations &&
+          off.assignments == instrumented.assignments &&
+          std::memcmp(off.centroids.data(), instrumented.centroids.data(),
+                      off.centroids.size() * sizeof(float)) == 0;
+    }
+
+    // Critical-path attribution over the instrumented run's trace, plus
+    // the acceptance cross-check: each iteration's phase attributions must
+    // sum to both the analyzer's critical_s and the engine-recorded
+    // simulated_s (two independent code paths to the same number).
+    cell.critical_path = telemetry::analyze_critical_path(trace);
+    const auto& cp_iters = cell.critical_path.iterations;
+    for (std::size_t i = 0;
+         i < cp_iters.size() && i < instrumented.history.size(); ++i) {
+      double phase_sum = 0;
+      for (std::size_t p = 0; p < simarch::kPhaseCount; ++p) {
+        phase_sum += cp_iters[i].phase_s[p];
+      }
+      const double vs_history =
+          std::fabs(phase_sum - instrumented.history[i].simulated_s);
+      const double vs_critical = std::fabs(phase_sum - cp_iters[i].critical_s);
+      cell.attribution_max_abs_err = std::max(
+          {cell.attribution_max_abs_err, vs_history, vs_critical});
+    }
+
     telemetry::RunReport report;
     report.run_id = "smoke-level3";
     report.shape = core::ProblemShape{ds.n(), config.k, ds.d()};
@@ -1037,12 +1122,15 @@ TelemetryCell run_telemetry_cell() {
     }
     report.set_result(instrumented);
     report.metrics = session.metrics().merged();
+    report.has_critical_path = true;
+    report.critical_path = cell.critical_path;
     cell.reconciled = telemetry::reconciles(report);
 
     std::ofstream report_out("report.json");
     report.write_json(report_out);
     std::ofstream trace_out("trace.json");
-    telemetry::write_chrome_trace(trace_out, &trace, &session.spans());
+    telemetry::write_chrome_trace(trace_out, &trace, &session.spans(), {},
+                                  &cell.critical_path);
   }
   cell.overhead_frac =
       cell.plain_s > 0 ? (cell.instrumented_s - cell.plain_s) / cell.plain_s
@@ -1545,6 +1633,7 @@ int run_smoke() {
     util::JsonWriter w(json);
     w.begin_object();
     w.kv("smoke", true);
+    bench::emit_run_metadata(w);
     w.key("workload").begin_object();
     w.kv("n", std::uint64_t{1024});
     w.kv("k", std::uint64_t{16});
@@ -1561,6 +1650,25 @@ int run_smoke() {
     w.kv("metrics_reconcile_with_history", tel.reconciled);
     w.kv("trace", "trace.json");
     w.kv("report", "report.json");
+    w.end_object();
+    w.key("critical_path").begin_object();
+    w.kv("iterations",
+         static_cast<std::uint64_t>(tel.critical_path.iterations.size()));
+    w.kv("total_critical_s", tel.critical_path.total_critical_s);
+    w.kv("total_blame_s", tel.critical_path.total_blame_s);
+    w.kv("attribution_max_abs_err", tel.attribution_max_abs_err);
+    w.kv("flight_bit_identical", tel.flight_identical);
+    w.key("stragglers").begin_array();
+    for (const auto& s : tel.critical_path.stragglers) {
+      w.begin_object();
+      w.kv("cg", static_cast<std::uint64_t>(s.cg));
+      w.kv("gated_iterations",
+           static_cast<std::uint64_t>(s.gated_iterations));
+      w.kv("blame_s", s.blame_s);
+      w.kv("share", s.share);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
     w.key("mailbox").begin_object();
     w.kv("mutex_stall_share", mbox.mutex_stall_share);
@@ -1579,6 +1687,17 @@ int run_smoke() {
               "bit-identical: %s, metrics reconcile: %s\n",
               tel.overhead_frac * 100.0, tel.plain_s, tel.instrumented_s,
               tel.identical ? "yes" : "NO", tel.reconciled ? "yes" : "NO");
+  if (!tel.critical_path.stragglers.empty()) {
+    const auto& top = tel.critical_path.stragglers.front();
+    std::printf("critical path: %zu iterations, %.6fs critical, top "
+                "straggler cg %u (gated %u iters, blame %.6fs = %.1f%% "
+                "share), attribution err %.3g, flight on/off identical: %s\n",
+                tel.critical_path.iterations.size(),
+                tel.critical_path.total_critical_s, top.cg,
+                top.gated_iterations, top.blame_s, top.share * 100.0,
+                tel.attribution_max_abs_err,
+                tel.flight_identical ? "yes" : "NO");
+  }
   std::printf("mailbox stall share of modeled iteration: mutex %.2f%%, "
               "rings %.2f%% (%.1fx cut); host-observed: mutex %.2f%%, "
               "rings %.2f%%; bit-identical: %s\n",
@@ -1619,6 +1738,25 @@ int run_smoke() {
     std::fprintf(stderr,
                  "FATAL: telemetry counters disagree with the iteration "
                  "history\n");
+    return 1;
+  }
+  if (!tel.flight_identical) {
+    std::fprintf(stderr,
+                 "FATAL: the flight recorder changed the result of the run\n");
+    return 1;
+  }
+  if (tel.critical_path.iterations.empty() ||
+      tel.critical_path.stragglers.empty()) {
+    std::fprintf(stderr,
+                 "FATAL: critical-path analysis produced no iterations or "
+                 "straggler rows\n");
+    return 1;
+  }
+  if (tel.attribution_max_abs_err > 1e-9) {
+    std::fprintf(stderr,
+                 "FATAL: critical-path phase attributions disagree with the "
+                 "modeled iteration times (max err %.3g > 1e-9)\n",
+                 tel.attribution_max_abs_err);
     return 1;
   }
   if (const int rc = check_gemm_cell(gemm); rc != 0) {
@@ -1765,6 +1903,7 @@ int run() {
   std::ofstream json("BENCH_wallclock.json");
   util::JsonWriter w(json);
   w.begin_object();
+  bench::emit_run_metadata(w);
   w.key("workload").begin_object();
   w.kv("n", static_cast<std::uint64_t>(kN));
   w.kv("k", static_cast<std::uint64_t>(kK));

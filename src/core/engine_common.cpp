@@ -34,6 +34,16 @@ void tick_collective_charge(telemetry::MetricsShard* shard,
   shard->counter(base + ".inter_rounds").add(charge.inter_rounds);
 }
 
+void fill_phase_stats(IterationStats& stats,
+                      const simarch::CostTally& combined) {
+  stats.sample_read_s = combined.sample_read_s;
+  stats.centroid_stream_s = combined.centroid_stream_s;
+  stats.compute_s = combined.compute_s;
+  stats.mesh_comm_s = combined.mesh_comm_s;
+  stats.net_comm_s = combined.net_comm_s;
+  stats.update_s = combined.update_s;
+}
+
 simarch::CostTally combine_tallies(swmpi::Comm& comm,
                                    const simarch::CostTally& mine) {
   static_assert(std::is_trivially_copyable_v<simarch::CostTally>);

@@ -102,6 +102,12 @@ void tick_collective_charge(telemetry::MetricsShard* shard,
                             const char* prefix,
                             const simarch::CollectiveCharge& charge);
 
+/// Copy the combined tally's critical-path phase seconds onto a history
+/// row. The six fields sum to combined.total_s() == stats.simulated_s by
+/// construction — report.json surfaces them per iteration and the
+/// critical-path analyzer cross-checks them against the Trace.
+void fill_phase_stats(IterationStats& stats, const simarch::CostTally& combined);
+
 /// Validate that the plan's LDM layout actually fits by allocating it
 /// through the scratchpad allocator — throws CapacityError on a planner
 /// bug rather than silently pretending.

@@ -172,6 +172,18 @@ struct IterationStats {
   /// ABFT checksum caught and bit-identically recomputed this iteration.
   std::uint32_t sdc_retries = 0;
   std::uint64_t sdc_recomputed = 0;
+  /// Per-phase split of simulated_s — the combined (slowest-rank-per-
+  /// phase) critical-path seconds, in CostTally field order. Their sum is
+  /// simulated_s exactly; report.json surfaces them per history row and
+  /// the critical-path analyzer cross-checks them against the Trace.
+  /// Appended after the older fields so existing brace-initialisers keep
+  /// their meaning.
+  double sample_read_s = 0;
+  double centroid_stream_s = 0;
+  double compute_s = 0;
+  double mesh_comm_s = 0;
+  double net_comm_s = 0;
+  double update_s = 0;
 };
 
 struct KmeansResult {

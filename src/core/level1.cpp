@@ -83,6 +83,8 @@ KmeansResult run_level1(const data::Dataset& dataset,
     // history rows they reconcile against.
     telemetry::MetricsShard* const tshard =
         tel != nullptr ? &tel->metrics().shard(world.global_rank()) : nullptr;
+    telemetry::FlightRing* const flight =
+        tshard != nullptr ? tshard->flight() : nullptr;
     telemetry::Counter* const pruned_ctr =
         tshard != nullptr ? &tshard->counter("engine.gate.pruned_samples")
                           : nullptr;
@@ -171,6 +173,11 @@ KmeansResult run_level1(const data::Dataset& dataset,
       // Global iteration index: the RecoveryDriver runs this engine in
       // legs, and fault schedules / trace rows are addressed globally.
       const std::uint64_t global_iter = config.iteration_base + iter;
+      if (flight != nullptr) {
+        flight->record(telemetry::FlightEventKind::kIterationStart,
+                       static_cast<std::uint32_t>(global_iter), 0, 0, 0,
+                       rank_clock);
+      }
       world.fault_point(swmpi::FaultSite::kAssign, global_iter);
       if (sdc) {
         // Snapshot scrub phase. Protocol: capture the reference CRC (cold
@@ -261,6 +268,11 @@ KmeansResult run_level1(const data::Dataset& dataset,
           s.t0 = t0;
           s.t1 = t1;
           s.valid = true;
+          if (flight != nullptr) {
+            flight->record(telemetry::FlightEventKind::kTileStart,
+                           static_cast<std::uint32_t>(global_iter), 0, t0,
+                           t1);
+          }
           if (!gating) {
             const std::span<detail::TileScore2> scores(s.scores.data(),
                                                        t1 - t0);
@@ -311,6 +323,11 @@ KmeansResult run_level1(const data::Dataset& dataset,
             }
             cpe_unresolved += s.t1 - s.t0;
             s.valid = false;
+            if (flight != nullptr) {
+              flight->record(telemetry::FlightEventKind::kTileEnd,
+                             static_cast<std::uint32_t>(global_iter), 0,
+                             s.t0, s.t1);
+            }
             return;
           }
           const std::span<const detail::TileScore2> scores(s.scores.data(),
@@ -331,6 +348,11 @@ KmeansResult run_level1(const data::Dataset& dataset,
           }
           cpe_unresolved += s.ids.size();
           s.valid = false;
+          if (flight != nullptr) {
+            flight->record(telemetry::FlightEventKind::kTileEnd,
+                           static_cast<std::uint32_t>(global_iter), 0, s.t0,
+                           s.t1);
+          }
         };
 
         int cur = 0;
@@ -535,6 +557,11 @@ KmeansResult run_level1(const data::Dataset& dataset,
       const simarch::CostTally combined =
           detail::combine_tallies(world, tally);
       rank_clock += combined.total_s();  // bulk-synchronous iteration edge
+      if (flight != nullptr) {
+        flight->record(telemetry::FlightEventKind::kIterationEnd,
+                       static_cast<std::uint32_t>(global_iter), 0, 0, 0,
+                       rank_clock);
+      }
       if (cg == 0) {
         total_cost += combined;
         last_cost = combined;
@@ -547,6 +574,7 @@ KmeansResult run_level1(const data::Dataset& dataset,
                            combined.flops, combined.net_rounds});
         history.back().net_crossing_bytes = combined.net_crossing_bytes;
         history.back().sdc_recomputed = combined.sdc_recomputed;
+        detail::fill_phase_stats(history.back(), combined);
         if (sim_net != nullptr) {
           sim_net->add(combined.net_bytes);
           sim_dma->add(combined.dma_bytes);

@@ -99,6 +99,9 @@ KmeansResult RecoveryDriver::run(Level level, const data::Dataset& dataset,
   telemetry::MetricsShard* const host_shard =
       config.telemetry != nullptr ? &config.telemetry->metrics().host_shard()
                                   : nullptr;
+  telemetry::FlightRing* const host_ring =
+      host_shard != nullptr ? host_shard->flight() : nullptr;
+  postmortems_.clear();
 
   util::Matrix centroids = init_centroids(dataset, config);
   std::size_t done = 0;
@@ -157,6 +160,23 @@ KmeansResult RecoveryDriver::run(Level level, const data::Dataset& dataset,
       if (host_shard != nullptr) {
         host_shard->counter("recovery.faults").add(1);
         host_shard->histogram("recovery.attempt_wall_s").observe(wall);
+      }
+      if (host_ring != nullptr) {
+        host_ring->record(telemetry::FlightEventKind::kFault,
+                          static_cast<std::uint32_t>(done),
+                          sdc_fault ? 1 : 0);
+      }
+      // Forensics: freeze every rank's flight ring *now* — the dead leg's
+      // threads have joined (the fault propagated out of run_spmd), and a
+      // retry would start overwriting the rings with healthy events.
+      if (config.telemetry != nullptr &&
+          config.telemetry->metrics().flight_armed() &&
+          postmortems_.size() < kMaxPostmortems) {
+        telemetry::FaultPostmortem pm;
+        pm.iteration = static_cast<std::uint32_t>(done);
+        pm.what = fault.what();
+        pm.ranks = config.telemetry->metrics().flight_snapshots();
+        postmortems_.push_back(std::move(pm));
       }
       if (sdc_fault) {
         report_.sdc_detections += 1;
@@ -279,6 +299,10 @@ KmeansResult RecoveryDriver::run(Level level, const data::Dataset& dataset,
     snapshot.inertia = leg.inertia;
     save_checkpoint(snapshot, options_.checkpoint_path);
     have_checkpoint = true;
+    if (host_ring != nullptr) {
+      host_ring->record(telemetry::FlightEventKind::kCheckpointLeg,
+                        static_cast<std::uint32_t>(done), 0, leg.iterations);
+    }
   }
 
   KmeansResult result = std::move(leg);
@@ -305,6 +329,11 @@ KmeansResult RecoveryDriver::run(Level level, const data::Dataset& dataset,
     }
     rep.has_recovery = true;
     rep.recovery = report_;
+    rep.postmortems = postmortems_;
+    if (config.trace != nullptr) {
+      rep.has_critical_path = true;
+      rep.critical_path = telemetry::analyze_critical_path(*config.trace);
+    }
     if (config.telemetry != nullptr) {
       rep.metrics = config.telemetry->metrics().merged();
     }

@@ -8,6 +8,7 @@
 #include "core/partition.hpp"
 #include "data/dataset.hpp"
 #include "simarch/machine_config.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace swhkm::core {
 
@@ -102,6 +103,16 @@ class RecoveryDriver {
 
   const RecoveryReport& report() const { return report_; }
 
+  /// Fault postmortems, one per caught RuntimeFault (capped at the first
+  /// kMaxPostmortems — a permafault retry loop must not grow without
+  /// bound): every rank's last flight-recorder events, snapshotted the
+  /// moment the driver caught the fault, before any retry overwrote the
+  /// rings. Empty when the run's telemetry had no flight recorder armed.
+  const std::vector<telemetry::FaultPostmortem>& postmortems() const {
+    return postmortems_;
+  }
+  static constexpr std::size_t kMaxPostmortems = 8;
+
   /// The (possibly degraded) machine the driver currently targets.
   const simarch::MachineConfig& machine() const { return machine_; }
 
@@ -109,6 +120,7 @@ class RecoveryDriver {
   simarch::MachineConfig machine_;
   RecoveryOptions options_;
   RecoveryReport report_;
+  std::vector<telemetry::FaultPostmortem> postmortems_;
 };
 
 }  // namespace swhkm::core

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "swmpi/comm.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace swhkm::swmpi {
 
@@ -34,22 +35,40 @@ class CollectiveScope {
       stats_->calls.add(1);
       stats_->bytes.add(bytes);
       start_ = std::chrono::steady_clock::now();
+      ring_ = shard->flight();
+      if (ring_ != nullptr) {
+        // swmpi has no iteration concept; flight events from here carry
+        // iteration 0 and are ordered by their wall timestamps instead.
+        kind_ = static_cast<std::uint16_t>(kind);
+        bytes_ = bytes;
+        ring_->record(telemetry::FlightEventKind::kCollectiveEnter, 0, kind_,
+                      bytes_);
+      }
     }
   }
   CollectiveScope(const CollectiveScope&) = delete;
   CollectiveScope& operator=(const CollectiveScope&) = delete;
   ~CollectiveScope() {
     if (stats_ != nullptr) {
-      stats_->wall_s.observe(
+      const double wall_s =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start_)
-              .count());
+              .count();
+      stats_->wall_s.observe(wall_s);
+      if (ring_ != nullptr) {
+        ring_->record(telemetry::FlightEventKind::kCollectiveExit, 0, kind_,
+                      bytes_,
+                      static_cast<std::uint64_t>(wall_s * 1e6));
+      }
     }
   }
 
  private:
   telemetry::CollectiveStats* stats_ = nullptr;
+  telemetry::FlightRing* ring_ = nullptr;
   std::chrono::steady_clock::time_point start_;
+  std::uint16_t kind_ = 0;
+  std::uint64_t bytes_ = 0;
 };
 
 }  // namespace detail

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/flight_recorder.hpp"
 #include "util/crc32.hpp"
 
 namespace swhkm::swmpi {
@@ -172,12 +173,27 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
                                     : std::chrono::milliseconds{0};
   const auto observe_stall = [&](bool parked) {
     if (tshard_ != nullptr) {
-      tshard_->recv_stall_s.observe(
+      const double stall_s =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         stall_start)
-              .count());
+              .count();
+      tshard_->recv_stall_s.observe(stall_s);
       if (parked) {
         tshard_->recv_parks.add(1);
+        // Flight-record the park retroactively — a park is only known at
+        // wake time, so the park event gets the recv-entry timestamp and
+        // the wake event carries the stalled microseconds.
+        if (telemetry::FlightRing* ring = tshard_->flight()) {
+          const std::uint64_t utag =
+              static_cast<std::uint64_t>(static_cast<std::int64_t>(tag));
+          const double wake_us = ring->now_us();
+          ring->record_at(wake_us - stall_s * 1e6,
+                          telemetry::FlightEventKind::kMailboxPark, 0, 0,
+                          utag);
+          ring->record_at(wake_us, telemetry::FlightEventKind::kMailboxWake,
+                          0, 0, utag,
+                          static_cast<std::uint64_t>(stall_s * 1e6));
+        }
       }
     }
   };

@@ -1,0 +1,180 @@
+#include "telemetry/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/json.hpp"
+
+namespace swhkm::telemetry {
+
+namespace {
+
+struct CgPhases {
+  double phase_s[simarch::kPhaseCount] = {};
+  double phase_start[simarch::kPhaseCount];  ///< start of the winning event
+  bool seen[simarch::kPhaseCount] = {};
+  double start_s = 0;
+  double end_s = 0;
+  bool any = false;
+
+  double total() const {
+    double t = 0;
+    // CostTally::total_s() field order — keep the sum order identical so
+    // a reconstructed total matches the engines' combined.total_s() bits.
+    for (int p = 0; p < simarch::kPhaseCount; ++p) {
+      t += phase_s[p];
+    }
+    return t;
+  }
+};
+
+}  // namespace
+
+CriticalPathReport analyze_critical_path(const simarch::Trace& trace,
+                                         std::size_t top_n) {
+  // iteration -> cg -> latest-attempt phase durations. std::map keeps both
+  // levels sorted, making the whole analysis deterministic.
+  std::map<std::uint32_t, std::map<std::uint32_t, CgPhases>> iters;
+  for (const simarch::TraceEvent& e : trace.events()) {
+    CgPhases& cg = iters[e.iteration][e.cg];
+    const int p = static_cast<int>(e.phase);
+    // Replayed iterations (recovery legs) re-record the same phase; the
+    // latest recording — largest start — is the attempt that committed.
+    if (!cg.seen[p] || e.start_s >= cg.phase_start[p]) {
+      cg.phase_s[p] = e.duration_s;
+      cg.phase_start[p] = e.start_s;
+      cg.seen[p] = true;
+    }
+  }
+  // Second pass for the flow anchors: the retained events' extent per cg.
+  for (auto& [iter, cgs] : iters) {
+    (void)iter;
+    for (auto& [cg_id, cg] : cgs) {
+      (void)cg_id;
+      for (int p = 0; p < simarch::kPhaseCount; ++p) {
+        if (!cg.seen[p]) {
+          continue;
+        }
+        const double end = cg.phase_start[p] + cg.phase_s[p];
+        if (!cg.any || cg.phase_start[p] < cg.start_s) {
+          cg.start_s = cg.phase_start[p];
+        }
+        if (!cg.any || end > cg.end_s) {
+          cg.end_s = end;
+        }
+        cg.any = true;
+      }
+    }
+  }
+
+  CriticalPathReport report;
+  std::map<std::uint32_t, StragglerEntry> blame;
+  for (const auto& [iteration, cgs] : iters) {
+    IterationCriticalPath row;
+    row.iteration = iteration;
+    double sum_totals = 0;
+    bool first = true;
+    for (const auto& [cg_id, cg] : cgs) {
+      const double total = cg.total();
+      sum_totals += total;
+      if (first || total > row.gating_rank_s) {
+        row.gating_cg = cg_id;
+        row.gating_rank_s = total;
+      }
+      for (int p = 0; p < simarch::kPhaseCount; ++p) {
+        if (cg.phase_s[p] > row.phase_s[p]) {
+          row.phase_s[p] = cg.phase_s[p];
+          row.phase_cg[p] = cg_id;
+        }
+      }
+      if (cg.any) {
+        if (first || cg.start_s < row.start_s) {
+          row.start_s = cg.start_s;
+        }
+        if (first || cg.end_s > row.end_s) {
+          row.end_s = cg.end_s;
+        }
+      }
+      first = false;
+    }
+    for (int p = 0; p < simarch::kPhaseCount; ++p) {
+      row.critical_s += row.phase_s[p];
+    }
+    row.mean_rank_s = cgs.empty()
+                          ? 0.0
+                          : sum_totals / static_cast<double>(cgs.size());
+    row.blame_s = row.gating_rank_s - row.mean_rank_s;
+    row.imbalance =
+        row.mean_rank_s > 0 ? row.gating_rank_s / row.mean_rank_s : 1.0;
+
+    report.total_critical_s += row.critical_s;
+    report.total_blame_s += row.blame_s;
+    StragglerEntry& entry = blame[row.gating_cg];
+    entry.cg = row.gating_cg;
+    entry.gated_iterations += 1;
+    entry.blame_s += row.blame_s;
+    report.iterations.push_back(row);
+  }
+
+  for (const auto& [cg, entry] : blame) {
+    (void)cg;
+    report.stragglers.push_back(entry);
+  }
+  std::sort(report.stragglers.begin(), report.stragglers.end(),
+            [](const StragglerEntry& a, const StragglerEntry& b) {
+              if (a.blame_s != b.blame_s) {
+                return a.blame_s > b.blame_s;
+              }
+              return a.cg < b.cg;
+            });
+  if (report.stragglers.size() > top_n) {
+    report.stragglers.resize(top_n);
+  }
+  if (report.total_blame_s > 0) {
+    for (StragglerEntry& entry : report.stragglers) {
+      entry.share = entry.blame_s / report.total_blame_s;
+    }
+  }
+  return report;
+}
+
+void write_critical_path(util::JsonWriter& w, const CriticalPathReport& r) {
+  w.begin_object();
+  w.kv("total_critical_s", r.total_critical_s);
+  w.kv("total_blame_s", r.total_blame_s);
+  w.key("iterations").begin_array();
+  for (const IterationCriticalPath& it : r.iterations) {
+    w.begin_object();
+    w.kv("iteration", static_cast<std::uint64_t>(it.iteration));
+    w.kv("gating_cg", static_cast<std::uint64_t>(it.gating_cg));
+    w.kv("critical_s", it.critical_s);
+    w.kv("gating_rank_s", it.gating_rank_s);
+    w.kv("mean_rank_s", it.mean_rank_s);
+    w.kv("blame_s", it.blame_s);
+    w.kv("imbalance", it.imbalance);
+    w.key("phases").begin_object();
+    for (int p = 0; p < simarch::kPhaseCount; ++p) {
+      w.key(simarch::phase_name(static_cast<simarch::Phase>(p)))
+          .begin_object();
+      w.kv("seconds", it.phase_s[p]);
+      w.kv("cg", static_cast<std::uint64_t>(it.phase_cg[p]));
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("stragglers").begin_array();
+  for (const StragglerEntry& s : r.stragglers) {
+    w.begin_object();
+    w.kv("cg", static_cast<std::uint64_t>(s.cg));
+    w.kv("gated_iterations", static_cast<std::uint64_t>(s.gated_iterations));
+    w.kv("blame_s", s.blame_s);
+    w.kv("share", s.share);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace swhkm::telemetry

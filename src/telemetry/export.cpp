@@ -31,7 +31,8 @@ void write_metadata(util::JsonWriter& w, int pid, int tid, const char* which,
 
 void write_chrome_trace(std::ostream& out, const simarch::Trace* sim,
                         const SpanSink* wall,
-                        std::span<const simarch::FaultMarker> faults) {
+                        std::span<const simarch::FaultMarker> faults,
+                        const CriticalPathReport* critical_path) {
   std::vector<simarch::TraceEvent> sim_events;
   if (sim != nullptr) {
     sim_events = sim->events();
@@ -109,6 +110,46 @@ void write_chrome_trace(std::ostream& out, const simarch::Trace* sim,
     w.kv("recover_wall_s", f.wall_s);
     w.end_object();
     w.end_object();
+  }
+
+  // The critical path drawn as flow arrows: iteration i's arrow starts at
+  // its end on the gating cg's track and binds to the enclosing slice at
+  // iteration i+1's start on the next gating track ("bp":"e" — the Chrome
+  // trace format's bind-to-enclosing-slice flag, required for the finish
+  // step to attach to the "X" interval it lands inside).
+  if (critical_path != nullptr) {
+    const auto& iters = critical_path->iterations;
+    for (std::size_t i = 0; i + 1 < iters.size(); ++i) {
+      const auto& from = iters[i];
+      const auto& to = iters[i + 1];
+      const std::uint64_t flow_id = static_cast<std::uint64_t>(i) + 1;
+      w.begin_object();
+      w.kv("name", "critical_path");
+      w.kv("cat", "critical_path");
+      w.kv("ph", "s");
+      w.kv("id", flow_id);
+      w.kv("ts", from.end_s * 1e6);
+      w.kv("pid", kSimPid);
+      w.kv("tid", static_cast<int>(from.gating_cg));
+      w.key("args").begin_object();
+      w.kv("iteration", from.iteration);
+      w.kv("blame_s", from.blame_s);
+      w.end_object();
+      w.end_object();
+      w.begin_object();
+      w.kv("name", "critical_path");
+      w.kv("cat", "critical_path");
+      w.kv("ph", "f");
+      w.kv("bp", "e");
+      w.kv("id", flow_id);
+      w.kv("ts", to.start_s * 1e6);
+      w.kv("pid", kSimPid);
+      w.kv("tid", static_cast<int>(to.gating_cg));
+      w.key("args").begin_object();
+      w.kv("iteration", to.iteration);
+      w.end_object();
+      w.end_object();
+    }
   }
 
   for (const auto& s : wall_spans) {

@@ -4,6 +4,7 @@
 #include <span>
 
 #include "simarch/trace.hpp"
+#include "telemetry/critical_path.hpp"
 #include "telemetry/spans.hpp"
 
 namespace swhkm::telemetry {
@@ -20,11 +21,18 @@ namespace swhkm::telemetry {
 /// timeline, pinned to the start of the iteration they interrupted, so the
 /// recovery story lines up with the machine timeline it perturbed.
 ///
+/// When a critical-path report is supplied, consecutive iterations get
+/// Perfetto flow events ("ph":"s"/"f") on the simulated timeline: each
+/// arrow leaves the end of iteration i on its gating core group's track
+/// and lands at the start of iteration i+1 on the next gating track —
+/// the cross-rank critical path drawn through the Gantt chart.
+///
 /// Any of the sources may be null/empty — the output is always a complete,
 /// loadable trace. Timestamps go through util::format_double, so long-run
 /// traces don't alias neighbouring events.
 void write_chrome_trace(std::ostream& out, const simarch::Trace* sim,
                         const SpanSink* wall,
-                        std::span<const simarch::FaultMarker> faults = {});
+                        std::span<const simarch::FaultMarker> faults = {},
+                        const CriticalPathReport* critical_path = nullptr);
 
 }  // namespace swhkm::telemetry

@@ -1,0 +1,98 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include "util/json.hpp"
+
+namespace swhkm::telemetry {
+
+const char* flight_event_kind_name(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kIterationStart:
+      return "iteration_start";
+    case FlightEventKind::kIterationEnd:
+      return "iteration_end";
+    case FlightEventKind::kTileStart:
+      return "tile_start";
+    case FlightEventKind::kTileEnd:
+      return "tile_end";
+    case FlightEventKind::kCollectiveEnter:
+      return "collective_enter";
+    case FlightEventKind::kCollectiveExit:
+      return "collective_exit";
+    case FlightEventKind::kMailboxPark:
+      return "mailbox_park";
+    case FlightEventKind::kMailboxWake:
+      return "mailbox_wake";
+    case FlightEventKind::kCheckpointLeg:
+      return "checkpoint_leg";
+    case FlightEventKind::kFault:
+      return "fault";
+  }
+  return "unknown";
+}
+
+FlightRing::FlightRing(std::size_t capacity,
+                       std::chrono::steady_clock::time_point epoch)
+    : events_(capacity == 0 ? 1 : capacity), epoch_(epoch) {}
+
+std::vector<FlightEvent> FlightRing::snapshot() const {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t cap = events_.size();
+  const std::uint64_t retained = head < cap ? head : cap;
+  std::vector<FlightEvent> out;
+  out.reserve(retained);
+  for (std::uint64_t i = head - retained; i < head; ++i) {
+    out.push_back(events_[i % cap]);
+  }
+  return out;
+}
+
+namespace {
+
+void write_event(util::JsonWriter& w, const FlightEvent& e) {
+  w.begin_object();
+  w.kv("kind", flight_event_kind_name(e.kind));
+  w.kv("iteration", static_cast<std::uint64_t>(e.iteration));
+  w.kv("wall_us", e.wall_us);
+  if (e.sim_s >= 0) {
+    w.kv("sim_s", e.sim_s);
+  }
+  w.kv("op", static_cast<std::uint64_t>(e.op));
+  w.kv("a", e.a);
+  w.kv("b", e.b);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_flight_snapshots(util::JsonWriter& w,
+                            const std::vector<FlightSnapshot>& ranks) {
+  w.begin_array();
+  for (const FlightSnapshot& s : ranks) {
+    w.begin_object();
+    w.kv("rank", static_cast<std::int64_t>(s.rank));
+    w.kv("total_events", s.total);
+    w.key("events").begin_array();
+    for (const FlightEvent& e : s.events) {
+      write_event(w, e);
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void write_postmortems(util::JsonWriter& w,
+                       const std::vector<FaultPostmortem>& postmortems) {
+  w.begin_array();
+  for (const FaultPostmortem& p : postmortems) {
+    w.begin_object();
+    w.kv("iteration", static_cast<std::uint64_t>(p.iteration));
+    w.kv("what", p.what);
+    w.key("ranks");
+    write_flight_snapshots(w, p.ranks);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace swhkm::telemetry

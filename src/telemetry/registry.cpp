@@ -2,9 +2,15 @@
 
 #include <cmath>
 
+#include "telemetry/flight_recorder.hpp"
 #include "util/json.hpp"
 
 namespace swhkm::telemetry {
+
+// Out of line: FlightRing is incomplete where the header declares the
+// unique_ptr member.
+MetricsShard::MetricsShard() = default;
+MetricsShard::~MetricsShard() = default;
 
 double histogram_bucket_bound(int b) {
   return std::ldexp(1.0, kHistogramMinExp + b + 1);
@@ -95,6 +101,10 @@ MetricsShard& MetricsRegistry::shard(int rank) {
   auto it = shards_.find(rank);
   if (it == shards_.end()) {
     it = shards_.emplace(rank, std::make_unique<MetricsShard>()).first;
+    if (flight_ring_events_ > 0) {
+      it->second->flight_ =
+          std::make_unique<FlightRing>(flight_ring_events_, flight_epoch_);
+    }
   }
   return *it->second;
 }
@@ -102,6 +112,45 @@ MetricsShard& MetricsRegistry::shard(int rank) {
 std::size_t MetricsRegistry::shard_count() const {
   std::lock_guard lock(mutex_);
   return shards_.size();
+}
+
+void MetricsRegistry::arm_flight(
+    std::size_t ring_events, std::chrono::steady_clock::time_point epoch) {
+  std::lock_guard lock(mutex_);
+  if (ring_events == 0 || flight_ring_events_ > 0) {
+    return;
+  }
+  flight_ring_events_ = ring_events;
+  flight_epoch_ = epoch;
+  for (auto& [rank, shard] : shards_) {
+    (void)rank;
+    if (shard->flight_ == nullptr) {
+      shard->flight_ = std::make_unique<FlightRing>(ring_events, epoch);
+    }
+  }
+}
+
+bool MetricsRegistry::flight_armed() const {
+  std::lock_guard lock(mutex_);
+  return flight_ring_events_ > 0;
+}
+
+std::vector<FlightSnapshot> MetricsRegistry::flight_snapshots() const {
+  std::lock_guard lock(mutex_);
+  std::vector<FlightSnapshot> out;
+  out.reserve(shards_.size());
+  // std::map iterates ranks ascending (kHostRank = -1 first).
+  for (const auto& [rank, shard] : shards_) {
+    if (shard->flight_ == nullptr) {
+      continue;
+    }
+    FlightSnapshot snap;
+    snap.rank = rank;
+    snap.total = shard->flight_->total();
+    snap.events = shard->flight_->snapshot();
+    out.push_back(std::move(snap));
+  }
+  return out;
 }
 
 namespace {
@@ -133,8 +182,21 @@ void merge_histogram(HistogramSnapshot& into, const Histogram& h) {
 }
 
 void merge_gauge(GaugeSnapshot& into, const Gauge& g) {
+  // A shard whose gauge was never set contributes nothing: folding its
+  // zero-initialized last/max would clobber a lower-rank shard's real last
+  // with 0 and mask negative maxima (the sentinel-vs-0 ambiguity). Callers
+  // guard map insertion on g.sets() too, so a never-set gauge leaves no
+  // snapshot entry at all.
+  if (g.sets() == 0) {
+    return;
+  }
+  if (into.sets == 0) {
+    into.max = g.max();
+  } else {
+    into.max = std::max(into.max, g.max());
+  }
   into.last = g.last();
-  into.max = std::max(into.max, g.max());
+  into.sets += g.sets();
 }
 
 }  // namespace
@@ -155,7 +217,9 @@ MetricsSnapshot MetricsRegistry::merged() const {
       snap.counters[name] += c->value();
     }
     for (const auto& [name, g] : shard->gauges_) {
-      merge_gauge(snap.gauges[name], *g);
+      if (g->sets() > 0) {
+        merge_gauge(snap.gauges[name], *g);
+      }
     }
     for (const auto& [name, h] : shard->histograms_) {
       merge_histogram(snap.histograms[name], *h);
@@ -191,8 +255,10 @@ MetricsSnapshot MetricsRegistry::merged() const {
     if (shard->recv_stall_s.count() > 0) {
       merge_histogram(snap.histograms["swmpi.recv.stall_s"],
                       shard->recv_stall_s);
-      merge_gauge(snap.gauges["swmpi.recv.queue_depth"],
-                  shard->recv_queue_depth);
+      if (shard->recv_queue_depth.sets() > 0) {
+        merge_gauge(snap.gauges["swmpi.recv.queue_depth"],
+                    shard->recv_queue_depth);
+      }
     }
   }
   return snap;
@@ -210,6 +276,7 @@ void MetricsSnapshot::write_json(util::JsonWriter& w) const {
     w.key(name).begin_object();
     w.kv("last", g.last);
     w.kv("max", g.max);
+    w.kv("sets", g.sets);
     w.end_object();
   }
   w.end_object();

@@ -2,7 +2,9 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -15,6 +17,9 @@ class JsonWriter;
 }
 
 namespace swhkm::telemetry {
+
+class FlightRing;
+struct FlightSnapshot;
 
 /// The wall-clock instrumentation substrate: counters, gauges and
 /// fixed-bucket histograms, recorded into per-rank shards and merged
@@ -47,6 +52,12 @@ class Counter {
 };
 
 /// Last-written value plus the running maximum (e.g. mailbox queue depth).
+///
+/// A gauge that was never set is distinguishable from one set to 0: sets()
+/// counts recordings, and max_ starts at the INT64_MIN sentinel so the
+/// running maximum is correct even when every recorded value is negative.
+/// merged() skips never-set gauges entirely instead of folding their
+/// zero-initialized state into real recordings.
 class Gauge {
  public:
   void set(std::int64_t v) {
@@ -55,13 +66,16 @@ class Gauge {
     while (v > prev &&
            !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
     }
+    sets_.fetch_add(1, std::memory_order_relaxed);
   }
   std::int64_t last() const { return last_.load(std::memory_order_relaxed); }
   std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t sets() const { return sets_.load(std::memory_order_relaxed); }
 
  private:
   std::atomic<std::int64_t> last_{0};
-  std::atomic<std::int64_t> max_{0};
+  std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
+  std::atomic<std::uint64_t> sets_{0};
 };
 
 /// Fixed power-of-two buckets spanning [2^-26, 2^22) — fine enough for
@@ -128,13 +142,20 @@ struct CollectiveStats {
 /// mutex-backed maps and should be resolved to handles outside loops.
 class MetricsShard {
  public:
-  MetricsShard() = default;
+  MetricsShard();
+  ~MetricsShard();
   MetricsShard(const MetricsShard&) = delete;
   MetricsShard& operator=(const MetricsShard&) = delete;
 
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+
+  /// The rank's flight-recorder ring, or nullptr when the registry was not
+  /// armed (MetricsRegistry::arm_flight). Hot paths resolve this once,
+  /// alongside the shard itself.
+  FlightRing* flight() { return flight_.get(); }
+  const FlightRing* flight() const { return flight_.get(); }
 
   CollectiveStats& collective(CollectiveKind kind) {
     return collectives_[static_cast<std::size_t>(kind)];
@@ -159,6 +180,7 @@ class MetricsShard {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
   std::array<CollectiveStats, kCollectiveKindCount> collectives_;
+  std::unique_ptr<FlightRing> flight_;
 };
 
 /// One merged histogram: total count/sum plus the non-empty buckets in
@@ -171,8 +193,9 @@ struct HistogramSnapshot {
 };
 
 struct GaugeSnapshot {
-  std::int64_t last = 0;  ///< from the highest-rank shard that set it
-  std::int64_t max = 0;   ///< max across shards
+  std::int64_t last = 0;     ///< from the highest-rank shard that set it
+  std::int64_t max = 0;      ///< max across shards that set it
+  std::uint64_t sets = 0;    ///< total recordings across shards
 };
 
 /// Deterministic merge of all shards: counters sum, gauge maxima combine
@@ -201,9 +224,24 @@ class MetricsRegistry {
 
   MetricsSnapshot merged() const;
 
+  /// Arm the flight recorder: every existing shard gets a ring of
+  /// `ring_events` slots timestamped against `epoch`, and shards created
+  /// later are born with one. Idempotent arming happens once, before
+  /// run_spmd, so rank threads only ever see an armed-or-not registry.
+  void arm_flight(std::size_t ring_events,
+                  std::chrono::steady_clock::time_point epoch);
+  bool flight_armed() const;
+
+  /// Every shard's retained flight events, ascending rank order (the host
+  /// shard's kHostRank sorts first). Quiescent callers only — see
+  /// FlightRing::snapshot().
+  std::vector<FlightSnapshot> flight_snapshots() const;
+
  private:
   mutable std::mutex mutex_;
   std::map<int, std::unique_ptr<MetricsShard>> shards_;
+  std::size_t flight_ring_events_ = 0;  ///< 0 = not armed
+  std::chrono::steady_clock::time_point flight_epoch_{};
 };
 
 }  // namespace swhkm::telemetry

@@ -82,9 +82,57 @@ void RunReport::write_json(std::ostream& out) const {
     w.kv("recover_s", it.recover_s);
     w.kv("sdc_retries", it.sdc_retries);
     w.kv("sdc_recomputed", it.sdc_recomputed);
+    w.key("phases").begin_object();
+    w.kv("sample_read_s", it.sample_read_s);
+    w.kv("centroid_stream_s", it.centroid_stream_s);
+    w.kv("compute_s", it.compute_s);
+    w.kv("mesh_comm_s", it.mesh_comm_s);
+    w.kv("net_comm_s", it.net_comm_s);
+    w.kv("update_s", it.update_s);
+    w.end_object();
     w.end_object();
   }
   w.end_array();
+
+  // The modeled hierarchical-collective attribution, regrouped from the
+  // flat "sim.collective.<site>.<field>" counters into one object per
+  // site (group_argmin, update_rs, update_ag) — the per-run contention
+  // story next to the per-iteration net_crossing_bytes in `history`.
+  {
+    bool any = false;
+    const std::string prefix = "sim.collective.";
+    std::string open_site;
+    for (const auto& [name, v] : metrics.counters) {
+      if (name.rfind(prefix, 0) != 0) {
+        continue;
+      }
+      const std::string rest = name.substr(prefix.size());
+      const std::size_t dot = rest.find('.');
+      if (dot == std::string::npos) {
+        continue;
+      }
+      const std::string site = rest.substr(0, dot);
+      const std::string field = rest.substr(dot + 1);
+      if (!any) {
+        w.key("sim_collectives").begin_object();
+        any = true;
+      }
+      if (site != open_site) {
+        if (!open_site.empty()) {
+          w.end_object();
+        }
+        w.key(site).begin_object();
+        open_site = site;
+      }
+      w.kv(field, v);
+    }
+    if (!open_site.empty()) {
+      w.end_object();
+    }
+    if (any) {
+      w.end_object();
+    }
+  }
 
   w.key("faults").begin_array();
   for (const auto& f : faults) {
@@ -119,6 +167,16 @@ void RunReport::write_json(std::ostream& out) const {
     }
     w.end_array();
     w.end_object();
+  }
+
+  if (has_critical_path) {
+    w.key("critical_path");
+    write_critical_path(w, critical_path);
+  }
+
+  if (has_recovery || !postmortems.empty()) {
+    w.key("flight_recorder");
+    write_postmortems(w, postmortems);
   }
 
   w.key("metrics");

@@ -7,6 +7,8 @@
 #include "core/kmeans.hpp"
 #include "core/recovery.hpp"
 #include "simarch/trace.hpp"
+#include "telemetry/critical_path.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/registry.hpp"
 
 namespace swhkm::telemetry {
@@ -37,6 +39,18 @@ struct RunReport {
   std::vector<simarch::FaultMarker> faults;
   bool has_recovery = false;
   core::RecoveryReport recovery;
+
+  // Cross-rank critical-path attribution (analyze_critical_path over the
+  // run's Trace): per-iteration gating rank + phase split and the
+  // straggler blame table. Serialized as the "critical_path" section.
+  bool has_critical_path = false;
+  CriticalPathReport critical_path;
+
+  // Fault forensics: every rank's last flight-recorder events at each
+  // caught fault (RecoveryDriver::postmortems). Serialized as the
+  // "flight_recorder" section — always present when has_recovery, so a
+  // faults report is self-describing even when no postmortem was captured.
+  std::vector<FaultPostmortem> postmortems;
 
   // Merged wall-clock metrics.
   MetricsSnapshot metrics;

@@ -16,6 +16,8 @@ namespace swhkm::telemetry {
 struct TelemetryConfig {
   bool wall_spans = true;  ///< per-phase wall-clock spans from the engines
   bool swmpi = true;       ///< collective/mailbox counters in the runtime
+  bool flight = true;      ///< per-rank flight-recorder rings (postmortems)
+  std::size_t flight_ring_events = 256;  ///< retained events per rank
 };
 
 /// One run's wall-clock observability session: a metrics registry, a span
@@ -26,7 +28,13 @@ struct TelemetryConfig {
 class Telemetry {
  public:
   explicit Telemetry(TelemetryConfig config = {})
-      : config_(config), epoch_(std::chrono::steady_clock::now()) {}
+      : config_(config), epoch_(std::chrono::steady_clock::now()) {
+    if (config_.flight) {
+      // Armed before any rank thread exists, so shards are born with rings
+      // and hot paths see an armed-or-not registry, never a transition.
+      metrics_.arm_flight(config_.flight_ring_events, epoch_);
+    }
+  }
 
   Telemetry(const Telemetry&) = delete;
   Telemetry& operator=(const Telemetry&) = delete;

@@ -219,6 +219,81 @@ TEST(Metrics, CollectiveLedgersFlattenIntoNamedCounters) {
   EXPECT_EQ(snap.counters.count("swmpi.bcast.calls"), 0u);
 }
 
+TEST(Metrics, GaugeMergeKeepsNegativeMaximaAndSkipsNeverSetShards) {
+  // Regression: the merge used to fold shard maxima through a
+  // zero-initialized accumulator, so an all-negative gauge came out with
+  // max == 0, and a shard that merely *touched* a gauge (hot paths cache
+  // the reference before ever recording) dragged the merged max up to 0.
+  telemetry::MetricsRegistry reg;
+  reg.shard(0).gauge("depth").set(-5);
+  (void)reg.shard(1).gauge("depth");  // touched, never set
+  const auto snap = reg.merged();
+  ASSERT_TRUE(snap.gauges.count("depth"));
+  EXPECT_EQ(snap.gauges.at("depth").last, -5);
+  EXPECT_EQ(snap.gauges.at("depth").max, -5);
+  EXPECT_EQ(snap.gauges.at("depth").sets, 1u);
+
+  // Multi-shard negative fold: the max is the largest *recorded* value.
+  reg.shard(2).gauge("depth").set(-9);
+  const auto snap2 = reg.merged();
+  EXPECT_EQ(snap2.gauges.at("depth").max, -5);
+  EXPECT_EQ(snap2.gauges.at("depth").last, -9);  // highest-rank setter
+  EXPECT_EQ(snap2.gauges.at("depth").sets, 2u);
+
+  // A gauge never set anywhere leaves no key behind at all.
+  telemetry::MetricsRegistry untouched;
+  (void)untouched.shard(0).gauge("idle");
+  EXPECT_EQ(untouched.merged().gauges.count("idle"), 0u);
+}
+
+TEST(Metrics, MergedSnapshotIsByteIdenticalUnderAdversarialInterleavings) {
+  // Property: merged() is a pure function of each shard's final state —
+  // the wall-clock interleaving of shard writers must never leak into the
+  // snapshot. Every round scrambles thread start order and injects
+  // yields mid-stream; the merged JSON (counters, negative-valued gauges,
+  // histograms — every serialized byte) must equal the serial reference.
+  constexpr int kShards = 6;
+  constexpr int kOps = 500;
+  auto record = [](telemetry::MetricsShard& shard, int rank, bool yield) {
+    auto& ctr = shard.counter("ops");
+    auto& gauge = shard.gauge("watermark");
+    auto& hist = shard.histogram("lat");
+    for (int i = 0; i < kOps; ++i) {
+      ctr.add(static_cast<std::uint64_t>(rank % 3) + 1);
+      gauge.set((i * 7 + rank) % 11 - 5);  // sweeps negatives too
+      hist.observe(static_cast<double>((i % 4) + 1));
+      if (yield && i % 64 == 0) {
+        std::this_thread::yield();
+      }
+    }
+    gauge.set(rank - 3);  // deterministic per-shard final value
+  };
+
+  telemetry::MetricsRegistry serial;
+  for (int r = 0; r < kShards; ++r) {
+    record(serial.shard(r), r, false);
+  }
+  const std::string want = snapshot_json(serial.merged());
+
+  for (int round = 0; round < 5; ++round) {
+    telemetry::MetricsRegistry reg;
+    for (int r = 0; r < kShards; ++r) {
+      reg.shard(r);  // create up front; threads only record
+    }
+    std::vector<std::thread> workers;
+    for (int r = 0; r < kShards; ++r) {
+      // gcd(5, kShards) == 1, so this visits every rank in scrambled order.
+      const int rank = (r * 5 + round) % kShards;
+      workers.emplace_back(
+          [&reg, &record, rank] { record(reg.shard(rank), rank, true); });
+    }
+    for (auto& t : workers) {
+      t.join();
+    }
+    EXPECT_EQ(snapshot_json(reg.merged()), want) << "round " << round;
+  }
+}
+
 TEST(Metrics, MergeIsDeterministicUnderConcurrentRecording) {
   // Integer observations only: counter adds and histogram bucket counts
   // commute exactly, so the merged snapshot must be byte-identical no
